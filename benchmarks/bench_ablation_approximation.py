@@ -1,0 +1,58 @@
+"""Ablation A1: approximate REGION representations (§4.2).
+
+The paper describes two lossy schemes — merging gaps shorter than "mingap",
+and forcing a minimum octant size G — that shrink the representation while
+over-approximating the region.  It does not evaluate them ("we do not
+consider them further").  This ablation fills that gap: for each scheme and
+parameter we report runs eliminated vs. outside volume included, on the
+hemisphere structure (the paper's Q4 region).
+"""
+
+from __future__ import annotations
+
+from conftest import bench_grid_side, emit
+
+from repro.compression import get_codec
+from repro.regions import approximation_stats, coarsen_octants, merge_gaps
+
+
+def test_approximation_tradeoff(paper_system, results_dir, benchmark):
+    region = paper_system.phantom.structures["ntal1"]
+    benchmark(merge_gaps, region, 16)
+
+    lines = [
+        f"grid side: {bench_grid_side()}; region: ntal1 "
+        f"({region.voxel_count} voxels, {region.run_count} h-runs)",
+        f"{'scheme':>16}  {'runs':>7}  {'run red.':>8}  {'inflation':>9}  {'elias B':>8}",
+    ]
+    exact_bytes = get_codec("elias").encoded_size(region.intervals)
+    lines.append(
+        f"{'exact':>16}  {region.run_count:>7}  {'-':>8}  {'-':>9}  {exact_bytes:>8}"
+    )
+
+    run_reductions = []
+    for mingap in (2, 4, 8, 16, 32):
+        approx = merge_gaps(region, mingap)
+        stats = approximation_stats(region, approx)
+        size = get_codec("elias").encoded_size(approx.intervals)
+        run_reductions.append(stats.run_reduction)
+        lines.append(
+            f"{f'mingap={mingap}':>16}  {approx.run_count:>7}  "
+            f"{stats.run_reduction:>8.0%}  {stats.volume_inflation:>9.1%}  {size:>8}"
+        )
+    for g in (2, 4, 8):
+        approx = coarsen_octants(region, g)
+        stats = approximation_stats(region, approx)
+        size = get_codec("octant").encoded_size(
+            approx.reorder("morton").intervals, ndim=3
+        )
+        lines.append(
+            f"{f'G={g} octants':>16}  {approx.run_count:>7}  "
+            f"{stats.run_reduction:>8.0%}  {stats.volume_inflation:>9.1%}  {size:>8}"
+        )
+    emit(results_dir, "ablation_approximation", "\n".join(lines))
+
+    # Monotone trade-off: more aggressive merging never increases run count.
+    assert run_reductions == sorted(run_reductions)
+    # mingap=32 should cut the majority of runs on a blobby region.
+    assert run_reductions[-1] > 0.3

@@ -1,0 +1,102 @@
+"""Ablation A8: would a DBMS-side buffer pool have changed the story?
+
+The paper runs everything unbuffered (§6.1) and caches *results* in DX
+instead.  This ablation replays a realistic query mix against the same
+long fields through an LRU page cache and reports the physical-I/O savings
+per query pattern:
+
+* cold single-study queries (the Table 3 mix) — each touches fresh pages,
+  so a buffer pool buys little;
+* a repeated-query session (user re-renders the same structure) — the
+  buffer pool absorbs everything, which is exactly the behaviour the DX
+  result cache already provides one layer up, without holding DBMS memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import bench_grid_side, emit
+
+from repro.regions import Region
+from repro.storage import BlockDevice, LongFieldManager, PAGE_SIZE, PageCache
+from repro.volumes import Volume
+
+
+def _rebuild_with_cache(paper_system, capacity_pages):
+    """Copy one study's volume + structure regions onto a cached device."""
+    handle = paper_system.db.execute(
+        "select data from warpedVolume where studyId = ?",
+        [paper_system.pet_study_ids[0]],
+    ).scalar()
+    volume_bytes = paper_system.lfm.read(handle)
+    device = BlockDevice(1 << 28)
+    cache = PageCache(device, capacity_pages=capacity_pages)
+    lfm = LongFieldManager(cache)
+    volume_lf = lfm.create(volume_bytes)
+    region_lfs = {
+        name: lfm.create(region.to_bytes("naive"))
+        for name, region in paper_system.phantom.structures.items()
+    }
+    return device, cache, lfm, volume_lf, region_lfs
+
+
+def _extract(lfm, volume_lf, region_lf):
+    header = Volume.parse_header(lfm.read(volume_lf, 0, Volume.header_size()))
+    region = Region.from_bytes(lfm.read(region_lf))
+    starts, stops = header.value_byte_ranges(region.intervals)
+    lfm.read_ranges(volume_lf, starts, stops)
+
+
+def test_buffer_pool_ablation(paper_system, results_dir, benchmark):
+    capacity_pages = 1024  # a 4 MiB buffer pool
+    device, cache, lfm, volume_lf, region_lfs = _rebuild_with_cache(
+        paper_system, capacity_pages
+    )
+    names = sorted(region_lfs)
+    benchmark(_extract, lfm, volume_lf, region_lfs[names[0]])
+
+    # Phase 1: a cold sweep over every structure (distinct pages).
+    cache.clear()
+    device.stats.reset()
+    cache.stats.reset()
+    cache.hits = cache.misses = 0
+    for name in names:
+        _extract(lfm, volume_lf, region_lfs[name])
+    cold_logical = cache.stats.pages_read
+    cold_physical = device.stats.pages_read
+    cold_hit_rate = cache.hit_rate
+
+    # Phase 2: the same query repeated (a user iterating on one view).
+    device.stats.reset()
+    cache.stats.reset()
+    cache.hits = cache.misses = 0
+    for _ in range(5):
+        _extract(lfm, volume_lf, region_lfs["ntal"])
+    hot_logical = cache.stats.pages_read
+    hot_physical = device.stats.pages_read
+    hot_hit_rate = cache.hit_rate
+
+    text = "\n".join(
+        [
+            f"grid side: {bench_grid_side()}; buffer pool: {capacity_pages} pages "
+            f"({capacity_pages * PAGE_SIZE >> 20} MiB)",
+            f"{'workload':>24}  {'logical I/O':>11}  {'physical I/O':>12}  {'hit rate':>8}",
+            f"{'cold structure sweep':>24}  {cold_logical:>11}  {cold_physical:>12}  "
+            f"{cold_hit_rate:>8.0%}",
+            f"{'same query x5':>24}  {hot_logical:>11}  {hot_physical:>12}  "
+            f"{hot_hit_rate:>8.0%}",
+            "notes: repeats are absorbed almost entirely — behaviour the DX",
+            "result cache already provides one layer up (the paper's choice).",
+            "Cold sweeps benefit only to the extent structures share pages",
+            "(they cluster inside the brain envelope).",
+        ]
+    )
+    emit(results_dir, "ablation_buffering", text)
+
+    # Repeated queries are absorbed almost entirely...
+    assert hot_physical < 0.35 * hot_logical
+    assert hot_hit_rate > 0.9
+    # ...and at least as well as a cold exploratory sweep.
+    assert hot_hit_rate >= cold_hit_rate
+    # A buffer pool never increases physical I/O.
+    assert cold_physical <= cold_logical

@@ -1,0 +1,65 @@
+"""Ablation A2: is the paper right to rule out geometric-source codes?
+
+§4.2 rejects Golomb/Rice ("infinite Huffman") and fixed-increment codes
+because the measured delta distribution is a power law, then picks the
+Elias gamma code.  This ablation encodes the *actual* deltas of the loaded
+REGIONs with every family and reports bits per delta against the entropy
+bound — verifying the reasoning empirically rather than taking it on faith.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import bench_grid_side, emit
+
+from repro.compression import (
+    delta_code_length,
+    delta_lengths,
+    entropy_bits_per_delta,
+    gamma_code_length,
+    golomb_code_length,
+    optimal_golomb_parameter,
+    varlen_code_length,
+)
+
+
+def test_codec_family_ablation(paper_system, results_dir, benchmark):
+    from bench_run_ratios import load_regions
+
+    regions = load_regions(paper_system)
+    all_deltas = np.concatenate(
+        [delta_lengths(r.intervals) for r in regions.values() if r.run_count]
+    )
+    benchmark(gamma_code_length, all_deltas)
+
+    m = optimal_golomb_parameter(all_deltas)
+    per_delta = {
+        "entropy bound": entropy_bits_per_delta(all_deltas),
+        "elias gamma": float(gamma_code_length(all_deltas).mean()),
+        "elias delta": float(delta_code_length(all_deltas).mean()),
+        f"golomb (m={m})": float(golomb_code_length(all_deltas, m).mean()),
+        "rice (m=4)": float(golomb_code_length(all_deltas, 4).mean()),
+        "varlen (k=3)": float(varlen_code_length(all_deltas, 3).mean()),
+        "varlen (k=7)": float(varlen_code_length(all_deltas, 7).mean()),
+        "naive (32b/delta)": 32.0,
+    }
+    lines = [
+        f"grid side: {bench_grid_side()}; {all_deltas.size} deltas from "
+        f"{len(regions)} REGIONs",
+        f"{'code':>20}  bits/delta  vs entropy",
+    ]
+    bound = per_delta["entropy bound"]
+    for name, bits in per_delta.items():
+        lines.append(f"{name:>20}  {bits:>10.2f}  {bits / bound:>9.2f}x")
+    emit(results_dir, "ablation_codecs", "\n".join(lines))
+
+    # The paper's choice must win: gamma beats every geometric-source code
+    # and the naive scheme on power-law deltas.
+    gamma = per_delta["elias gamma"]
+    assert gamma <= per_delta[f"golomb (m={m})"]
+    assert gamma <= per_delta["rice (m=4)"]
+    assert gamma <= per_delta["varlen (k=3)"]
+    assert gamma <= per_delta["varlen (k=7)"]
+    assert gamma < 32.0
+    # And no code beats entropy.
+    assert all(bits >= bound * 0.999 for name, bits in per_delta.items())

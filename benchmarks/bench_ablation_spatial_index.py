@@ -1,0 +1,58 @@
+"""Ablation A6: the §7 spatial-indexing extension, quantified.
+
+"Which structures does this probe intersect?" over the atlas population,
+answered two ways: reading and exactly testing *every* structure REGION
+(the prototype's behaviour), versus prefiltering through the stored
+bounding boxes and reading only the candidates.  The paper proposed this
+as future work; here we measure what it buys at 128^3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import bench_grid_side, emit
+
+
+def test_spatial_index_prefilter(paper_system, results_dir, benchmark):
+    side = paper_system.atlas.resolution
+    rng = np.random.default_rng(17)
+
+    def random_probe():
+        lo = rng.integers(0, side - side // 8, 3)
+        hi = lo + rng.integers(2, side // 6, 3)
+        return tuple(int(v) for v in lo), tuple(int(min(v, side)) for v in hi)
+
+    probes = [random_probe() for _ in range(20)]
+    benchmark(paper_system.server.structures_intersecting_box, *probes[0])
+
+    total = {"indexed": 0, "naive": 0}
+    rows_scanned = {"indexed": 0, "naive": 0}
+    mismatches = 0
+    for lower, upper in probes:
+        names_i, r_i = paper_system.server.structures_intersecting_box(lower, upper)
+        names_n, r_n = paper_system.server.structures_intersecting_box(
+            lower, upper, use_index=False
+        )
+        if names_i != names_n:
+            mismatches += 1
+        total["indexed"] += r_i.io.pages_read
+        total["naive"] += r_n.io.pages_read
+        rows_scanned["indexed"] += r_i.work.udf_calls
+        rows_scanned["naive"] += r_n.work.udf_calls
+
+    saving = 1 - total["indexed"] / total["naive"]
+    text = "\n".join(
+        [
+            f"grid side: {bench_grid_side()}; 20 random probe boxes over "
+            f"{len(paper_system.structure_names())} structures",
+            f"{'method':>10}  {'page I/Os':>9}  {'exact tests':>11}",
+            f"{'naive':>10}  {total['naive']:>9}  {rows_scanned['naive']:>11}",
+            f"{'indexed':>10}  {total['indexed']:>9}  {rows_scanned['indexed']:>11}",
+            f"I/O saved by bounding-box prefilter: {saving:.0%}",
+        ]
+    )
+    emit(results_dir, "ablation_spatial_index", text)
+
+    assert mismatches == 0, "index changed query answers"
+    assert total["indexed"] <= total["naive"]
+    assert rows_scanned["indexed"] <= rows_scanned["naive"]

@@ -1,0 +1,54 @@
+"""EQ 1: the delta-length distribution of brain REGIONs is a power law.
+
+"Our measurements showed that the distribution roughly obeys
+``count = const * length^(-a)`` where a is ~1.5-1.7 for several atlas
+structure and intensity band REGIONs we tried."  This is the measurement
+that justifies choosing the Elias gamma code over the geometric-source
+codes.  We regenerate it over the loaded database's REGIONs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import bench_grid_side, emit
+
+from repro.bench.harness import PAPER_POWER_LAW_EXPONENT
+from repro.compression import delta_lengths, fit_power_law
+
+
+def test_delta_power_law(paper_system, results_dir, benchmark):
+    from bench_run_ratios import load_regions
+
+    regions = load_regions(paper_system)
+    sample = regions["ntal1"].intervals
+    benchmark(delta_lengths, sample)
+
+    lines = [
+        f"grid side: {bench_grid_side()} (paper: 128)",
+        f"paper: a ~ {PAPER_POWER_LAW_EXPONENT[0]}-{PAPER_POWER_LAW_EXPONENT[1]}",
+        f"{'region':>16}  {'deltas':>8}  {'a':>5}  {'r^2':>5}",
+    ]
+    exponents = []
+    pooled = []
+    for name, region in sorted(regions.items()):
+        lengths = delta_lengths(region.intervals)
+        if lengths.size < 200 or np.unique(lengths).size < 8:
+            continue  # too small for a meaningful fit
+        fit = fit_power_law(lengths)
+        exponents.append(fit.exponent)
+        pooled.append(lengths)
+        lines.append(
+            f"{name:>16}  {lengths.size:>8}  {fit.exponent:>5.2f}  {fit.r_squared:>5.2f}"
+        )
+    pooled_fit = fit_power_law(np.concatenate(pooled))
+    lines.append(
+        f"{'POOLED':>16}  {sum(a.size for a in pooled):>8}  "
+        f"{pooled_fit.exponent:>5.2f}  {pooled_fit.r_squared:>5.2f}"
+    )
+    emit(results_dir, "delta_power_law", "\n".join(lines))
+
+    # The distribution must be power-law-like: the median region exponent
+    # lands around the paper's 1.5-1.7 band and the log-log fits are tight.
+    median_a = float(np.median(exponents))
+    assert 1.0 < median_a < 2.5, f"median exponent {median_a} outside power-law band"
+    assert pooled_fit.r_squared > 0.9

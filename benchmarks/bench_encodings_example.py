@@ -1,0 +1,45 @@
+"""Tables 1 and 2: the worked 2-D encoding example of Figure 3.
+
+The exact-value checks live in ``tests/test_paper_examples.py``; this
+bench prints the two tables as the paper formats them and micro-benchmarks
+the decomposition/encoding primitives on the example region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.curves import GridSpec
+from repro.regions import Region
+
+CELLS = np.array([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 2), (2, 3)])
+
+
+def format_encodings(region: Region, prefix: str) -> list[str]:
+    ids, ranks = region.octants()
+    octants = " ".join(f"<{i:04b},{r}>" for i, r in zip(ids.tolist(), ranks.tolist()))
+    ids, ranks = region.oblong_octants()
+    oblong = " ".join(f"<{i:04b},{r}>" for i, r in zip(ids.tolist(), ranks.tolist()))
+    runs = " ".join(f"<{s},{e}>" for s, e in region.intervals.runs_inclusive())
+    return [
+        f"  octants ({prefix}-id, rank): {octants}",
+        f"  oblong octants:            {oblong}",
+        f"  runs (start, end):         {runs}",
+    ]
+
+
+def test_tables_1_and_2(results_dir, benchmark):
+    grid = GridSpec((4, 4))
+    z_region = Region.from_coords(CELLS, grid, "morton")
+    h_region = Region.from_coords(CELLS, grid, "hilbert")
+    benchmark(lambda: Region.from_coords(CELLS, grid, "hilbert").oblong_octants())
+
+    lines = ["Table 1 - Z-curve encodings of the Figure 3 region:"]
+    lines += format_encodings(z_region, "z")
+    lines.append("Table 2 - Hilbert-curve encodings of the same region:")
+    lines += format_encodings(h_region, "h")
+    emit(results_dir, "tables1_2_example", "\n".join(lines))
+
+    assert list(h_region.intervals.runs_inclusive()) == [(3, 9)]
+    assert list(z_region.intervals.runs_inclusive()) == [(1, 1), (4, 7), (12, 13)]

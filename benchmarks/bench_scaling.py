@@ -1,0 +1,80 @@
+"""§6.4 scaling claims.
+
+The paper argues early filtering matters *more* as databases grow: "the
+reduction in data traffic will be linear in the number of studies
+involved" for multi-study queries, and the full-study/filtered gap widens
+with study size.  Two sweeps verify both claims on this implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import bench_grid_side, emit
+
+from repro.core import QbismSystem
+
+
+def test_traffic_linear_in_study_count(paper_system, results_dir, benchmark):
+    """Voxel-wise average inside a structure over k studies: I/O ~ k."""
+    studies = paper_system.pet_study_ids
+    benchmark(paper_system.server.average_in_structure, studies[:2], "thalamus")
+
+    ios, payloads = [], []
+    for k in range(1, len(studies) + 1):
+        _, outcomes = paper_system.server.average_in_structure(
+            studies[:k], "thalamus"
+        )
+        ios.append(sum(o.io.pages_read for o in outcomes))
+        payloads.append(sum(len(o.payload) for o in outcomes))
+
+    ks = np.arange(1, len(studies) + 1)
+    io_fit = np.polyfit(ks, ios, 1)
+    residual = ios - np.polyval(io_fit, ks)
+    r2 = 1 - (residual**2).sum() / ((ios - np.mean(ios)) ** 2).sum()
+    lines = [
+        f"grid side: {bench_grid_side()}; structure: thalamus",
+        f"{'k studies':>9}  {'page I/Os':>9}  {'result bytes':>12}",
+    ]
+    for k, io, payload in zip(ks, ios, payloads):
+        lines.append(f"{k:>9}  {io:>9}  {payload:>12}")
+    lines.append(f"linear fit of I/O vs k: slope {io_fit[0]:.1f}, r^2 = {r2:.4f}")
+    emit(results_dir, "scaling_studies", "\n".join(lines))
+
+    assert r2 > 0.99, "multi-study I/O must scale linearly in study count"
+    assert ios[-1] < 1.4 * len(studies) * ios[0]
+
+
+def test_filtering_gap_grows_with_volume_size(results_dir, benchmark):
+    """Full-study vs structure-query cost ratio rises with the grid side."""
+    rows = []
+    for side in (32, 64):
+        system = QbismSystem.build_demo(
+            seed=1994, grid_side=side, n_pet=1, n_mri=0
+        )
+        sid = system.pet_study_ids[0]
+        full = system.query_full_study(sid, render_mode=None).timing
+        small = system.query_structure(sid, "ntal", render_mode=None).timing
+        rows.append(
+            (
+                side,
+                full.lfm_page_ios,
+                small.lfm_page_ios,
+                full.net_messages,
+                small.net_messages,
+                full.lfm_page_ios / max(small.lfm_page_ios, 1),
+            )
+        )
+    benchmark(lambda: None)  # construction above dominates; nothing to time
+
+    lines = [
+        f"{'side':>5}  {'full I/O':>8}  {'ntal I/O':>8}  {'full msgs':>9}  "
+        f"{'ntal msgs':>9}  {'I/O ratio':>9}",
+    ]
+    for side, fio, sio, fmsg, smsg, ratio in rows:
+        lines.append(
+            f"{side:>5}  {fio:>8}  {sio:>8}  {fmsg:>9}  {smsg:>9}  {ratio:>9.1f}"
+        )
+    emit(results_dir, "scaling_grid", "\n".join(lines))
+
+    # The early-filtering payoff must grow with study size.
+    assert rows[-1][-1] > rows[0][-1]

@@ -1,0 +1,60 @@
+"""QBISM reproduction: an extensible DBMS for 3-D medical images.
+
+This package reproduces the system described in *"QBISM: Extending a DBMS to
+Support 3D Medical Images"* (Arya, Cody, Faloutsos, Richardson, Toga — ICDE
+1994): REGION and VOLUME spatial data types stored as Hilbert-ordered runs
+and intensity lists inside an extensible relational DBMS, plus the full
+surrounding system (storage engine, SQL layer, medical schema, network and
+visualization components) used in the paper's evaluation.
+
+Quickstart::
+
+    from repro import QbismSystem
+    system = QbismSystem.build_demo(seed=1994, grid_side=64)
+    result = system.query_structure(study_id=1, structure_name="ntal1")
+    print(result.timing)
+
+See ``README.md`` for the architecture overview and ``DESIGN.md`` for the
+module inventory and per-experiment index.
+"""
+
+from __future__ import annotations
+
+from repro._version import __version__
+from repro.curves import GridSpec, HilbertCurve, MortonCurve, RowMajorCurve, curve_for_grid
+from repro.errors import ReproError
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "GridSpec",
+    "HilbertCurve",
+    "MortonCurve",
+    "RowMajorCurve",
+    "curve_for_grid",
+    "Region",
+    "Volume",
+    "DataRegion",
+    "QbismSystem",
+]
+
+
+def __getattr__(name: str):
+    # Lazy re-exports: keep `import repro` light while exposing the main API.
+    if name == "Region":
+        from repro.regions import Region
+
+        return Region
+    if name == "Volume":
+        from repro.volumes import Volume
+
+        return Volume
+    if name == "DataRegion":
+        from repro.volumes import DataRegion
+
+        return DataRegion
+    if name == "QbismSystem":
+        from repro.core import QbismSystem
+
+        return QbismSystem
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

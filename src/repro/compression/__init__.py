@@ -1,0 +1,70 @@
+"""Compression: integer codes, REGION codecs, and the entropy yardstick."""
+
+from __future__ import annotations
+
+from repro.compression.bitio import BitReader, BitWriter
+from repro.compression.elias import (
+    delta_code_length,
+    delta_decode_array,
+    delta_encode_array,
+    gamma_code_length,
+    gamma_decode_array,
+    gamma_encode_array,
+)
+from repro.compression.entropy import (
+    PowerLawFit,
+    delta_lengths,
+    entropy_bits_per_delta,
+    entropy_bound_bytes,
+    fit_power_law,
+)
+from repro.compression.golomb import (
+    golomb_code_length,
+    golomb_decode_array,
+    golomb_encode_array,
+    optimal_golomb_parameter,
+)
+from repro.compression.runcodecs import (
+    REGION_CODECS,
+    EliasRunCodec,
+    NaiveRunCodec,
+    OblongOctantCodec,
+    OctantCodec,
+    RegionCodec,
+    get_codec,
+)
+from repro.compression.varlen import (
+    varlen_code_length,
+    varlen_decode_array,
+    varlen_encode_array,
+)
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "gamma_code_length",
+    "gamma_encode_array",
+    "gamma_decode_array",
+    "delta_code_length",
+    "delta_encode_array",
+    "delta_decode_array",
+    "golomb_code_length",
+    "golomb_encode_array",
+    "golomb_decode_array",
+    "optimal_golomb_parameter",
+    "varlen_code_length",
+    "varlen_encode_array",
+    "varlen_decode_array",
+    "delta_lengths",
+    "entropy_bits_per_delta",
+    "entropy_bound_bytes",
+    "fit_power_law",
+    "PowerLawFit",
+    "RegionCodec",
+    "NaiveRunCodec",
+    "EliasRunCodec",
+    "OctantCodec",
+    "OblongOctantCodec",
+    "REGION_CODECS",
+    "get_codec",
+]

@@ -1,0 +1,128 @@
+"""Bit-granular I/O used by the integer codes.
+
+:class:`BitWriter` batches ``(value, nbits)`` pairs and packs them in one
+vectorized pass (a loop over *bit positions within a code*, never over the
+codes themselves), so encoding a REGION with hundreds of thousands of runs
+stays fast.  :class:`BitReader` supports both scalar reads and access to the
+raw bit array for vectorized decoders.
+
+Bit order is MSB-first within each byte, and codes are packed back to back
+with no padding except zero bits at the very end of the stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BitWriter", "BitReader"]
+
+_MAX_CODE_BITS = 62
+
+
+class BitWriter:
+    """Accumulates variable-length codes and packs them into bytes."""
+
+    def __init__(self) -> None:
+        self._values: list[np.ndarray] = []
+        self._nbits: list[np.ndarray] = []
+        self._total_bits = 0
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return self._total_bits
+
+    def write(self, value: int, nbits: int) -> None:
+        """Append the low ``nbits`` bits of ``value`` (MSB first)."""
+        self.write_array(np.asarray([value], dtype=np.int64), np.asarray([nbits], dtype=np.int64))
+
+    def write_array(self, values: np.ndarray, nbits: np.ndarray | int) -> None:
+        """Append one code per element; ``nbits`` may be scalar or per-element."""
+        values = np.ascontiguousarray(values, dtype=np.int64)
+        if np.isscalar(nbits) or getattr(nbits, "ndim", 1) == 0:
+            nbits = np.full(values.shape, int(nbits), dtype=np.int64)
+        else:
+            nbits = np.ascontiguousarray(nbits, dtype=np.int64)
+        if values.shape != nbits.shape:
+            raise ValueError("values and nbits must have the same shape")
+        if values.size == 0:
+            return
+        if nbits.min() < 1 or nbits.max() > _MAX_CODE_BITS:
+            raise ValueError(f"code lengths must be in [1, {_MAX_CODE_BITS}]")
+        if values.min() < 0:
+            raise ValueError("codes must be non-negative")
+        self._values.append(values)
+        self._nbits.append(nbits)
+        self._total_bits += int(nbits.sum())
+
+    def getvalue(self) -> bytes:
+        """Pack everything written so far into a byte string."""
+        if not self._values:
+            return b""
+        values = np.concatenate(self._values)
+        nbits = np.concatenate(self._nbits)
+        offsets = np.concatenate(([0], np.cumsum(nbits)[:-1]))
+        total_bits = self._total_bits
+        buf = np.zeros((total_bits + 7) // 8, dtype=np.uint8)
+        max_len = int(nbits.max())
+        for j in range(max_len):
+            live = nbits > j
+            if not live.any():
+                break
+            v = values[live]
+            n = nbits[live]
+            bit = ((v >> (n - 1 - j)) & 1).astype(np.uint8)
+            pos = offsets[live] + j
+            byte_idx = pos >> 3
+            shift = (7 - (pos & 7)).astype(np.uint8)
+            np.bitwise_or.at(buf, byte_idx, bit << shift)
+        return buf.tobytes()
+
+
+class BitReader:
+    """Reads codes back out of a byte string produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes):
+        self._bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+        self._ones = np.flatnonzero(self._bits)
+        self.pos = 0
+
+    @property
+    def bits(self) -> np.ndarray:
+        """The raw bit array (uint8 zeros and ones), for vectorized decoders."""
+        return self._bits
+
+    @property
+    def remaining(self) -> int:
+        return int(self._bits.size - self.pos)
+
+    def read(self, nbits: int) -> int:
+        """Read ``nbits`` bits MSB-first as an unsigned integer."""
+        if nbits < 0 or self.pos + nbits > self._bits.size:
+            raise ValueError("bit stream exhausted")
+        value = 0
+        for b in self._bits[self.pos:self.pos + nbits]:
+            value = (value << 1) | int(b)
+        self.pos += nbits
+        return value
+
+    def read_unary(self) -> int:
+        """Count zero bits up to and including the terminating one bit.
+
+        Returns the number of zeros (the encoded unary value); the stream
+        position advances past the terminating 1.
+        """
+        k = np.searchsorted(self._ones, self.pos)
+        if k >= self._ones.size:
+            raise ValueError("bit stream exhausted while reading unary code")
+        one_pos = int(self._ones[k])
+        zeros = one_pos - self.pos
+        self.pos = one_pos + 1
+        return zeros
+
+    def next_one_position(self) -> int:
+        """Position of the next set bit at or after the cursor (no advance)."""
+        k = np.searchsorted(self._ones, self.pos)
+        if k >= self._ones.size:
+            raise ValueError("no further set bits in stream")
+        return int(self._ones[k])

@@ -1,0 +1,138 @@
+"""Golomb and Rice codes for geometrically distributed integers.
+
+The paper *rules these out* for REGION deltas ("we should rule out all the
+compression methods that are tailored for geometric distributions, such as
+the 'infinite Huffman codes' method"), because the measured delta-length
+distribution is a power law.  They are implemented here so the codec
+ablation benchmark can verify that reasoning empirically.
+
+Golomb's code with parameter ``m`` writes ``q = (x - 1) // m`` in unary
+followed by ``r = (x - 1) % m`` in truncated binary; it is the optimal
+prefix code for a geometric source with success probability tuned to ``m``
+(Golomb 1966, Gallager & Van Voorhis 1975).  Rice codes are the ``m = 2^k``
+special case.
+
+All encoders work on positive integers (``x >= 1``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.bitio import BitReader, BitWriter
+
+__all__ = [
+    "golomb_code_length",
+    "golomb_encode_array",
+    "golomb_decode_array",
+    "optimal_golomb_parameter",
+]
+
+_UNARY_CHUNK = 48  # unary prefixes are emitted in chunks of at most this many bits
+
+
+def _truncated_binary_params(m: int) -> tuple[int, int]:
+    """Bits ``b`` and threshold for truncated binary coding of residues mod m."""
+    b = (m - 1).bit_length() if m > 1 else 0
+    threshold = (1 << b) - m  # residues below this use b - 1 bits
+    return b, threshold
+
+
+def golomb_code_length(values: np.ndarray, m: int) -> np.ndarray:
+    """Bits the Golomb(m) code spends on each positive value."""
+    values = np.ascontiguousarray(values, dtype=np.int64)
+    if values.size and values.min() < 1:
+        raise ValueError("Golomb codes here are defined for integers >= 1")
+    if m < 1:
+        raise ValueError("Golomb parameter m must be >= 1")
+    x = values - 1
+    q = x // m
+    if m == 1:
+        return q + 1
+    b, threshold = _truncated_binary_params(m)
+    r = x - q * m
+    r_bits = np.where(r < threshold, b - 1, b)
+    return q + 1 + r_bits
+
+
+def golomb_encode_array(values: np.ndarray, m: int, writer: BitWriter) -> None:
+    """Append Golomb(m) codes of ``values`` to ``writer``."""
+    values = np.ascontiguousarray(values, dtype=np.int64)
+    if values.size == 0:
+        return
+    if values.min() < 1:
+        raise ValueError("Golomb codes here are defined for integers >= 1")
+    if m < 1:
+        raise ValueError("Golomb parameter m must be >= 1")
+    x = values - 1
+    q = x // m
+    b, threshold = _truncated_binary_params(m)
+    r = x - q * m
+    small = r < threshold
+    r_vals = np.where(small, r, r + threshold)
+    r_bits = np.where(small, max(b - 1, 0), b)
+    max_q = int(q.max())
+    if max_q >= _UNARY_CHUNK:
+        # Rare pathological case (m far too small for the data): fall back to
+        # a per-value loop that can emit arbitrarily long unary prefixes.
+        for xi, qi, rv, rb in zip(values.tolist(), q.tolist(), r_vals.tolist(), r_bits.tolist()):
+            del xi
+            remaining = qi + 1
+            while remaining > _UNARY_CHUNK:
+                writer.write(0, _UNARY_CHUNK)
+                remaining -= _UNARY_CHUNK
+            writer.write(1, remaining)  # qi zeros then the terminating 1
+            if rb:
+                writer.write(rv, rb)
+        return
+    # Unary prefix of q zeros + terminating 1 is the value 1 in q + 1 bits.
+    if m == 1:
+        writer.write_array(np.ones(values.size, dtype=np.int64), q + 1)
+        return
+    slots = np.where(r_bits > 0, 2, 1)
+    positions = np.concatenate(([0], np.cumsum(slots)[:-1]))
+    total = int(slots.sum())
+    merged_vals = np.empty(total, dtype=np.int64)
+    merged_bits = np.empty(total, dtype=np.int64)
+    merged_vals[positions] = 1
+    merged_bits[positions] = q + 1
+    has_r = r_bits > 0
+    r_positions = positions[has_r] + 1
+    merged_vals[r_positions] = r_vals[has_r]
+    merged_bits[r_positions] = r_bits[has_r]
+    writer.write_array(merged_vals, merged_bits)
+
+
+def golomb_decode_array(reader: BitReader, m: int, count: int) -> np.ndarray:
+    """Read ``count`` Golomb(m) codes from ``reader``."""
+    if m < 1:
+        raise ValueError("Golomb parameter m must be >= 1")
+    b, threshold = _truncated_binary_params(m)
+    out = np.empty(count, dtype=np.int64)
+    for i in range(count):
+        q = reader.read_unary()
+        if m == 1:
+            out[i] = q + 1
+            continue
+        if b == 0:
+            r = 0
+        else:
+            r = reader.read(b - 1) if b > 1 else 0
+            if r >= threshold or b == 1:
+                r = (r << 1) | reader.read(1)
+                r -= threshold
+        out[i] = q * m + r + 1
+    return out
+
+
+def optimal_golomb_parameter(values: np.ndarray) -> int:
+    """The classic m ~ -1 / log2(p) choice for a geometric source.
+
+    Uses the mean of the data: for a geometric distribution with mean ``mu``
+    the optimal parameter is approximately ``0.69 * mu`` (Gallager & Van
+    Voorhis).  Returns at least 1.
+    """
+    values = np.ascontiguousarray(values, dtype=np.int64)
+    if values.size == 0:
+        return 1
+    return max(1, int(round(0.69 * float(values.mean()))))

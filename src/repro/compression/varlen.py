@@ -1,0 +1,96 @@
+"""Variable-length / fixed-increment codes (Severance 1983).
+
+The second family of codes the paper's §4.2 considers and rejects for
+REGION deltas.  A value is split into groups of ``k`` bits; each group is
+preceded by a continuation bit (1 = more groups follow), so every value
+costs a multiple of ``k + 1`` bits.  ``k = 7`` is the familiar LEB128 /
+varint byte code.
+
+All encoders work on positive integers (``x >= 1``); ``x - 1`` is coded so
+that 1 gets the shortest code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.bitio import BitReader, BitWriter
+
+__all__ = ["varlen_code_length", "varlen_encode_array", "varlen_decode_array"]
+
+
+def _group_counts(values: np.ndarray, k: int) -> np.ndarray:
+    """Number of k-bit groups needed for each (x - 1) value."""
+    x = values - 1
+    bits = np.maximum(1, _bit_length(x))
+    return (bits + k - 1) // k
+
+
+def _bit_length(values: np.ndarray) -> np.ndarray:
+    result = np.zeros(values.shape, dtype=np.int64)
+    v = values.copy()
+    shift = 32
+    while shift:
+        big = v >= (np.int64(1) << shift)
+        result[big] += shift
+        v = np.where(big, v >> shift, v)
+        shift >>= 1
+    # values that are still >= 1 contribute one final bit
+    result += (v > 0).astype(np.int64)
+    return result
+
+
+def _check(values: np.ndarray, k: int) -> np.ndarray:
+    values = np.ascontiguousarray(values, dtype=np.int64)
+    if values.size and values.min() < 1:
+        raise ValueError("varlen codes here are defined for integers >= 1")
+    if not 1 <= k <= 32:
+        raise ValueError("group width k must be in [1, 32]")
+    return values
+
+
+def varlen_code_length(values: np.ndarray, k: int) -> np.ndarray:
+    """Bits spent on each value: ``groups * (k + 1)``."""
+    values = _check(values, k)
+    return _group_counts(values, k) * (k + 1)
+
+
+def varlen_encode_array(values: np.ndarray, k: int, writer: BitWriter) -> None:
+    """Append fixed-increment codes of ``values`` to ``writer``.
+
+    Groups are emitted most-significant first; the continuation bit leads
+    each group (1 while more groups follow, 0 on the last).
+    """
+    values = _check(values, k)
+    if values.size == 0:
+        return
+    x = values - 1
+    groups = _group_counts(values, k)
+    total = int(groups.sum())
+    merged_vals = np.empty(total, dtype=np.int64)
+    positions = np.concatenate(([0], np.cumsum(groups)[:-1]))
+    mask = (np.int64(1) << k) - 1
+    max_groups = int(groups.max())
+    for j in range(max_groups):
+        live = groups > j
+        shift = (groups[live] - 1 - j) * k
+        group_val = (x[live] >> shift) & mask
+        cont = (j < groups[live] - 1).astype(np.int64)
+        merged_vals[positions[live] + j] = (cont << k) | group_val
+    writer.write_array(merged_vals, k + 1)
+
+
+def varlen_decode_array(reader: BitReader, k: int, count: int) -> np.ndarray:
+    """Read ``count`` fixed-increment codes from ``reader``."""
+    if not 1 <= k <= 32:
+        raise ValueError("group width k must be in [1, 32]")
+    out = np.empty(count, dtype=np.int64)
+    for i in range(count):
+        x = 0
+        while True:
+            group = reader.read(k + 1)
+            x = (x << k) | (group & ((1 << k) - 1))
+            if not group >> k:
+                break
+        out[i] = x + 1
+    return out

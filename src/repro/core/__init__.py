@@ -1,0 +1,17 @@
+"""The paper's contribution, assembled: the QBISM system and its timing model."""
+
+from __future__ import annotations
+
+from repro.core.system import QbismSystem, QueryOutcome
+from repro.core.timing import Table4Row, TimingBreakdown, format_table3, format_table4
+from repro.medical.server import QuerySpec
+
+__all__ = [
+    "QbismSystem",
+    "QueryOutcome",
+    "QuerySpec",
+    "TimingBreakdown",
+    "Table4Row",
+    "format_table3",
+    "format_table4",
+]

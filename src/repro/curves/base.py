@@ -1,0 +1,190 @@
+"""Grid geometry and the space-filling-curve interface.
+
+A :class:`GridSpec` describes the regular cubic sampling grid of §3.1 of the
+paper (e.g. a 128x128x128 atlas space).  A :class:`SpaceFillingCurve` is a
+bijection between grid coordinates and positions on a 1-D curve; QBISM uses
+it to linearize VOLUMEs (store intensities in curve order) and REGIONs
+(store runs of consecutive curve positions).
+
+All conversions are vectorized: coordinates are ``(n, ndim)`` integer arrays
+and curve indices are ``(n,)`` ``int64`` arrays.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GridMismatchError
+
+__all__ = ["GridSpec", "SpaceFillingCurve"]
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A regular grid of voxels, the sampling lattice of a scalar field.
+
+    Parameters
+    ----------
+    shape:
+        Number of voxels along each axis, e.g. ``(128, 128, 128)``.  Axes are
+        indexed ``(x, y, z, ...)`` in that order.
+    origin:
+        Real-world coordinate of the center of voxel ``(0, 0, 0)``, in
+        millimetres.  Only used by the medical layer for annotation.
+    spacing:
+        Real-world size of a voxel along each axis, in millimetres.
+    """
+
+    shape: tuple[int, ...]
+    origin: tuple[float, ...] = field(default=())
+    spacing: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ValueError("grid shape must have at least one axis")
+        if any(int(s) <= 0 for s in self.shape):
+            raise ValueError(f"grid shape must be positive, got {self.shape}")
+        object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
+        if not self.origin:
+            object.__setattr__(self, "origin", (0.0,) * self.ndim)
+        if not self.spacing:
+            object.__setattr__(self, "spacing", (1.0,) * self.ndim)
+        if len(self.origin) != self.ndim or len(self.spacing) != self.ndim:
+            raise ValueError("origin and spacing must match the grid dimensionality")
+
+    @property
+    def ndim(self) -> int:
+        """Number of spatial dimensions."""
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        """Total number of voxels in the grid."""
+        return int(np.prod([int(s) for s in self.shape], dtype=object))
+
+    @property
+    def bits(self) -> int:
+        """Bits per axis of the smallest enclosing power-of-two cube.
+
+        Space-filling curves are defined on ``2^bits`` cubes; a grid that is
+        not a power-of-two cube is embedded in the smallest one that contains
+        it (positions outside the grid are simply never produced).
+        """
+        return max(int(s - 1).bit_length() for s in self.shape)
+
+    @property
+    def is_cube(self) -> bool:
+        """True when all axes have equal, power-of-two extent."""
+        side = self.shape[0]
+        return all(s == side for s in self.shape) and side == 1 << self.bits
+
+    def contains(self, coords: np.ndarray) -> np.ndarray:
+        """Vectorized bounds test: ``coords`` is ``(n, ndim)``; returns ``(n,)`` bool."""
+        coords = np.asarray(coords)
+        shape = np.asarray(self.shape)
+        return np.all((coords >= 0) & (coords < shape), axis=-1)
+
+    def require_same(self, other: "GridSpec") -> None:
+        """Raise :class:`GridMismatchError` unless ``other`` has the same shape."""
+        if self.shape != other.shape:
+            raise GridMismatchError(
+                f"grids are incompatible: {self.shape} vs {other.shape}"
+            )
+
+    def world_to_voxel(self, points: np.ndarray) -> np.ndarray:
+        """Convert real-world mm coordinates to (fractional) voxel coordinates."""
+        points = np.asarray(points, dtype=np.float64)
+        return (points - np.asarray(self.origin)) / np.asarray(self.spacing)
+
+    def voxel_to_world(self, coords: np.ndarray) -> np.ndarray:
+        """Convert voxel coordinates to real-world mm coordinates."""
+        coords = np.asarray(coords, dtype=np.float64)
+        return coords * np.asarray(self.spacing) + np.asarray(self.origin)
+
+
+class SpaceFillingCurve(ABC):
+    """A bijection between grid coordinates and 1-D curve positions.
+
+    Subclasses implement the two directions for a whole batch of points at a
+    time.  A curve instance is bound to a dimensionality and a bit depth so
+    instances can be compared for compatibility (two REGIONs can only be
+    intersected when their runs live on the same curve).
+    """
+
+    #: short name used in reports and codec headers, e.g. ``"hilbert"``
+    name: str = "abstract"
+
+    def __init__(self, ndim: int, bits: int):
+        if ndim < 1:
+            raise ValueError("curve dimensionality must be >= 1")
+        if bits < 1:
+            raise ValueError("curve bit depth must be >= 1")
+        if ndim * bits > 62:
+            raise ValueError(
+                f"curve index would overflow int64: ndim={ndim} bits={bits}"
+            )
+        self.ndim = int(ndim)
+        self.bits = int(bits)
+
+    @property
+    def length(self) -> int:
+        """Number of positions on the curve (``2^(ndim*bits)``)."""
+        return 1 << (self.ndim * self.bits)
+
+    @property
+    def side(self) -> int:
+        """Extent of the cube along each axis (``2^bits``)."""
+        return 1 << self.bits
+
+    @abstractmethod
+    def index(self, coords: np.ndarray) -> np.ndarray:
+        """Map ``(n, ndim)`` integer coordinates to ``(n,)`` int64 curve positions."""
+
+    @abstractmethod
+    def coords(self, index: np.ndarray) -> np.ndarray:
+        """Map ``(n,)`` curve positions back to ``(n, ndim)`` int64 coordinates."""
+
+    def index_point(self, *coords: int) -> int:
+        """Scalar convenience wrapper around :meth:`index`."""
+        return int(self.index(np.asarray([coords], dtype=np.int64))[0])
+
+    def coords_point(self, index: int) -> tuple[int, ...]:
+        """Scalar convenience wrapper around :meth:`coords`."""
+        return tuple(int(c) for c in self.coords(np.asarray([index], dtype=np.int64))[0])
+
+    def _validate_coords(self, coords: np.ndarray) -> np.ndarray:
+        coords = np.ascontiguousarray(coords, dtype=np.int64)
+        if coords.ndim != 2 or coords.shape[1] != self.ndim:
+            raise ValueError(
+                f"expected (n, {self.ndim}) coordinate array, got shape {coords.shape}"
+            )
+        if coords.size and (coords.min() < 0 or coords.max() >= self.side):
+            raise ValueError(
+                f"coordinates out of range for a {self.side}^{self.ndim} cube"
+            )
+        return coords
+
+    def _validate_index(self, index: np.ndarray) -> np.ndarray:
+        index = np.ascontiguousarray(index, dtype=np.int64)
+        if index.ndim != 1:
+            raise ValueError(f"expected 1-D index array, got shape {index.shape}")
+        if index.size and (index.min() < 0 or index.max() >= self.length):
+            raise ValueError(f"curve positions out of range [0, {self.length})")
+        return index
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SpaceFillingCurve)
+            and self.name == other.name
+            and self.ndim == other.ndim
+            and self.bits == other.bits
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.ndim, self.bits))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(ndim={self.ndim}, bits={self.bits})"

@@ -1,0 +1,34 @@
+"""The extensible relational engine (the reproduction's "Starburst")."""
+
+from __future__ import annotations
+
+from repro.db.catalog import Catalog
+from repro.db.database import Database, QueryResult
+from repro.db.executor import ResultSet
+from repro.db.functions import ExecutionContext, FunctionRegistry, WorkCounters
+from repro.db.persist import load_database, save_database
+from repro.db.schema import Column, TableSchema
+from repro.db.spatial import SPATIAL_FUNCTION_NAMES, register_spatial_functions
+from repro.db.table import Table
+from repro.db.types import NULL, SqlType, coerce_value, type_of_value
+
+__all__ = [
+    "Database",
+    "QueryResult",
+    "ResultSet",
+    "Catalog",
+    "Table",
+    "Column",
+    "TableSchema",
+    "SqlType",
+    "coerce_value",
+    "type_of_value",
+    "NULL",
+    "FunctionRegistry",
+    "ExecutionContext",
+    "WorkCounters",
+    "register_spatial_functions",
+    "SPATIAL_FUNCTION_NAMES",
+    "save_database",
+    "load_database",
+]

@@ -1,0 +1,75 @@
+"""The system catalog: table name -> table, case-insensitive."""
+
+from __future__ import annotations
+
+from repro.db.schema import TableSchema
+from repro.db.table import Table
+from repro.errors import CatalogError
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """Holds all tables (and named indexes) of one database."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._indexes: dict[str, tuple[str, str]] = {}  # index name -> (table, column)
+
+    def create_index(self, name: str, table_name: str, column: str) -> None:
+        """Create a named single-column hash index."""
+        key = name.lower()
+        if key in self._indexes:
+            raise CatalogError(f"index {name!r} already exists")
+        table = self.table(table_name)
+        table.create_index(column)
+        self._indexes[key] = (table.name, column)
+
+    def drop_index(self, name: str) -> None:
+        """Drop a named index (the table keeps its rows)."""
+        try:
+            table_name, column = self._indexes.pop(name.lower())
+        except KeyError:
+            raise CatalogError(f"no such index {name!r}") from None
+        self.table(table_name).drop_index(column)
+
+    def index_names(self) -> list[str]:
+        """All index names, sorted."""
+        return sorted(self._indexes)
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create an empty table for the schema; rejects duplicates."""
+        key = schema.table_name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {schema.table_name!r} already exists")
+        table = Table(schema)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and any indexes defined on it."""
+        try:
+            del self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no such table {name!r}") from None
+        self._indexes = {
+            idx: (t, c) for idx, (t, c) in self._indexes.items()
+            if t.lower() != name.lower()
+        }
+
+    def table(self, name: str) -> Table:
+        """Look up a table by case-insensitive name."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no such table {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        """All table names, sorted."""
+        return sorted(t.name for t in self._tables.values())
+
+    def __repr__(self) -> str:
+        return f"Catalog({', '.join(self.table_names()) or 'empty'})"

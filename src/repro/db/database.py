@@ -1,0 +1,123 @@
+"""The database facade: parse, plan, execute, account.
+
+A :class:`Database` owns a catalog, a function registry, and (optionally) a
+Long Field Manager.  ``execute()`` returns a :class:`QueryResult` carrying
+the rows *and* the per-query deltas of the work counters and device I/O
+statistics — the raw material for the paper's Tables 3 and 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.catalog import Catalog
+from repro.db.executor import Executor, ResultSet
+from repro.db.functions import (
+    ExecutionContext,
+    FunctionRegistry,
+    WorkCounters,
+    builtin_functions,
+)
+from repro.db.sql.parser import parse
+from repro.storage.device import IOStats
+from repro.storage.lfm import LongFieldManager
+
+__all__ = ["Database", "QueryResult"]
+
+
+@dataclass
+class QueryResult:
+    """Rows plus the resource accounting for one statement."""
+
+    result: ResultSet
+    work: WorkCounters
+    io: IOStats | None
+    sql: str
+
+    # Convenience passthroughs so callers can treat this like a ResultSet.
+    @property
+    def rows(self) -> list[tuple]:
+        return self.result.rows
+
+    @property
+    def columns(self) -> list[str]:
+        return self.result.columns
+
+    @property
+    def rowcount(self) -> int:
+        return self.result.rowcount
+
+    def __iter__(self):
+        return iter(self.result.rows)
+
+    def __len__(self) -> int:
+        return len(self.result.rows)
+
+    def first(self):
+        return self.result.first()
+
+    def scalar(self):
+        return self.result.scalar()
+
+    def to_dicts(self) -> list[dict]:
+        return self.result.to_dicts()
+
+    def column(self, name: str) -> list:
+        return self.result.column(name)
+
+
+@dataclass
+class Database:
+    """An extensible relational database with LONGFIELD support."""
+
+    lfm: LongFieldManager | None = None
+    catalog: Catalog = field(default_factory=Catalog)
+    functions: FunctionRegistry = field(default_factory=FunctionRegistry)
+
+    def __post_init__(self) -> None:
+        self.functions.register_all(builtin_functions())
+        self._executor = Executor(self.catalog, self.functions)
+
+    def execute(self, sql: str, params: list | None = None) -> QueryResult:
+        """Parse and run one SQL statement.
+
+        ``params`` binds ``?`` placeholders positionally; this is how
+        Python-side values (LongField handles, large strings) enter
+        statements without literal syntax.
+        """
+        stmt = parse(sql)
+        ctx = ExecutionContext(lfm=self.lfm)
+        io_before = self.lfm.stats.copy() if self.lfm else None
+        result = self._executor.execute(stmt, list(params or ()), ctx)
+        io_delta = (self.lfm.stats - io_before) if self.lfm else None
+        return QueryResult(result=result, work=ctx.work, io=io_delta, sql=sql)
+
+    def executemany(self, sql: str, param_rows: list[list]) -> int:
+        """Run one parameterized statement repeatedly; returns total rowcount."""
+        stmt = parse(sql)
+        total = 0
+        for params in param_rows:
+            ctx = ExecutionContext(lfm=self.lfm)
+            total += self._executor.execute(stmt, list(params), ctx).rowcount
+        return total
+
+    def explain(self, sql: str) -> str:
+        """The nested-loop plan the engine would run for a SELECT."""
+        from repro.db.planner import plan_select
+        from repro.db.sql.ast import Select
+
+        stmt = parse(sql)
+        if not isinstance(stmt, Select):
+            raise ValueError("EXPLAIN supports SELECT statements only")
+        return plan_select(stmt, self.catalog).describe()
+
+    def register_function(self, name: str, fn) -> None:
+        """Register a user-defined SQL function (the Starburst extension hook)."""
+        self.functions.register(name, fn)
+
+    def table_names(self) -> list[str]:
+        """All table names, sorted."""
+        return self.catalog.table_names()
+
+    def __repr__(self) -> str:
+        return f"Database(tables={self.catalog.table_names()})"

@@ -1,0 +1,133 @@
+"""User-defined SQL functions — the Starburst extensibility hook (§5.1).
+
+QBISM's spatial operators are ordinary SQL functions registered here; the
+executor embeds them in query plans and invokes them at run time, exactly
+as Starburst does.  Each function receives an :class:`ExecutionContext`
+giving it access to the Long Field Manager (to dereference LONGFIELD
+handles) and to the work counters the cost model uses to produce the
+paper's CPU-time columns.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError, ExecutionError
+from repro.storage.lfm import LongField, LongFieldManager
+
+__all__ = ["ExecutionContext", "FunctionRegistry", "WorkCounters"]
+
+
+@dataclass
+class WorkCounters:
+    """Abstract work performed during a query, fed to the 1994 cost model."""
+
+    rows_scanned: int = 0
+    rows_output: int = 0
+    udf_calls: int = 0
+    runs_processed: int = 0  #: run-list elements merged/scanned by spatial ops
+    voxels_extracted: int = 0  #: intensity values gathered from VOLUMEs
+    longfield_bytes_read: int = 0
+
+    def copy(self) -> "WorkCounters":
+        """An independent snapshot, for before/after deltas."""
+        return WorkCounters(**vars(self))
+
+    def __sub__(self, other: "WorkCounters") -> "WorkCounters":
+        return WorkCounters(**{k: v - getattr(other, k) for k, v in vars(self).items()})
+
+    def __add__(self, other: "WorkCounters") -> "WorkCounters":
+        return WorkCounters(**{k: v + getattr(other, k) for k, v in vars(self).items()})
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for key in vars(self):
+            setattr(self, key, 0)
+
+
+@dataclass
+class ExecutionContext:
+    """Run-time environment handed to queries and UDFs."""
+
+    lfm: LongFieldManager | None = None
+    work: WorkCounters = field(default_factory=WorkCounters)
+    #: memoized results of (uncorrelated) nested query blocks, per statement
+    subquery_cache: dict = field(default_factory=dict)
+
+    def read_longfield(self, value) -> bytes:
+        """Dereference a LONGFIELD cell: handles are read via the LFM,
+        transient byte payloads pass through unchanged."""
+        if isinstance(value, bytes):
+            return value
+        if isinstance(value, LongField):
+            if self.lfm is None:
+                raise ExecutionError(
+                    "query needs the Long Field Manager but none is attached"
+                )
+            data = self.lfm.read(value)
+            self.work.longfield_bytes_read += len(data)
+            return data
+        raise ExecutionError(f"not a LONGFIELD value: {type(value).__name__}")
+
+
+class FunctionRegistry:
+    """Case-insensitive registry of SQL-callable functions.
+
+    A registered callable may optionally declare a leading parameter named
+    ``ctx`` to receive the :class:`ExecutionContext`; remaining parameters
+    are the SQL arguments.
+    """
+
+    def __init__(self) -> None:
+        self._functions: dict[str, tuple[callable, bool]] = {}
+
+    def register(self, name: str, fn: callable) -> None:
+        """Add one function under a case-insensitive name."""
+        key = name.lower()
+        if key in self._functions:
+            raise CatalogError(f"function {name!r} already registered")
+        wants_ctx = False
+        params = list(inspect.signature(fn).parameters)
+        if params and params[0] == "ctx":
+            wants_ctx = True
+        self._functions[key] = (fn, wants_ctx)
+
+    def register_all(self, functions: dict[str, callable]) -> None:
+        """Register several functions at once."""
+        for name, fn in functions.items():
+            self.register(name, fn)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._functions
+
+    def call(self, name: str, args: list, ctx: ExecutionContext):
+        """Invoke a registered function, wrapping unexpected failures."""
+        try:
+            fn, wants_ctx = self._functions[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no such function {name!r}") from None
+        ctx.work.udf_calls += 1
+        try:
+            if wants_ctx:
+                return fn(ctx, *args)
+            return fn(*args)
+        except (CatalogError, ExecutionError):
+            raise
+        except Exception as exc:
+            raise ExecutionError(f"function {name}() failed: {exc}") from exc
+
+    def names(self) -> list[str]:
+        """All registered function names, sorted."""
+        return sorted(self._functions)
+
+
+def builtin_functions() -> dict[str, callable]:
+    """Small library of general-purpose scalar functions."""
+    return {
+        "abs": lambda x: abs(x) if x is not None else None,
+        "lower": lambda s: s.lower() if s is not None else None,
+        "upper": lambda s: s.upper() if s is not None else None,
+        "length": lambda v: len(v) if v is not None else None,
+        "coalesce": lambda *args: next((a for a in args if a is not None), None),
+    }

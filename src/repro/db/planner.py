@@ -1,0 +1,276 @@
+"""Query planning: predicate pushdown and join ordering.
+
+The engine's plans are simple — the paper's workload joins a handful of
+small metadata tables and spends its time inside spatial functions — but
+the planner still does the two things that matter:
+
+* split the WHERE clause into conjuncts and evaluate each at the earliest
+  join level where all of its column references are bound;
+* order the FROM tables greedily so every table after the first joins to
+  already-placed tables through an equality predicate when possible,
+  avoiding accidental cross products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.catalog import Catalog
+from repro.db.sql.ast import (
+    BinOp,
+    ColumnRef,
+    Exists,
+    Expr,
+    FuncCall,
+    InSubquery,
+    Select,
+    Star,
+    Subquery,
+    TableRef,
+    UnaryOp,
+)
+from repro.errors import CatalogError
+
+__all__ = ["Plan", "plan_select", "conjuncts_of", "columns_in", "contains_subquery"]
+
+
+def conjuncts_of(expr: Expr | None) -> list[Expr]:
+    """Flatten a WHERE expression into its top-level AND conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinOp) and expr.op == "and":
+        return conjuncts_of(expr.left) + conjuncts_of(expr.right)
+    return [expr]
+
+
+def columns_in(expr: Expr) -> list[ColumnRef]:
+    """Column references in an expression (subquery internals excluded)."""
+    found: list[ColumnRef] = []
+
+    def walk(node: Expr) -> None:
+        if isinstance(node, ColumnRef):
+            found.append(node)
+        elif isinstance(node, BinOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, FuncCall):
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, InSubquery):
+            walk(node.value)
+
+    walk(expr)
+    return found
+
+
+def contains_subquery(expr: Expr) -> bool:
+    """Does the expression embed a nested query block?"""
+    if isinstance(expr, (Subquery, InSubquery, Exists)):
+        return True
+    if isinstance(expr, BinOp):
+        return contains_subquery(expr.left) or contains_subquery(expr.right)
+    if isinstance(expr, UnaryOp):
+        return contains_subquery(expr.operand)
+    if isinstance(expr, FuncCall):
+        return any(contains_subquery(arg) for arg in expr.args)
+    return False
+
+
+@dataclass
+class Plan:
+    """An executable nested-loop plan for one SELECT."""
+
+    select: Select
+    table_order: list[TableRef]
+    #: conjuncts to evaluate after the i-th table is bound (by order index)
+    level_predicates: list[list[Expr]] = field(default_factory=list)
+    #: binding name -> table name, for column resolution
+    bindings: dict[str, str] = field(default_factory=dict)
+    #: per level: (indexed column, probe-value expression) or None for a scan
+    index_probes: list[tuple[str, Expr] | None] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Human-readable plan, the engine's EXPLAIN output."""
+        lines = []
+        for i, ref in enumerate(self.table_order):
+            preds = self.level_predicates[i]
+            label = f"{ref.name}" + (f" {ref.alias}" if ref.alias else "")
+            probe = self.index_probes[i] if i < len(self.index_probes) else None
+            access = f"probe {label} via index({probe[0]})" if probe else f"scan {label}"
+            suffix = f" [{len(preds)} predicate(s)]" if preds else ""
+            lines.append(f"{'  ' * i}{access}{suffix}")
+        return "\n".join(lines)
+
+
+#: sentinel binding for columns resolved in an enclosing query block:
+#: from this block's perspective they are constants, bound before level 0.
+OUTER = "<outer>"
+
+
+def _binding_of(
+    ref: ColumnRef,
+    bindings: dict[str, str],
+    catalog: Catalog,
+    outer_bindings: dict[str, object] | None = None,
+) -> str:
+    """Resolve a column reference to the binding (alias) it belongs to.
+
+    Inner scope wins; with ``outer_bindings`` (binding name -> schema-like
+    supporting ``in``), unresolved references fall out to the enclosing
+    block and map to the :data:`OUTER` sentinel.
+    """
+    if ref.qualifier is not None:
+        key = ref.qualifier.lower()
+        for binding in bindings:
+            if binding.lower() == key:
+                return binding
+        if outer_bindings is not None:
+            for binding in outer_bindings:
+                if binding.lower() == key:
+                    return OUTER
+        raise CatalogError(f"unknown table or alias {ref.qualifier!r}")
+    owners = [
+        binding
+        for binding, table_name in bindings.items()
+        if ref.name in catalog.table(table_name).schema
+    ]
+    if not owners:
+        if outer_bindings is not None and any(
+            ref.name in schema for schema in outer_bindings.values()
+        ):
+            return OUTER
+        raise CatalogError(f"no table in FROM has a column {ref.name!r}")
+    if len(owners) > 1:
+        raise CatalogError(
+            f"column {ref.name!r} is ambiguous across tables {sorted(owners)}"
+        )
+    return owners[0]
+
+
+def plan_select(
+    select: Select,
+    catalog: Catalog,
+    outer_bindings: dict[str, object] | None = None,
+) -> Plan:
+    """Build the nested-loop plan for a SELECT statement.
+
+    ``outer_bindings`` carries the enclosing block's bindings when planning
+    a correlated subquery; columns resolved there behave as constants.
+    """
+    bindings: dict[str, str] = {}
+    for ref in select.tables:
+        if ref.binding in bindings:
+            raise CatalogError(f"duplicate table binding {ref.binding!r} in FROM")
+        catalog.table(ref.name)  # existence check
+        bindings[ref.binding] = ref.name
+
+    conjuncts = conjuncts_of(select.where)
+    # For each conjunct, the set of bindings it needs.  Conjuncts embedding
+    # a nested query block are held until everything is bound (the block
+    # may sit under outer-column comparisons).
+    needs: list[tuple[Expr, frozenset[str]]] = []
+    all_bindings = frozenset(bindings)
+    for conjunct in conjuncts:
+        if contains_subquery(conjunct):
+            used = all_bindings
+        else:
+            used = frozenset(
+                binding
+                for col in columns_in(conjunct)
+                if (binding := _binding_of(col, bindings, catalog, outer_bindings))
+                != OUTER
+            )
+        needs.append((conjunct, used))
+
+    # Greedy join order: start with the table carrying the most
+    # single-table predicates (ties: FROM order), then repeatedly add a
+    # table connected to the placed set, preferring more usable predicates.
+    remaining = list(select.tables)
+    order: list[TableRef] = []
+    placed: set[str] = set()
+
+    def single_table_score(ref: TableRef) -> int:
+        return sum(1 for _, used in needs if used == {ref.binding})
+
+    def connection_score(ref: TableRef) -> tuple[int, int]:
+        usable = joining = 0
+        for _, used in needs:
+            if ref.binding in used and used <= placed | {ref.binding}:
+                usable += 1
+                if len(used) > 1:
+                    joining += 1
+        return joining, usable
+
+    while remaining:
+        if not order:
+            best = max(remaining, key=single_table_score)
+        else:
+            best = max(remaining, key=connection_score)
+        remaining.remove(best)
+        order.append(best)
+        placed.add(best.binding)
+
+    # Assign each conjunct to the earliest level where it is fully bound.
+    level_predicates: list[list[Expr]] = [[] for _ in order]
+    bound: set[str] = set()
+    assigned = [False] * len(needs)
+    for level, ref in enumerate(order):
+        bound.add(ref.binding)
+        for i, (conjunct, used) in enumerate(needs):
+            if not assigned[i] and used <= bound:
+                level_predicates[level].append(conjunct)
+                assigned[i] = True
+
+    # Pick an index probe per level: an equality between an indexed column
+    # of this level's table and an expression bound by *earlier* levels
+    # (or by the enclosing block — outer references act as constants).
+    index_probes: list[tuple[str, Expr] | None] = []
+    earlier: set[str] = {OUTER}
+    for level, ref in enumerate(order):
+        table = catalog.table(ref.name)
+        chosen: tuple[str, Expr] | None = None
+        for conjunct in level_predicates[level]:
+            probe = _probe_candidate(
+                conjunct, ref.binding, earlier, bindings, catalog, outer_bindings
+            )
+            if probe and table.has_index(probe[0]):
+                chosen = probe
+                break
+        index_probes.append(chosen)
+        earlier.add(ref.binding)
+
+    return Plan(select, order, level_predicates, bindings, index_probes)
+
+
+def _probe_candidate(
+    conjunct: Expr,
+    binding: str,
+    earlier: set[str],
+    bindings: dict[str, str],
+    catalog: Catalog,
+    outer_bindings: dict[str, object] | None,
+) -> tuple[str, Expr] | None:
+    """``col = value`` where col belongs to ``binding`` and value only to
+    earlier bindings (or constants): returns ``(column, value_expr)``."""
+    if not isinstance(conjunct, BinOp) or conjunct.op != "=":
+        return None
+    if contains_subquery(conjunct):
+        return None
+    for col_side, val_side in ((conjunct.left, conjunct.right), (conjunct.right, conjunct.left)):
+        if not isinstance(col_side, ColumnRef):
+            continue
+        try:
+            owner = _binding_of(col_side, bindings, catalog, outer_bindings)
+        except CatalogError:
+            return None
+        if owner != binding:
+            continue
+        value_owners = {
+            _binding_of(col, bindings, catalog, outer_bindings)
+            for col in columns_in(val_side)
+        }
+        if value_owners <= earlier:
+            return col_side.name, val_side
+    return None

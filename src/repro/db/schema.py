@@ -1,0 +1,72 @@
+"""Table schemas: ordered, case-insensitively named, typed columns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CatalogError, SqlTypeError
+from repro.db.types import SqlType, coerce_value
+
+__all__ = ["Column", "TableSchema"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: a name and a SQL type."""
+
+    name: str
+    sql_type: SqlType
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name[0].isalpha():
+            raise SqlTypeError(f"invalid column name {self.name!r}")
+
+
+class TableSchema:
+    """Ordered column list with case-insensitive lookup, as SQL requires."""
+
+    def __init__(self, table_name: str, columns: list[Column]):
+        if not columns:
+            raise SqlTypeError(f"table {table_name!r} must have at least one column")
+        names = [c.name.lower() for c in columns]
+        if len(set(names)) != len(names):
+            raise SqlTypeError(f"duplicate column names in table {table_name!r}")
+        self.table_name = table_name
+        self.columns = list(columns)
+        self._index = {c.name.lower(): i for i, c in enumerate(columns)}
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def position(self, name: str) -> int:
+        """Index of a column by (case-insensitive) name."""
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"table {self.table_name!r} has no column {name!r}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        """The column object, by case-insensitive name."""
+        return self.columns[self.position(name)]
+
+    def column_names(self) -> list[str]:
+        """Column names, in schema order."""
+        return [c.name for c in self.columns]
+
+    def validate_row(self, values: list) -> list:
+        """Coerce one row of values against the column types."""
+        if len(values) != len(self.columns):
+            raise SqlTypeError(
+                f"table {self.table_name!r} has {len(self.columns)} columns, "
+                f"got {len(values)} values"
+            )
+        return [coerce_value(v, c.sql_type) for v, c in zip(values, self.columns)]
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name} {c.sql_type.value}" for c in self.columns)
+        return f"TableSchema({self.table_name}: {cols})"

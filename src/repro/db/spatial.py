@@ -1,0 +1,235 @@
+"""The spatial user-defined functions of §3.2, registered into the engine.
+
+These are the operators the paper implemented as Starburst SQL functions:
+
+* ``intersection(r1, r2)`` — spatial intersection of two REGIONs
+* ``regionUnion(r1, r2)`` / ``regionDifference(r1, r2)`` — §3.2 notes these
+  "would be straightforward to implement"; they are
+* ``contains(r1, r2)`` — is r1 a spatial superset of r2?
+* ``extractVoxels(v, r)`` — the intensities of VOLUME v inside REGION r,
+  returned as a DATA_REGION payload
+* plus small helpers (``voxelCount``, ``runCount``, ``reencode``) the
+  benchmarks and examples use
+
+All arguments and REGION results are LONGFIELD values (handles into the LFM
+or transient byte payloads).  ``extractVoxels`` is the early-filtering
+workhorse: it reads *only* the byte ranges of the requested runs from the
+volume's long field, so its disk cost scales with the answer, not with the
+study (the central claim of §6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.db.functions import ExecutionContext
+from repro.errors import ExecutionError
+from repro.regions import Region
+from repro.storage.lfm import LongField
+from repro.volumes import DataRegion, Volume
+
+__all__ = ["register_spatial_functions", "SPATIAL_FUNCTION_NAMES"]
+
+SPATIAL_FUNCTION_NAMES = (
+    "intersection",
+    "regionUnion",
+    "regionDifference",
+    "contains",
+    "extractVoxels",
+    "extractAll",
+    "voxelCount",
+    "runCount",
+    "reencode",
+    "dataMean",
+    "dataMin",
+    "dataMax",
+    "dataVoxels",
+    "dataBand",
+    "readPiece",
+    "regionDilate",
+    "regionErode",
+    "regionMargin",
+)
+
+
+def _load_region(ctx: ExecutionContext, value) -> Region:
+    region = Region.from_bytes(ctx.read_longfield(value))
+    ctx.work.runs_processed += region.run_count
+    return region
+
+
+def _region_result(region: Region, codec: str = "naive") -> bytes:
+    """REGION results are transient byte payloads (never written to disk)."""
+    return region.to_bytes(codec)
+
+
+def _sql_intersection(ctx: ExecutionContext, r1, r2) -> bytes:
+    a = _load_region(ctx, r1)
+    b = _load_region(ctx, r2)
+    result = a.intersection(b)
+    ctx.work.runs_processed += result.run_count
+    return _region_result(result)
+
+
+def _sql_union(ctx: ExecutionContext, r1, r2) -> bytes:
+    a = _load_region(ctx, r1)
+    b = _load_region(ctx, r2)
+    result = a.union(b)
+    ctx.work.runs_processed += result.run_count
+    return _region_result(result)
+
+
+def _sql_difference(ctx: ExecutionContext, r1, r2) -> bytes:
+    a = _load_region(ctx, r1)
+    b = _load_region(ctx, r2)
+    result = a.difference(b)
+    ctx.work.runs_processed += result.run_count
+    return _region_result(result)
+
+
+def _sql_contains(ctx: ExecutionContext, r1, r2) -> bool:
+    a = _load_region(ctx, r1)
+    b = _load_region(ctx, r2)
+    return a.contains(b)
+
+
+def _sql_voxel_count(ctx: ExecutionContext, r) -> int:
+    return _load_region(ctx, r).voxel_count
+
+
+def _sql_run_count(ctx: ExecutionContext, r) -> int:
+    return _load_region(ctx, r).run_count
+
+
+def _sql_reencode(ctx: ExecutionContext, r, codec: str) -> bytes:
+    return _load_region(ctx, r).to_bytes(codec)
+
+
+def _sql_extract_voxels(ctx: ExecutionContext, volume_value, region_value) -> bytes:
+    """EXTRACT_DATA(v, r): scattered read of exactly the runs' byte ranges."""
+    region = _load_region(ctx, region_value)
+    if isinstance(volume_value, bytes):
+        # Transient volume payload: extract in memory.
+        volume = Volume.from_bytes(volume_value)
+        data_region = volume.extract(region)
+        ctx.work.voxels_extracted += data_region.voxel_count
+        return data_region.to_bytes()
+    if not isinstance(volume_value, LongField):
+        raise ExecutionError("extractVoxels expects a VOLUME long field")
+    if ctx.lfm is None:
+        raise ExecutionError("extractVoxels needs a Long Field Manager")
+    # Read just the header page to learn geometry and value dtype.
+    header_len = min(Volume.header_size(), volume_value.length)
+    header = Volume.parse_header(ctx.lfm.read(volume_value, 0, header_len))
+    header.grid.require_same(region.grid)
+    if header.curve != region.curve:
+        raise ExecutionError(
+            "region and volume are linearized along different curves"
+        )
+    starts, stops = header.value_byte_ranges(region.intervals)
+    payload = ctx.lfm.read_ranges(volume_value, starts, stops)
+    ctx.work.longfield_bytes_read += len(payload)
+    values = np.frombuffer(payload, dtype=header.dtype)
+    ctx.work.voxels_extracted += int(values.size)
+    return DataRegion(region, values).to_bytes()
+
+
+def _sql_extract_all(ctx: ExecutionContext, volume_value) -> bytes:
+    """The full-study fetch of Q1: one contiguous read of the whole VOLUME."""
+    volume = Volume.from_bytes(ctx.read_longfield(volume_value))
+    data_region = volume.extract_all()
+    ctx.work.voxels_extracted += data_region.voxel_count
+    ctx.work.runs_processed += 1
+    return data_region.to_bytes()
+
+
+def _load_data_region(ctx: ExecutionContext, value) -> DataRegion:
+    return DataRegion.from_bytes(ctx.read_longfield(value))
+
+
+def _sql_data_mean(ctx: ExecutionContext, dr) -> float | None:
+    data = _load_data_region(ctx, dr)
+    return None if not data.voxel_count else float(data.mean())
+
+
+def _sql_data_min(ctx: ExecutionContext, dr):
+    data = _load_data_region(ctx, dr)
+    value = data.min()
+    return None if value is None else float(value)
+
+
+def _sql_data_max(ctx: ExecutionContext, dr):
+    data = _load_data_region(ctx, dr)
+    value = data.max()
+    return None if value is None else float(value)
+
+
+def _sql_data_voxels(ctx: ExecutionContext, dr) -> int:
+    return _load_data_region(ctx, dr).voxel_count
+
+
+def _sql_data_band(ctx: ExecutionContext, dr, low, high) -> bytes:
+    """Attribute filter on an already extracted DATA_REGION (mixed queries
+    over arbitrary, non-band-aligned intensity ranges, inside the DBMS)."""
+    return _load_data_region(ctx, dr).band(low, high).to_bytes()
+
+
+def _sql_dilate(ctx: ExecutionContext, r, radius: int) -> bytes:
+    """Grow a REGION by a voxel radius (treatment-margin construction)."""
+    from repro.regions.morphology import dilate
+
+    return _region_result(dilate(_load_region(ctx, r), radius))
+
+
+def _sql_erode(ctx: ExecutionContext, r, radius: int) -> bytes:
+    from repro.regions.morphology import erode
+
+    return _region_result(erode(_load_region(ctx, r), radius))
+
+
+def _sql_margin(ctx: ExecutionContext, r, radius: int) -> bytes:
+    from repro.regions.morphology import margin
+
+    return _region_result(margin(_load_region(ctx, r), radius))
+
+
+def _sql_read_piece(ctx: ExecutionContext, value, offset: int, length: int) -> bytes:
+    """Random access into a long field — the LFM primitive exposed to SQL.
+
+    This is how slice viewers fetch one scanline-ordered slice of a raw
+    study without pulling the whole volume off disk.
+    """
+    if isinstance(value, bytes):
+        if offset < 0 or length < 0 or offset + length > len(value):
+            raise ExecutionError("readPiece range outside payload")
+        return value[offset:offset + length]
+    if not isinstance(value, LongField):
+        raise ExecutionError("readPiece expects a LONGFIELD value")
+    if ctx.lfm is None:
+        raise ExecutionError("readPiece needs a Long Field Manager")
+    piece = ctx.lfm.read(value, offset, length)
+    ctx.work.longfield_bytes_read += len(piece)
+    return piece
+
+
+def register_spatial_functions(db: Database) -> None:
+    """Install the §3.2 operators into a database's function registry."""
+    db.register_function("intersection", _sql_intersection)
+    db.register_function("regionUnion", _sql_union)
+    db.register_function("regionDifference", _sql_difference)
+    db.register_function("contains", _sql_contains)
+    db.register_function("extractVoxels", _sql_extract_voxels)
+    db.register_function("extractAll", _sql_extract_all)
+    db.register_function("voxelCount", _sql_voxel_count)
+    db.register_function("runCount", _sql_run_count)
+    db.register_function("reencode", _sql_reencode)
+    db.register_function("dataMean", _sql_data_mean)
+    db.register_function("dataMin", _sql_data_min)
+    db.register_function("dataMax", _sql_data_max)
+    db.register_function("dataVoxels", _sql_data_voxels)
+    db.register_function("dataBand", _sql_data_band)
+    db.register_function("readPiece", _sql_read_piece)
+    db.register_function("regionDilate", _sql_dilate)
+    db.register_function("regionErode", _sql_erode)
+    db.register_function("regionMargin", _sql_margin)

@@ -1,0 +1,9 @@
+"""SQL front end: lexer, AST, parser."""
+
+from __future__ import annotations
+
+from repro.db.sql import ast
+from repro.db.sql.lexer import Token, TokenType, tokenize
+from repro.db.sql.parser import parse, parse_expression
+
+__all__ = ["ast", "tokenize", "Token", "TokenType", "parse", "parse_expression"]

@@ -1,0 +1,192 @@
+"""Abstract syntax tree for the SQL subset.
+
+Expressions and statements are plain frozen dataclasses; the executor walks
+them directly (the engine compiles no bytecode — queries here are small and
+the heavy lifting happens inside the spatial functions, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Expr",
+    "Literal",
+    "Param",
+    "ColumnRef",
+    "FuncCall",
+    "BinOp",
+    "UnaryOp",
+    "Star",
+    "Subquery",
+    "InSubquery",
+    "Exists",
+    "SelectItem",
+    "TableRef",
+    "OrderItem",
+    "Select",
+    "Insert",
+    "CreateTable",
+    "DropTable",
+    "Delete",
+    "Update",
+    "CreateIndex",
+    "DropIndex",
+    "Statement",
+]
+
+
+class Expr:
+    """Base class for expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A ``?`` placeholder, bound positionally at execution time."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    qualifier: str | None
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    name: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str  # one of = <> < <= > >= + - * / and or ||
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # '-' or 'not'
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` in a select list or ``count(*)``."""
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name rows of this table are visible under."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class Select:
+    items: tuple[SelectItem, ...]
+    tables: tuple[TableRef, ...]
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...] | None
+    rows: tuple[tuple[Expr, ...], ...]
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    table: str
+    columns: tuple[tuple[str, str], ...]  # (name, type name)
+
+
+@dataclass(frozen=True)
+class DropTable:
+    table: str
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    name: str
+    table: str
+    column: str
+
+
+@dataclass(frozen=True)
+class DropIndex:
+    name: str
+
+
+@dataclass(frozen=True)
+class Subquery(Expr):
+    """A nested SELECT used as an expression (scalar or IN-list source)."""
+
+    select: "Select"
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    """``expr [NOT] IN (SELECT ...)``."""
+
+    value: Expr
+    subquery: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Exists(Expr):
+    """``[NOT] EXISTS (SELECT ...)``."""
+
+    subquery: "Select"
+    negated: bool = False
+
+
+Statement = Select | Insert | CreateTable | DropTable | Delete | Update | CreateIndex | DropIndex

@@ -1,0 +1,141 @@
+"""SQL tokenizer.
+
+Produces a flat token stream with line/column positions so the parser can
+report useful syntax errors.  Keywords are not reserved at the lexer level;
+the parser matches identifier tokens case-insensitively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import SqlSyntaxError
+
+__all__ = ["TokenType", "Token", "tokenize"]
+
+
+class TokenType(Enum):
+    IDENT = auto()
+    NUMBER = auto()
+    STRING = auto()
+    OPERATOR = auto()
+    PARAM = auto()  # a '?' placeholder
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    value: object
+    line: int
+    column: int
+
+    def matches_keyword(self, keyword: str) -> bool:
+        """Case-insensitive keyword test for identifier tokens."""
+        return self.type is TokenType.IDENT and self.text.lower() == keyword.lower()
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.text!r})"
+
+
+_TWO_CHAR_OPS = ("<=", ">=", "<>", "!=", "||")
+_ONE_CHAR_OPS = "+-*/()=<>,.;"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    line, col = 1, 1
+    n = len(sql)
+
+    def advance(text: str) -> None:
+        nonlocal i, line, col
+        for ch in text:
+            i += 1
+            if ch == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+
+    while i < n:
+        ch = sql[i]
+        if ch in " \t\r\n":
+            advance(ch)
+            continue
+        if sql.startswith("--", i):  # line comment
+            end = sql.find("\n", i)
+            advance(sql[i:end] if end != -1 else sql[i:])
+            continue
+        start_line, start_col = line, col
+        if ch == "?":
+            tokens.append(Token(TokenType.PARAM, "?", None, start_line, start_col))
+            advance("?")
+            continue
+        if ch == "'":
+            j = i + 1
+            chunks: list[str] = []
+            while True:
+                if j >= n:
+                    raise SqlSyntaxError("unterminated string literal", start_line, start_col)
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":  # escaped quote
+                        chunks.append("'")
+                        j += 2
+                        continue
+                    break
+                chunks.append(sql[j])
+                j += 1
+            text = sql[i:j + 1]
+            tokens.append(Token(TokenType.STRING, text, "".join(chunks), start_line, start_col))
+            advance(text)
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = sql[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and sql[j] in "+-":
+                        j += 1
+                else:
+                    break
+            text = sql[i:j]
+            try:
+                value: object = float(text) if (seen_dot or seen_exp) else int(text)
+            except ValueError:
+                raise SqlSyntaxError(f"bad numeric literal {text!r}", start_line, start_col) from None
+            tokens.append(Token(TokenType.NUMBER, text, value, start_line, start_col))
+            advance(text)
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            text = sql[i:j]
+            tokens.append(Token(TokenType.IDENT, text, text, start_line, start_col))
+            advance(text)
+            continue
+        two = sql[i:i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token(TokenType.OPERATOR, two, two, start_line, start_col))
+            advance(two)
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token(TokenType.OPERATOR, ch, ch, start_line, start_col))
+            advance(ch)
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", start_line, start_col)
+    tokens.append(Token(TokenType.EOF, "", None, line, col))
+    return tokens

@@ -1,0 +1,471 @@
+"""Recursive-descent parser for the SQL subset.
+
+Supported statements::
+
+    SELECT [DISTINCT] expr [AS alias], ... | *
+        FROM table [alias], ...
+        [WHERE expr] [ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+    INSERT INTO table [(col, ...)] VALUES (expr, ...), ...
+    CREATE TABLE name (col type, ...)
+    DROP TABLE name
+    DELETE FROM table [WHERE expr]
+
+Expressions support literals, ``?`` parameters, (qualified) column
+references, function calls, arithmetic, comparisons, string concatenation
+``||``, ``AND`` / ``OR`` / ``NOT``, ``IS [NOT] NULL``, ``BETWEEN``, and
+``IN (value list)`` — everything the paper's §3.4 query patterns use, plus
+the conveniences the examples want.
+"""
+
+from __future__ import annotations
+
+from repro.db.sql.ast import (
+    BinOp,
+    ColumnRef,
+    CreateIndex,
+    CreateTable,
+    Delete,
+    DropIndex,
+    DropTable,
+    Exists,
+    Expr,
+    FuncCall,
+    InSubquery,
+    Insert,
+    Literal,
+    OrderItem,
+    Param,
+    Select,
+    SelectItem,
+    Star,
+    Statement,
+    Subquery,
+    TableRef,
+    UnaryOp,
+    Update,
+)
+from repro.db.sql.lexer import Token, TokenType, tokenize
+from repro.errors import SqlSyntaxError
+
+__all__ = ["parse", "parse_expression"]
+
+_KEYWORDS = {
+    "select", "distinct", "from", "where", "group", "having", "order", "by",
+    "asc", "desc", "limit", "insert", "into", "values", "create", "drop",
+    "table", "delete", "update", "set", "index", "on", "exists",
+    "and", "or", "not", "as", "is", "null", "true", "false", "between", "in",
+}
+
+_COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self.tokens = tokenize(sql)
+        self.pos = 0
+        self.param_count = 0
+
+    # -------------------------------------------------------------- #
+    # token plumbing
+    # -------------------------------------------------------------- #
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> SqlSyntaxError:
+        token = self.peek()
+        found = token.text or "end of input"
+        return SqlSyntaxError(f"{message} (found {found!r})", token.line, token.column)
+
+    def at_keyword(self, *keywords: str) -> bool:
+        return any(self.peek().matches_keyword(k) for k in keywords)
+
+    def expect_keyword(self, keyword: str) -> Token:
+        if not self.at_keyword(keyword):
+            raise self.error(f"expected {keyword.upper()}")
+        return self.advance()
+
+    def accept_keyword(self, keyword: str) -> bool:
+        if self.at_keyword(keyword):
+            self.advance()
+            return True
+        return False
+
+    def at_operator(self, *ops: str) -> bool:
+        token = self.peek()
+        return token.type is TokenType.OPERATOR and token.text in ops
+
+    def expect_operator(self, op: str) -> Token:
+        if not self.at_operator(op):
+            raise self.error(f"expected {op!r}")
+        return self.advance()
+
+    def accept_operator(self, *ops: str) -> Token | None:
+        if self.at_operator(*ops):
+            return self.advance()
+        return None
+
+    def expect_ident(self, what: str) -> str:
+        token = self.peek()
+        if token.type is not TokenType.IDENT:
+            raise self.error(f"expected {what}")
+        self.advance()
+        return token.text
+
+    # -------------------------------------------------------------- #
+    # statements
+    # -------------------------------------------------------------- #
+
+    def parse_statement(self) -> Statement:
+        if self.at_keyword("select"):
+            stmt = self.parse_select()
+        elif self.at_keyword("insert"):
+            stmt = self.parse_insert()
+        elif self.at_keyword("create"):
+            stmt = self.parse_create()
+        elif self.at_keyword("drop"):
+            stmt = self.parse_drop()
+        elif self.at_keyword("delete"):
+            stmt = self.parse_delete()
+        elif self.at_keyword("update"):
+            stmt = self.parse_update()
+        else:
+            raise self.error("expected a SQL statement")
+        self.accept_operator(";")
+        if self.peek().type is not TokenType.EOF:
+            raise self.error("unexpected trailing input")
+        return stmt
+
+    def parse_select(self) -> Select:
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct")
+        items = self.parse_select_items()
+        self.expect_keyword("from")
+        tables = [self.parse_table_ref()]
+        while self.accept_operator(","):
+            tables.append(self.parse_table_ref())
+        where = None
+        if self.accept_keyword("where"):
+            where = self.parse_expr()
+        group_by: list[Expr] = []
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            group_by.append(self.parse_expr())
+            while self.accept_operator(","):
+                group_by.append(self.parse_expr())
+        having = None
+        if self.accept_keyword("having"):
+            having = self.parse_expr()
+        order_by: list[OrderItem] = []
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            while True:
+                expr = self.parse_expr()
+                ascending = True
+                if self.accept_keyword("desc"):
+                    ascending = False
+                else:
+                    self.accept_keyword("asc")
+                order_by.append(OrderItem(expr, ascending))
+                if not self.accept_operator(","):
+                    break
+        limit = None
+        if self.accept_keyword("limit"):
+            token = self.peek()
+            if token.type is not TokenType.NUMBER or not isinstance(token.value, int):
+                raise self.error("LIMIT expects an integer")
+            self.advance()
+            limit = token.value
+        return Select(
+            tuple(items), tuple(tables), where,
+            tuple(group_by), having, tuple(order_by), limit, distinct,
+        )
+
+    def parse_select_items(self) -> list[SelectItem]:
+        items = []
+        while True:
+            if self.at_operator("*"):
+                self.advance()
+                items.append(SelectItem(Star()))
+            else:
+                expr = self.parse_expr()
+                alias = None
+                if self.accept_keyword("as"):
+                    alias = self.expect_ident("an alias name")
+                elif (
+                    self.peek().type is TokenType.IDENT
+                    and self.peek().text.lower() not in _KEYWORDS
+                ):
+                    alias = self.advance().text
+                items.append(SelectItem(expr, alias))
+            if not self.accept_operator(","):
+                return items
+
+    def parse_table_ref(self) -> TableRef:
+        name = self.expect_ident("a table name")
+        alias = None
+        if self.peek().type is TokenType.IDENT and self.peek().text.lower() not in _KEYWORDS:
+            alias = self.advance().text
+        elif self.accept_keyword("as"):
+            alias = self.expect_ident("a table alias")
+        return TableRef(name, alias)
+
+    def parse_insert(self) -> Insert:
+        self.expect_keyword("insert")
+        self.expect_keyword("into")
+        table = self.expect_ident("a table name")
+        columns = None
+        if self.at_operator("("):
+            self.advance()
+            columns = [self.expect_ident("a column name")]
+            while self.accept_operator(","):
+                columns.append(self.expect_ident("a column name"))
+            self.expect_operator(")")
+        self.expect_keyword("values")
+        rows = [self.parse_value_row()]
+        while self.accept_operator(","):
+            rows.append(self.parse_value_row())
+        return Insert(table, tuple(columns) if columns else None, tuple(rows))
+
+    def parse_value_row(self) -> tuple[Expr, ...]:
+        self.expect_operator("(")
+        exprs = [self.parse_expr()]
+        while self.accept_operator(","):
+            exprs.append(self.parse_expr())
+        self.expect_operator(")")
+        return tuple(exprs)
+
+    def parse_update(self) -> Update:
+        self.expect_keyword("update")
+        table = self.expect_ident("a table name")
+        self.expect_keyword("set")
+        assignments = [self.parse_assignment()]
+        while self.accept_operator(","):
+            assignments.append(self.parse_assignment())
+        where = None
+        if self.accept_keyword("where"):
+            where = self.parse_expr()
+        return Update(table, tuple(assignments), where)
+
+    def parse_assignment(self) -> tuple[str, Expr]:
+        column = self.expect_ident("a column name")
+        self.expect_operator("=")
+        return column, self.parse_expr()
+
+    def parse_create(self) -> CreateTable | CreateIndex:
+        self.expect_keyword("create")
+        if self.accept_keyword("index"):
+            name = self.expect_ident("an index name")
+            self.expect_keyword("on")
+            table = self.expect_ident("a table name")
+            self.expect_operator("(")
+            column = self.expect_ident("a column name")
+            self.expect_operator(")")
+            return CreateIndex(name, table, column)
+        self.expect_keyword("table")
+        table = self.expect_ident("a table name")
+        self.expect_operator("(")
+        columns = [self.parse_column_def()]
+        while self.accept_operator(","):
+            columns.append(self.parse_column_def())
+        self.expect_operator(")")
+        return CreateTable(table, tuple(columns))
+
+    def parse_column_def(self) -> tuple[str, str]:
+        name = self.expect_ident("a column name")
+        type_name = self.expect_ident("a type name")
+        # Swallow optional length like VARCHAR(40).
+        if self.at_operator("("):
+            self.advance()
+            while not self.at_operator(")"):
+                self.advance()
+            self.expect_operator(")")
+        return name, type_name
+
+    def parse_drop(self) -> DropTable | DropIndex:
+        self.expect_keyword("drop")
+        if self.accept_keyword("index"):
+            return DropIndex(self.expect_ident("an index name"))
+        self.expect_keyword("table")
+        return DropTable(self.expect_ident("a table name"))
+
+    def parse_delete(self) -> Delete:
+        self.expect_keyword("delete")
+        self.expect_keyword("from")
+        table = self.expect_ident("a table name")
+        where = None
+        if self.accept_keyword("where"):
+            where = self.parse_expr()
+        return Delete(table, where)
+
+    # -------------------------------------------------------------- #
+    # expressions, by descending precedence
+    # -------------------------------------------------------------- #
+
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.at_keyword("or"):
+            self.advance()
+            left = BinOp("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.at_keyword("and"):
+            self.advance()
+            left = BinOp("and", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expr:
+        if self.at_keyword("not"):
+            self.advance()
+            return UnaryOp("not", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_additive()
+        if self.at_keyword("is"):
+            self.advance()
+            negated = self.accept_keyword("not")
+            self.expect_keyword("null")
+            test = FuncCall("__is_null", (left,))
+            return UnaryOp("not", test) if negated else test
+        if self.at_keyword("between"):
+            self.advance()
+            lo = self.parse_additive()
+            self.expect_keyword("and")
+            hi = self.parse_additive()
+            return BinOp("and", BinOp(">=", left, lo), BinOp("<=", left, hi))
+        negated = False
+        if self.at_keyword("not"):
+            self.advance()
+            if not self.at_keyword("in"):
+                raise self.error("expected IN after NOT")
+            negated = True
+        if self.at_keyword("in"):
+            self.advance()
+            self.expect_operator("(")
+            if self.at_keyword("select"):
+                subquery = self.parse_select()
+                self.expect_operator(")")
+                return InSubquery(left, subquery, negated)
+            options = [self.parse_expr()]
+            while self.accept_operator(","):
+                options.append(self.parse_expr())
+            self.expect_operator(")")
+            test: Expr = BinOp("=", left, options[0])
+            for option in options[1:]:
+                test = BinOp("or", test, BinOp("=", left, option))
+            return UnaryOp("not", test) if negated else test
+        op_token = self.accept_operator(*_COMPARISONS)
+        if op_token:
+            op = "<>" if op_token.text == "!=" else op_token.text
+            return BinOp(op, left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while True:
+            op_token = self.accept_operator("+", "-", "||")
+            if not op_token:
+                return left
+            left = BinOp(op_token.text, left, self.parse_multiplicative())
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while True:
+            op_token = self.accept_operator("*", "/")
+            if not op_token:
+                return left
+            left = BinOp(op_token.text, left, self.parse_unary())
+
+    def parse_unary(self) -> Expr:
+        if self.at_operator("-"):
+            self.advance()
+            return UnaryOp("-", self.parse_unary())
+        if self.at_operator("+"):
+            self.advance()
+            return self.parse_unary()
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return Literal(token.value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.type is TokenType.PARAM:
+            self.advance()
+            param = Param(self.param_count)
+            self.param_count += 1
+            return param
+        if self.at_operator("("):
+            self.advance()
+            if self.at_keyword("select"):
+                subquery = self.parse_select()
+                self.expect_operator(")")
+                return Subquery(subquery)
+            expr = self.parse_expr()
+            self.expect_operator(")")
+            return expr
+        if token.type is TokenType.IDENT:
+            lowered = token.text.lower()
+            if lowered == "exists":
+                self.advance()
+                self.expect_operator("(")
+                subquery = self.parse_select()
+                self.expect_operator(")")
+                return Exists(subquery)
+            if lowered == "null":
+                self.advance()
+                return Literal(None)
+            if lowered == "true":
+                self.advance()
+                return Literal(True)
+            if lowered == "false":
+                self.advance()
+                return Literal(False)
+            name = self.advance().text
+            if self.at_operator("("):  # function call
+                self.advance()
+                args: list[Expr] = []
+                if self.at_operator("*"):
+                    self.advance()
+                    args.append(Star())
+                elif not self.at_operator(")"):
+                    args.append(self.parse_expr())
+                    while self.accept_operator(","):
+                        args.append(self.parse_expr())
+                self.expect_operator(")")
+                return FuncCall(name, tuple(args))
+            if self.at_operator("."):
+                self.advance()
+                column = self.expect_ident("a column name")
+                return ColumnRef(name, column)
+            return ColumnRef(None, name)
+        raise self.error("expected an expression")
+
+
+def parse(sql: str) -> Statement:
+    """Parse one SQL statement."""
+    return _Parser(sql).parse_statement()
+
+
+def parse_expression(sql: str) -> Expr:
+    """Parse a standalone expression (used by tests and the REPL helper)."""
+    parser = _Parser(sql)
+    expr = parser.parse_expr()
+    if parser.peek().type is not TokenType.EOF:
+        raise parser.error("unexpected trailing input after expression")
+    return expr

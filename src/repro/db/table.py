@@ -1,0 +1,154 @@
+"""Heap tables: row storage with type checking and optional hash indexes.
+
+Rows live in memory as plain lists; long-field payloads are *not* here —
+LONGFIELD cells hold handles into the Long Field Manager, so table scans
+stay cheap and large objects are only read when a function dereferences
+them.  This mirrors the paper's division between relational data (an AIX
+file system in their setup) and long-field data (a raw logical volume).
+
+Hash indexes (``CREATE INDEX``) accelerate equality probes; the paper's
+experiments ran without relational indexes ("We did not create indexes on
+any of the relation columns"), but the system supports them, and the
+planner uses one whenever an equality predicate on an indexed column is
+available at a join level.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.db.schema import TableSchema
+from repro.errors import CatalogError
+
+__all__ = ["Table"]
+
+
+#: bucket key for values that cannot hash (probed by linear fallback)
+_UNHASHABLE = object()
+
+
+def _index_key(value):
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return _UNHASHABLE
+
+
+class Table:
+    """A heap of typed rows with optional single-column hash indexes."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: list[list] = []
+        #: column position -> {value: [rows]}
+        self._indexes: dict[int, dict] = {}
+
+    @property
+    def name(self) -> str:
+        return self.schema.table_name
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    # ------------------------------------------------------------------ #
+    # row maintenance
+    # ------------------------------------------------------------------ #
+
+    def insert(self, values: list) -> None:
+        """Append one row, coercing values against the schema."""
+        row = self.schema.validate_row(list(values))
+        self._rows.append(row)
+        for position, buckets in self._indexes.items():
+            buckets.setdefault(_index_key(row[position]), []).append(row)
+
+    def insert_named(self, **values) -> None:
+        """Append one row given by column name; missing columns become NULL."""
+        row = [None] * len(self.schema)
+        for name, value in values.items():
+            row[self.schema.position(name)] = value
+        self.insert(row)
+
+    def scan(self) -> Iterator[list]:
+        """Iterate rows (each a list aligned with the schema's columns)."""
+        return iter(self._rows)
+
+    def delete_where(self, predicate) -> int:
+        """Delete rows for which ``predicate(row)`` is true; returns the count."""
+        before = len(self._rows)
+        self._rows = [row for row in self._rows if not predicate(row)]
+        self._rebuild_indexes()
+        return before - len(self._rows)
+
+    def update_where(self, predicate, apply) -> int:
+        """Rewrite rows in place: ``apply(row) -> new values list`` where
+        ``predicate(row)`` is true; returns the count."""
+        touched = 0
+        for i, row in enumerate(self._rows):
+            if predicate(row):
+                self._rows[i] = self.schema.validate_row(apply(row))
+                touched += 1
+        if touched:
+            self._rebuild_indexes()
+        return touched
+
+    def truncate(self) -> None:
+        """Delete every row (indexes are rebuilt empty)."""
+        self._rows.clear()
+        self._rebuild_indexes()
+
+    # ------------------------------------------------------------------ #
+    # indexes
+    # ------------------------------------------------------------------ #
+
+    def create_index(self, column: str) -> None:
+        """Build a hash index over one column."""
+        position = self.schema.position(column)
+        if position in self._indexes:
+            raise CatalogError(
+                f"table {self.name!r} already has an index on {column!r}"
+            )
+        buckets: dict = {}
+        for row in self._rows:
+            buckets.setdefault(_index_key(row[position]), []).append(row)
+        self._indexes[position] = buckets
+
+    def drop_index(self, column: str) -> None:
+        """Remove the hash index on one column."""
+        position = self.schema.position(column)
+        try:
+            del self._indexes[position]
+        except KeyError:
+            raise CatalogError(f"table {self.name!r} has no index on {column!r}") from None
+
+    def has_index(self, column: str) -> bool:
+        """True when an equality probe on ``column`` can use an index."""
+        try:
+            return self.schema.position(column) in self._indexes
+        except CatalogError:
+            return False
+
+    def probe(self, column: str, value) -> list[list]:
+        """Index lookup: the rows whose ``column`` equals ``value``."""
+        position = self.schema.position(column)
+        buckets = self._indexes[position]
+        key = _index_key(value)
+        if key is _UNHASHABLE:
+            # Unhashable probe value: fall back to the matching scan.
+            return [row for row in self._rows if row[position] == value]
+        return buckets.get(key, [])
+
+    def indexed_columns(self) -> list[str]:
+        """Names of the indexed columns, in schema order."""
+        return [self.schema.columns[p].name for p in sorted(self._indexes)]
+
+    def _rebuild_indexes(self) -> None:
+        for position in list(self._indexes):
+            buckets: dict = {}
+            for row in self._rows:
+                buckets.setdefault(_index_key(row[position]), []).append(row)
+            self._indexes[position] = buckets
+
+    def __repr__(self) -> str:
+        return f"Table({self.name}, {self.row_count} rows)"

@@ -1,0 +1,116 @@
+"""SQL value types of the extensible relational engine.
+
+The engine supports the small set of types the QBISM schema needs: numbers,
+strings, booleans, and — the extensibility hook the whole paper rests on —
+the LONGFIELD type.  A LONGFIELD column stores a
+:class:`~repro.storage.lfm.LongField` handle; the payload itself lives on
+the block device and is only touched when a user-defined function reads it.
+Transient LONGFIELD values produced by functions (e.g. the result of
+``extractVoxels``) are raw ``bytes`` that never hit the disk, matching the
+paper's data flow where extraction results stream to the network.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.errors import SqlTypeError
+from repro.storage.lfm import LongField
+
+__all__ = ["SqlType", "coerce_value", "type_of_value", "NULL"]
+
+#: SQL NULL is represented by Python None
+NULL = None
+
+
+class SqlType(enum.Enum):
+    """Column types supported by the engine."""
+
+    INTEGER = "integer"
+    REAL = "real"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+    LONGFIELD = "longfield"
+
+    @classmethod
+    def from_name(cls, name: str) -> "SqlType":
+        """Parse a type name from SQL DDL (several familiar aliases accepted)."""
+        aliases = {
+            "int": cls.INTEGER,
+            "integer": cls.INTEGER,
+            "bigint": cls.INTEGER,
+            "smallint": cls.INTEGER,
+            "real": cls.REAL,
+            "float": cls.REAL,
+            "double": cls.REAL,
+            "text": cls.TEXT,
+            "varchar": cls.TEXT,
+            "char": cls.TEXT,
+            "string": cls.TEXT,
+            "date": cls.TEXT,
+            "boolean": cls.BOOLEAN,
+            "bool": cls.BOOLEAN,
+            "longfield": cls.LONGFIELD,
+            "long": cls.LONGFIELD,
+            "blob": cls.LONGFIELD,
+        }
+        try:
+            return aliases[name.lower()]
+        except KeyError:
+            raise SqlTypeError(f"unknown SQL type {name!r}") from None
+
+
+def coerce_value(value: Any, sql_type: SqlType) -> Any:
+    """Validate/convert a Python value for storage in a column of ``sql_type``.
+
+    ``None`` (SQL NULL) is accepted in every column.
+    """
+    if value is NULL:
+        return NULL
+    if sql_type is SqlType.INTEGER:
+        if isinstance(value, bool):
+            raise SqlTypeError("cannot store a boolean in an INTEGER column")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise SqlTypeError(f"cannot store {value!r} in an INTEGER column")
+    if sql_type is SqlType.REAL:
+        if isinstance(value, bool):
+            raise SqlTypeError("cannot store a boolean in a REAL column")
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise SqlTypeError(f"cannot store {value!r} in a REAL column")
+    if sql_type is SqlType.TEXT:
+        if isinstance(value, str):
+            return value
+        raise SqlTypeError(f"cannot store {value!r} in a TEXT column")
+    if sql_type is SqlType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        raise SqlTypeError(f"cannot store {value!r} in a BOOLEAN column")
+    if sql_type is SqlType.LONGFIELD:
+        if isinstance(value, (LongField, bytes)):
+            return value
+        raise SqlTypeError(
+            f"LONGFIELD columns store LongField handles or bytes, got {type(value).__name__}"
+        )
+    raise SqlTypeError(f"unhandled SQL type {sql_type}")  # pragma: no cover
+
+
+def type_of_value(value: Any) -> SqlType | None:
+    """Infer the SQL type of a runtime value (None for NULL)."""
+    if value is NULL:
+        return None
+    if isinstance(value, bool):
+        return SqlType.BOOLEAN
+    if isinstance(value, int):
+        return SqlType.INTEGER
+    if isinstance(value, float):
+        return SqlType.REAL
+    if isinstance(value, str):
+        return SqlType.TEXT
+    if isinstance(value, (LongField, bytes)):
+        return SqlType.LONGFIELD
+    raise SqlTypeError(f"value {value!r} has no SQL type")

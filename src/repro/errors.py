@@ -1,0 +1,89 @@
+"""Exception hierarchy for the QBISM reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  Subsystems add
+more specific types (storage, SQL, medical layer) below it.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GridMismatchError",
+    "CurveMismatchError",
+    "CodecError",
+    "StorageError",
+    "AllocationError",
+    "LongFieldError",
+    "DatabaseError",
+    "SqlSyntaxError",
+    "SqlTypeError",
+    "CatalogError",
+    "ExecutionError",
+    "MedicalError",
+    "RegistrationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GridMismatchError(ReproError, ValueError):
+    """Two spatial objects defined on incompatible grids were combined."""
+
+
+class CurveMismatchError(ReproError, ValueError):
+    """Two objects linearized along different space-filling curves were combined."""
+
+
+class CodecError(ReproError, ValueError):
+    """A REGION/integer codec was asked to encode or decode invalid data."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-engine failures."""
+
+
+class AllocationError(StorageError):
+    """The buddy allocator could not satisfy a request."""
+
+
+class LongFieldError(StorageError):
+    """An operation referenced a missing or invalid long field."""
+
+
+class DatabaseError(ReproError):
+    """Base class for relational-engine failures."""
+
+
+class SqlSyntaxError(DatabaseError, ValueError):
+    """The SQL text could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SqlTypeError(DatabaseError, TypeError):
+    """An expression was applied to values of the wrong SQL type."""
+
+
+class CatalogError(DatabaseError, KeyError):
+    """A table, column, or function referenced in a query does not exist."""
+
+
+class ExecutionError(DatabaseError, RuntimeError):
+    """A query plan failed during execution."""
+
+
+class MedicalError(ReproError):
+    """Base class for medical-layer failures (load pipeline, server)."""
+
+
+class RegistrationError(MedicalError, RuntimeError):
+    """Affine registration between patient and atlas space failed."""

@@ -1,0 +1,91 @@
+"""Typed records mirroring the rows of the medical schema (Figure 1).
+
+These dataclasses are the loader's and server's working vocabulary; the
+authoritative storage is always the relational tables in
+:mod:`repro.medical.schema`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.medical.warp import AffineTransform
+from repro.storage.lfm import LongField
+
+__all__ = [
+    "Patient",
+    "Atlas",
+    "NeuralSystem",
+    "NeuralStructure",
+    "RawStudy",
+    "WarpedStudy",
+    "BandEntry",
+]
+
+
+@dataclass(frozen=True)
+class Patient:
+    patient_id: int
+    name: str
+    birth_date: str
+    sex: str
+    age: int
+
+
+@dataclass(frozen=True)
+class Atlas:
+    """A reference brain: coordinate system + demographic group (§3.3)."""
+
+    atlas_id: int
+    name: str
+    demographic_group: str
+    resolution: int  #: the paper's ``n``: grid side of the atlas space
+    origin: tuple[float, float, float]  #: (x0, y0, z0) in mm
+    voxel_size: tuple[float, float, float]  #: (dx, dy, dz) in mm
+
+
+@dataclass(frozen=True)
+class NeuralSystem:
+    system_id: int
+    name: str
+    structure_ids: tuple[int, ...] = field(default=())
+
+
+@dataclass(frozen=True)
+class NeuralStructure:
+    structure_id: int
+    name: str
+
+
+@dataclass(frozen=True)
+class RawStudy:
+    """The *Raw Volume* entity: scanline data straight from the modality."""
+
+    study_id: int
+    patient_id: int
+    modality: str
+    date: str
+    shape: tuple[int, int, int]
+    data: LongField
+
+
+@dataclass(frozen=True)
+class WarpedStudy:
+    """The *Warped Volume* entity: study resampled into an atlas space."""
+
+    study_id: int
+    atlas_id: int
+    volume: LongField
+    warp: AffineTransform
+
+
+@dataclass(frozen=True)
+class BandEntry:
+    """One *Intensity Band* row: interval endpoints + REGION long field."""
+
+    study_id: int
+    atlas_id: int
+    low: int
+    high: int
+    encoding: str
+    region: LongField

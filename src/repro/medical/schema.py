@@ -1,0 +1,118 @@
+"""The medical database schema — the E-R diagram of Figure 1 as DDL.
+
+Each entity of the diagram is one table; the ``systemStructure`` table
+carries the many-to-many "comprises" relationship between neural systems
+and structures.  ``intensityBand`` additionally has an ``encoding`` column
+so the multi-study experiments (Table 4) can store the same band under
+several REGION encodings and compare them.
+
+Beyond Figure 1, ``atlasStructure`` carries the structure's bounding box
+(``bbMin*``/``bbMax*``, half-open): the §7 "spatial indexing" extension —
+SQL predicates on these columns locate candidate structures without
+reading any REGION long field.
+"""
+
+from __future__ import annotations
+
+from repro.db.database import Database
+
+__all__ = ["MEDICAL_SCHEMA_DDL", "create_medical_schema", "MEDICAL_TABLES"]
+
+MEDICAL_SCHEMA_DDL: tuple[str, ...] = (
+    """
+    create table patient (
+        patientId integer,
+        name text,
+        birthDate text,
+        sex text,
+        age integer
+    )
+    """,
+    """
+    create table neuralSystem (
+        systemId integer,
+        systemName text
+    )
+    """,
+    """
+    create table neuralStructure (
+        structureId integer,
+        structureName text
+    )
+    """,
+    """
+    create table systemStructure (
+        systemId integer,
+        structureId integer
+    )
+    """,
+    """
+    create table atlas (
+        atlasId integer,
+        atlasName text,
+        demographicGroup text,
+        n integer,
+        x0 real, y0 real, z0 real,
+        dx real, dy real, dz real
+    )
+    """,
+    """
+    create table atlasStructure (
+        atlasId integer,
+        structureId integer,
+        region longfield,
+        surfaceMesh longfield,
+        bbMinX integer, bbMinY integer, bbMinZ integer,
+        bbMaxX integer, bbMaxY integer, bbMaxZ integer
+    )
+    """,
+    """
+    create table rawVolume (
+        studyId integer,
+        patientId integer,
+        modality text,
+        date text,
+        width integer, height integer, depth integer,
+        data longfield
+    )
+    """,
+    """
+    create table warpedVolume (
+        studyId integer,
+        atlasId integer,
+        data longfield,
+        w11 real, w12 real, w13 real, w14 real,
+        w21 real, w22 real, w23 real, w24 real,
+        w31 real, w32 real, w33 real, w34 real
+    )
+    """,
+    """
+    create table intensityBand (
+        studyId integer,
+        atlasId integer,
+        low integer,
+        high integer,
+        encoding text,
+        region longfield
+    )
+    """,
+)
+
+#: table names, in creation order
+MEDICAL_TABLES: tuple[str, ...] = (
+    "patient",
+    "neuralSystem",
+    "neuralStructure",
+    "systemStructure",
+    "atlas",
+    "atlasStructure",
+    "rawVolume",
+    "warpedVolume",
+    "intensityBand",
+)
+
+
+def create_medical_schema(db: Database) -> None:
+    """Create all Figure 1 tables in an (empty) database."""
+    for ddl in MEDICAL_SCHEMA_DDL:
+        db.execute(ddl)

@@ -1,0 +1,188 @@
+"""Registration and warping: patient space -> atlas space (§2.2).
+
+A study arrives in *patient space* (the scanner's coordinate frame, e.g.
+51 anisotropic PET slices); the atlas defines *atlas space* (the 128^3
+cubic grid).  At load time QBISM computes an affine warp, resamples the
+study onto the atlas grid, and stores both the warped volume and the warp
+parameters.  The paper treats the warping algorithms (Pelizzari, Toga) as a
+black box; we implement the standard moment-based affine registration plus
+trilinear resampling, which exercises the same load-time code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro.curves import GridSpec
+from repro.errors import RegistrationError
+
+__all__ = ["AffineTransform", "resample_to_grid", "register_moments"]
+
+
+@dataclass(frozen=True)
+class AffineTransform:
+    """An affine map ``y = M x + t`` between voxel coordinate frames.
+
+    Stored as a 4x4 homogeneous matrix.  In this package the convention is
+    ``patient_to_atlas``: it maps patient-space voxel coordinates to
+    atlas-space voxel coordinates.
+    """
+
+    matrix: np.ndarray  # (4, 4) float64, last row (0, 0, 0, 1)
+
+    def __post_init__(self) -> None:
+        m = np.asarray(self.matrix, dtype=np.float64)
+        if m.shape != (4, 4):
+            raise ValueError(f"affine matrix must be 4x4, got {m.shape}")
+        if not np.allclose(m[3], (0.0, 0.0, 0.0, 1.0)):
+            raise ValueError("last row of an affine matrix must be (0, 0, 0, 1)")
+        object.__setattr__(self, "matrix", m)
+        m.setflags(write=False)
+
+    @classmethod
+    def identity(cls) -> "AffineTransform":
+        """The do-nothing transform."""
+        return cls(np.eye(4))
+
+    @classmethod
+    def from_linear(cls, linear: np.ndarray, translation: np.ndarray) -> "AffineTransform":
+        """Build from a 3x3 linear part and a translation vector."""
+        m = np.eye(4)
+        m[:3, :3] = np.asarray(linear, dtype=np.float64)
+        m[:3, 3] = np.asarray(translation, dtype=np.float64)
+        return cls(m)
+
+    @classmethod
+    def from_params(
+        cls,
+        rotation_deg: tuple[float, float, float] = (0.0, 0.0, 0.0),
+        scale: tuple[float, float, float] = (1.0, 1.0, 1.0),
+        translation: tuple[float, float, float] = (0.0, 0.0, 0.0),
+        center: tuple[float, float, float] = (0.0, 0.0, 0.0),
+    ) -> "AffineTransform":
+        """Rotation (about ``center``, XYZ Euler angles) + scale + shift."""
+        rx, ry, rz = np.deg2rad(rotation_deg)
+        cx, sx = np.cos(rx), np.sin(rx)
+        cy, sy = np.cos(ry), np.sin(ry)
+        cz, sz = np.cos(rz), np.sin(rz)
+        mat_x = np.array([[1, 0, 0], [0, cx, -sx], [0, sx, cx]])
+        mat_y = np.array([[cy, 0, sy], [0, 1, 0], [-sy, 0, cy]])
+        mat_z = np.array([[cz, -sz, 0], [sz, cz, 0], [0, 0, 1]])
+        linear = mat_z @ mat_y @ mat_x @ np.diag(scale)
+        center_arr = np.asarray(center, dtype=np.float64)
+        shift = center_arr - linear @ center_arr + np.asarray(translation)
+        return cls.from_linear(linear, shift)
+
+    @property
+    def linear(self) -> np.ndarray:
+        return self.matrix[:3, :3]
+
+    @property
+    def translation(self) -> np.ndarray:
+        return self.matrix[:3, 3]
+
+    def apply(self, points: np.ndarray) -> np.ndarray:
+        """Map ``(n, 3)`` points through the transform."""
+        points = np.asarray(points, dtype=np.float64)
+        return points @ self.linear.T + self.translation
+
+    def compose(self, inner: "AffineTransform") -> "AffineTransform":
+        """``self . inner``: apply ``inner`` first."""
+        return AffineTransform(self.matrix @ inner.matrix)
+
+    def inverse(self) -> "AffineTransform":
+        """The inverse map; raises :class:`RegistrationError` if singular."""
+        try:
+            return AffineTransform(np.linalg.inv(self.matrix))
+        except np.linalg.LinAlgError:
+            raise RegistrationError("affine transform is singular") from None
+
+    def parameters(self) -> list[float]:
+        """The 12 stored warp parameters (3x4), row-major — the schema columns."""
+        return [float(v) for v in self.matrix[:3, :].ravel()]
+
+    @classmethod
+    def from_parameters(cls, params: list[float]) -> "AffineTransform":
+        """Rebuild from the 12 stored warp parameters."""
+        arr = np.asarray(params, dtype=np.float64)
+        if arr.shape != (12,):
+            raise ValueError("expected 12 warp parameters")
+        m = np.eye(4)
+        m[:3, :] = arr.reshape(3, 4)
+        return cls(m)
+
+    def __repr__(self) -> str:
+        return f"AffineTransform(det={np.linalg.det(self.linear):.4f})"
+
+
+def resample_to_grid(
+    study: np.ndarray,
+    patient_to_atlas: AffineTransform,
+    atlas_grid: GridSpec,
+    order: int = 1,
+) -> np.ndarray:
+    """Warp a patient-space study onto the atlas grid (trilinear by default).
+
+    For every atlas voxel ``y`` the sample is taken at patient position
+    ``A^-1 y``; voxels falling outside the study become 0.
+    """
+    atlas_to_patient = patient_to_atlas.inverse()
+    warped = ndimage.affine_transform(
+        np.asarray(study, dtype=np.float64),
+        matrix=atlas_to_patient.linear,
+        offset=atlas_to_patient.translation,
+        output_shape=atlas_grid.shape,
+        order=order,
+        mode="constant",
+        cval=0.0,
+    )
+    if np.issubdtype(study.dtype, np.integer):
+        info = np.iinfo(study.dtype)
+        warped = np.clip(np.rint(warped), info.min, info.max)
+    return warped.astype(study.dtype)
+
+
+def _intensity_moments(volume: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Centroid and covariance of the intensity mass of a volume."""
+    weights = np.asarray(volume, dtype=np.float64)
+    weights = weights - weights.min()
+    total = weights.sum()
+    if total <= 0:
+        raise RegistrationError("volume has no intensity mass to register")
+    axes = [np.arange(s, dtype=np.float64) for s in volume.shape]
+    mesh = np.meshgrid(*axes, indexing="ij", sparse=True)
+    centroid = np.array([(m * weights).sum() / total for m in mesh])
+    cov = np.empty((3, 3))
+    centered = [m - c for m, c in zip(mesh, centroid)]
+    for i in range(3):
+        for j in range(i, 3):
+            cov[i, j] = cov[j, i] = (centered[i] * centered[j] * weights).sum() / total
+    return centroid, cov
+
+
+def register_moments(study: np.ndarray, reference: np.ndarray) -> AffineTransform:
+    """Moment-matching affine registration of ``study`` onto ``reference``.
+
+    Matches intensity centroids and principal axes.  Works for the modest
+    misalignments of the load pipeline (a few degrees of rotation, small
+    scale and shift); eigenvector signs are disambiguated by proximity to
+    the identity rotation, as is standard for roughly aligned scans.
+    """
+    c_study, cov_study = _intensity_moments(study)
+    c_ref, cov_ref = _intensity_moments(reference)
+    evals_s, evecs_s = np.linalg.eigh(cov_study)
+    evals_r, evecs_r = np.linalg.eigh(cov_ref)
+    if np.any(evals_s <= 0) or np.any(evals_r <= 0):
+        raise RegistrationError("degenerate intensity distribution")
+    # Fix eigenvector signs so each basis is as close to identity as possible.
+    for evecs in (evecs_s, evecs_r):
+        for k in range(3):
+            if evecs[k, k] < 0:
+                evecs[:, k] *= -1
+    scale = np.sqrt(evals_r / evals_s)
+    linear = evecs_r @ np.diag(scale) @ evecs_s.T
+    translation = c_ref - linear @ c_study
+    return AffineTransform.from_linear(linear, translation)

@@ -1,0 +1,8 @@
+"""Network substrate: RPC chunking and the calibrated 1994 cost model."""
+
+from __future__ import annotations
+
+from repro.net.costmodel import CostModel1994
+from repro.net.rpc import RpcChannel, TransferRecord
+
+__all__ = ["RpcChannel", "TransferRecord", "CostModel1994"]

@@ -1,0 +1,99 @@
+"""Approximate REGION representations (§4.2, "Approximate representation").
+
+Both techniques trade spatial accuracy for storage: they over-approximate
+the region (every original voxel stays included) while reducing the number
+of runs or octants.  Queries over approximate regions must post-process
+against exact regions; :func:`approximation_stats` quantifies the trade-off
+for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.regions.intervals import IntervalSet
+from repro.regions.octants import decompose_octants, octants_to_intervals
+from repro.regions.region import Region
+
+__all__ = ["merge_gaps", "coarsen_octants", "approximation_stats", "ApproximationStats"]
+
+
+def merge_gaps(region: Region, mingap: int) -> Region:
+    """Eliminate all gaps shorter than ``mingap`` by merging adjacent runs.
+
+    ``mingap = 1`` is the identity (no gap is shorter than 1 voxel).
+    """
+    if mingap < 1:
+        raise ValueError("mingap must be >= 1")
+    intervals = region.intervals
+    if intervals.run_count < 2 or mingap == 1:
+        return region
+    gaps = intervals.gap_lengths
+    keep = gaps >= mingap  # gaps that survive; others are absorbed
+    starts = np.concatenate(([intervals.starts[0]], intervals.starts[1:][keep]))
+    stops = np.concatenate((intervals.stops[:-1][keep], [intervals.stops[-1]]))
+    return Region(IntervalSet(starts, stops), region.grid, region.curve)
+
+
+def coarsen_octants(region: Region, g: int) -> Region:
+    """Require octants to be at least ``g`` voxels on a side (``g`` a power of 2).
+
+    Every octant of the exact decomposition is inflated to the enclosing
+    aligned cube of side ``>= g``; the union of those cubes is the
+    approximate region (the error-bound criterion of Orenstein '89 that the
+    paper cites).
+    """
+    if g < 1 or g & (g - 1):
+        raise ValueError("g must be a positive power of two")
+    if g == 1 or not region.voxel_count:
+        return region
+    ndim = region.grid.ndim
+    min_rank = ndim * (g.bit_length() - 1)
+    ids, ranks = region.octants()
+    small = ranks < min_rank
+    ids = ids.copy()
+    ranks = ranks.copy()
+    # Snap small octants to the enclosing cube of rank min_rank.
+    block = np.int64(1) << min_rank
+    ids[small] &= ~(block - 1)
+    ranks[small] = min_rank
+    merged = octants_to_intervals(ids, ranks)
+    return Region(merged, region.grid, region.curve)
+
+
+@dataclass(frozen=True)
+class ApproximationStats:
+    """Size/accuracy trade-off of an approximate region versus the exact one."""
+
+    exact_runs: int
+    approx_runs: int
+    exact_voxels: int
+    approx_voxels: int
+
+    @property
+    def run_reduction(self) -> float:
+        """Fraction of runs eliminated by the approximation."""
+        if self.exact_runs == 0:
+            return 0.0
+        return 1.0 - self.approx_runs / self.exact_runs
+
+    @property
+    def volume_inflation(self) -> float:
+        """Included outside space as a fraction of the exact volume."""
+        if self.exact_voxels == 0:
+            return 0.0
+        return self.approx_voxels / self.exact_voxels - 1.0
+
+
+def approximation_stats(exact: Region, approx: Region) -> ApproximationStats:
+    """Verify ``approx`` covers ``exact`` and report the trade-off."""
+    if not approx.contains(exact):
+        raise ValueError("approximation must be a superset of the exact region")
+    return ApproximationStats(
+        exact_runs=exact.run_count,
+        approx_runs=approx.run_count,
+        exact_voxels=exact.voxel_count,
+        approx_voxels=approx.voxel_count,
+    )

@@ -1,0 +1,417 @@
+"""Canonical run-list algebra.
+
+A REGION in QBISM is stored as the list of its *runs*: maximal sets of
+voxels with consecutive curve positions (§4 of the paper).  This module
+implements the 1-D side of that design: :class:`IntervalSet` is a set of
+non-negative integers kept as sorted, maximal, half-open runs
+``[start, stop)``, with vectorized set algebra.
+
+All set operations are implemented with a single *event sweep* (the n-way
+generalization of the merge-based "spatial join" of Orenstein & Manola that
+the paper cites): run boundaries become +1/-1 events, a cumulative sum gives
+the coverage depth over each elementary segment, and thresholding the depth
+yields intersection (depth = k), union (depth >= 1), or any
+"at least m of k sets" combination in one pass.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["IntervalSet", "concat_ranges"]
+
+
+def concat_ranges(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
+    """Expand half-open ranges into the concatenated array of their members.
+
+    ``concat_ranges([1, 5], [3, 6])`` returns ``[1, 2, 5]``.  Implemented
+    with a cumulative-sum trick so no Python-level loop runs over the runs.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    stops = np.asarray(stops, dtype=np.int64)
+    lengths = stops - starts
+    if np.any(lengths < 0):
+        raise ValueError("range stops must be >= starts")
+    keep = lengths > 0
+    starts, lengths = starts[keep], lengths[keep]
+    if starts.size == 0:
+        return np.empty(0, dtype=np.int64)
+    total = int(lengths.sum())
+    # out is 1 everywhere except at range starts, where it jumps to the new
+    # start value; a cumulative sum then walks each range.
+    out = np.ones(total, dtype=np.int64)
+    boundaries = np.cumsum(lengths)[:-1]
+    out[0] = starts[0]
+    out[boundaries] = starts[1:] - (starts[:-1] + lengths[:-1] - 1)
+    return np.cumsum(out)
+
+
+def _canonicalize(starts: np.ndarray, stops: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sort, drop empties, and merge overlapping or adjacent runs."""
+    starts = np.asarray(starts, dtype=np.int64)
+    stops = np.asarray(stops, dtype=np.int64)
+    if starts.shape != stops.shape or starts.ndim != 1:
+        raise ValueError("starts and stops must be 1-D arrays of equal length")
+    if np.any(stops < starts):
+        raise ValueError("run stops must be >= starts")
+    keep = stops > starts
+    starts, stops = starts[keep], stops[keep]
+    if starts.size == 0:
+        return starts, stops
+    order = np.argsort(starts, kind="stable")
+    starts, stops = starts[order], stops[order]
+    # Running maximum of stops detects chains of overlapping/adjacent runs.
+    running_stop = np.maximum.accumulate(stops)
+    # A new merged run begins where the start exceeds the previous chain stop.
+    new_run = np.empty(starts.size, dtype=bool)
+    new_run[0] = True
+    new_run[1:] = starts[1:] > running_stop[:-1]
+    merged_starts = starts[new_run]
+    # The stop of each merged run is the chain maximum just before the next break.
+    group = np.cumsum(new_run) - 1
+    merged_stops = np.maximum.reduceat(stops, np.flatnonzero(new_run))
+    del group
+    return merged_starts, merged_stops
+
+
+class IntervalSet:
+    """An immutable set of non-negative integers stored as maximal sorted runs.
+
+    Construct with :meth:`from_indices`, :meth:`from_runs`, or
+    :meth:`from_mask`; combine with :meth:`intersection`, :meth:`union`,
+    :meth:`difference`, or the n-way :meth:`sweep`.
+    """
+
+    __slots__ = ("_starts", "_stops")
+
+    def __init__(self, starts: np.ndarray, stops: np.ndarray, *, _trusted: bool = False):
+        if _trusted:
+            self._starts = starts
+            self._stops = stops
+        else:
+            self._starts, self._stops = _canonicalize(starts, stops)
+        if self._starts.size and self._starts[0] < 0:
+            raise ValueError("interval sets hold non-negative integers only")
+        self._starts.setflags(write=False)
+        self._stops.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        """The empty set."""
+        return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), _trusted=True)
+
+    @classmethod
+    def full(cls, length: int) -> "IntervalSet":
+        """The set ``{0, 1, ..., length - 1}``."""
+        if length <= 0:
+            return cls.empty()
+        return cls(np.asarray([0], dtype=np.int64), np.asarray([length], dtype=np.int64), _trusted=True)
+
+    @classmethod
+    def from_indices(cls, indices: np.ndarray) -> "IntervalSet":
+        """Build from an arbitrary (unsorted, possibly duplicated) index array."""
+        indices = np.unique(np.asarray(indices, dtype=np.int64))
+        if indices.size == 0:
+            return cls.empty()
+        if indices[0] < 0:
+            raise ValueError("interval sets hold non-negative integers only")
+        # A run breaks wherever consecutive sorted indices differ by > 1.
+        breaks = np.flatnonzero(np.diff(indices) > 1)
+        starts = indices[np.concatenate(([0], breaks + 1))]
+        stops = indices[np.concatenate((breaks, [indices.size - 1]))] + 1
+        return cls(starts, stops, _trusted=True)
+
+    @classmethod
+    def from_runs(cls, runs: Iterable[tuple[int, int]]) -> "IntervalSet":
+        """Build from inclusive ``(start, end)`` pairs, the paper's run notation."""
+        pairs = list(runs)
+        if not pairs:
+            return cls.empty()
+        starts = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        stops = np.asarray([p[1] for p in pairs], dtype=np.int64) + 1
+        return cls(starts, stops)
+
+    @classmethod
+    def from_mask(cls, mask: np.ndarray) -> "IntervalSet":
+        """Build from a 1-D boolean mask: the set of True positions.
+
+        This is the fast path for intensity banding: a thresholded volume in
+        curve order becomes its band REGION without any sorting.
+        """
+        mask = np.asarray(mask, dtype=bool).ravel()
+        if mask.size == 0 or not mask.any():
+            return cls.empty()
+        edges = np.diff(mask.astype(np.int8))
+        starts = np.flatnonzero(edges == 1) + 1
+        stops = np.flatnonzero(edges == -1) + 1
+        if mask[0]:
+            starts = np.concatenate(([0], starts))
+        if mask[-1]:
+            stops = np.concatenate((stops, [mask.size]))
+        return cls(starts.astype(np.int64), stops.astype(np.int64), _trusted=True)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def starts(self) -> np.ndarray:
+        """Run start positions (inclusive), sorted ascending."""
+        return self._starts
+
+    @property
+    def stops(self) -> np.ndarray:
+        """Run stop positions (exclusive), sorted ascending."""
+        return self._stops
+
+    @property
+    def run_count(self) -> int:
+        """Number of maximal runs (the paper's "#runs")."""
+        return int(self._starts.size)
+
+    @property
+    def count(self) -> int:
+        """Number of integers in the set (the paper's voxel count)."""
+        return int((self._stops - self._starts).sum())
+
+    @property
+    def run_lengths(self) -> np.ndarray:
+        """Length of each run."""
+        return self._stops - self._starts
+
+    @property
+    def gap_lengths(self) -> np.ndarray:
+        """Length of each interior gap between consecutive runs.
+
+        Together with :attr:`run_lengths` these are the paper's "deltas",
+        whose length distribution drives the compression analysis (EQ 1).
+        """
+        if self.run_count < 2:
+            return np.empty(0, dtype=np.int64)
+        return self._starts[1:] - self._stops[:-1]
+
+    @property
+    def min_index(self) -> int:
+        if self.run_count == 0:
+            raise ValueError("empty interval set has no minimum")
+        return int(self._starts[0])
+
+    @property
+    def max_index(self) -> int:
+        if self.run_count == 0:
+            raise ValueError("empty interval set has no maximum")
+        return int(self._stops[-1] - 1)
+
+    def runs_inclusive(self) -> Iterator[tuple[int, int]]:
+        """Iterate inclusive ``(start, end)`` pairs, the paper's notation."""
+        for start, stop in zip(self._starts.tolist(), self._stops.tolist()):
+            yield start, stop - 1
+
+    def indices(self) -> np.ndarray:
+        """Materialize the full sorted array of member integers."""
+        return concat_ranges(self._starts, self._stops)
+
+    def to_mask(self, length: int) -> np.ndarray:
+        """Render as a boolean mask of the given length."""
+        if self.run_count and self.max_index >= length:
+            raise ValueError(f"set extends past mask length {length}")
+        mask = np.zeros(length, dtype=bool)
+        # Difference trick: +1 at starts, -1 at stops, cumulative sum > 0.
+        delta = np.zeros(length + 1, dtype=np.int32)
+        np.add.at(delta, self._starts, 1)
+        np.add.at(delta, self._stops, -1)
+        mask[:] = np.cumsum(delta[:-1]) > 0
+        return mask
+
+    # ------------------------------------------------------------------ #
+    # membership
+    # ------------------------------------------------------------------ #
+
+    def contains_indices(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized membership test; returns a boolean array."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if self.run_count == 0:
+            return np.zeros(indices.shape, dtype=bool)
+        # Position of the run that could contain each index.
+        slot = np.searchsorted(self._starts, indices, side="right") - 1
+        valid = slot >= 0
+        result = np.zeros(indices.shape, dtype=bool)
+        result[valid] = indices[valid] < self._stops[slot[valid]]
+        return result
+
+    def __contains__(self, index: int) -> bool:
+        return bool(self.contains_indices(np.asarray([index]))[0])
+
+    # ------------------------------------------------------------------ #
+    # set algebra
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def sweep(sets: Sequence["IntervalSet"], min_depth: int) -> "IntervalSet":
+        """Event-sweep combination: positions covered by >= ``min_depth`` of ``sets``.
+
+        ``min_depth = len(sets)`` is the n-way intersection (the multi-study
+        queries of Table 4); ``min_depth = 1`` is the union; intermediate
+        values answer "in at least m of the k studies".
+        """
+        if min_depth < 1:
+            raise ValueError("min_depth must be >= 1")
+        sets = [s for s in sets]
+        if min_depth > len(sets):
+            return IntervalSet.empty()
+        positions = np.concatenate(
+            [s._starts for s in sets] + [s._stops for s in sets]
+        )
+        deltas = np.concatenate(
+            [np.ones(sum(s.run_count for s in sets), dtype=np.int64),
+             -np.ones(sum(s.run_count for s in sets), dtype=np.int64)]
+        )
+        return IntervalSet._sweep_events(positions, deltas, min_depth)
+
+    @staticmethod
+    def _sweep_events(positions: np.ndarray, deltas: np.ndarray, min_depth: int) -> "IntervalSet":
+        if positions.size == 0:
+            return IntervalSet.empty()
+        unique_pos, inverse = np.unique(positions, return_inverse=True)
+        net = np.zeros(unique_pos.size, dtype=np.int64)
+        np.add.at(net, inverse, deltas)
+        depth = np.cumsum(net)  # coverage on [unique_pos[i], unique_pos[i+1])
+        covered = depth >= min_depth
+        if not covered.any():
+            return IntervalSet.empty()
+        edges = np.diff(covered.astype(np.int8))
+        first = np.flatnonzero(edges == 1) + 1
+        last = np.flatnonzero(edges == -1) + 1
+        if covered[0]:
+            first = np.concatenate(([0], first))
+        if covered[-1]:
+            # The final event always closes all runs (net depth returns to 0),
+            # so a covered last segment can only occur with min_depth <= 0.
+            last = np.concatenate((last, [unique_pos.size - 1]))
+        starts = unique_pos[first]
+        stops = unique_pos[last]
+        return IntervalSet(starts, stops, _trusted=True)
+
+    def intersection(self, *others: "IntervalSet") -> "IntervalSet":
+        """Members common to this set and all ``others``."""
+        sets = [self, *others]
+        return IntervalSet.sweep(sets, len(sets))
+
+    def union(self, *others: "IntervalSet") -> "IntervalSet":
+        """Members of this set or any of ``others``."""
+        return IntervalSet.sweep([self, *others], 1)
+
+    def difference(self, other: "IntervalSet") -> "IntervalSet":
+        """Members of ``self`` that are not in ``other``."""
+        if self.run_count == 0 or other.run_count == 0:
+            return self
+        positions = np.concatenate(
+            [self._starts, self._stops, other._starts, other._stops]
+        )
+        n, m = self.run_count, other.run_count
+        # self contributes +1/-1; other contributes a weight of -2 so any
+        # overlap drags the depth to <= 0 and only uncovered parts stay at 1.
+        deltas = np.concatenate(
+            [np.ones(n, dtype=np.int64), -np.ones(n, dtype=np.int64),
+             np.full(m, -2, dtype=np.int64), np.full(m, 2, dtype=np.int64)]
+        )
+        return IntervalSet._sweep_events(positions, deltas, 1)
+
+    def symmetric_difference(self, other: "IntervalSet") -> "IntervalSet":
+        """Members of exactly one of the two sets."""
+        return self.difference(other).union(other.difference(self))
+
+    def complement(self, length: int) -> "IntervalSet":
+        """Members of ``{0, ..., length - 1}`` not in ``self``."""
+        return IntervalSet.full(length).difference(self)
+
+    def issuperset(self, other: "IntervalSet") -> bool:
+        """The paper's ``CONTAINS(r1, r2)`` predicate: is ``other`` inside ``self``?"""
+        return other.difference(self).run_count == 0
+
+    def isdisjoint(self, other: "IntervalSet") -> bool:
+        """True when the two sets share no member."""
+        return self.intersection(other).run_count == 0
+
+    def shift(self, offset: int) -> "IntervalSet":
+        """Translate every member by ``offset`` (must stay non-negative)."""
+        if self.run_count == 0:
+            return self
+        if self._starts[0] + offset < 0:
+            raise ValueError("shift would produce negative positions")
+        return IntervalSet(self._starts + offset, self._stops + offset, _trusted=True)
+
+    def clip(self, lo: int, hi: int) -> "IntervalSet":
+        """Restrict to the half-open window ``[lo, hi)``."""
+        if lo >= hi or self.run_count == 0:
+            return IntervalSet.empty()
+        starts = np.clip(self._starts, lo, hi)
+        stops = np.clip(self._stops, lo, hi)
+        return IntervalSet(starts, stops)
+
+    # ------------------------------------------------------------------ #
+    # offsets (needed to subset the values of a DATA_REGION)
+    # ------------------------------------------------------------------ #
+
+    def rank_of(self, indices: np.ndarray) -> np.ndarray:
+        """For each member index, its 0-based position in sorted member order.
+
+        Raises :class:`ValueError` if any index is not a member.  This maps a
+        curve position to the offset of its value inside an extracted value
+        list, which is how a DATA_REGION answers point probes.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if not self.contains_indices(indices).all():
+            raise ValueError("rank_of called with non-member indices")
+        slot = np.searchsorted(self._starts, indices, side="right") - 1
+        lengths = self._stops - self._starts
+        prefix = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        return prefix[slot] + (indices - self._starts[slot])
+
+    # ------------------------------------------------------------------ #
+    # dunder plumbing
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return (
+            self.run_count == other.run_count
+            and bool(np.array_equal(self._starts, other._starts))
+            and bool(np.array_equal(self._stops, other._stops))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._starts.tobytes(), self._stops.tobytes()))
+
+    def __bool__(self) -> bool:
+        return self.run_count > 0
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __and__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.intersection(other)
+
+    def __or__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.union(other)
+
+    def __sub__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.difference(other)
+
+    def __xor__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.symmetric_difference(other)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(
+            f"<{s},{e}>" for s, e in list(self.runs_inclusive())[:4]
+        )
+        if self.run_count > 4:
+            preview += ", ..."
+        return f"IntervalSet({self.run_count} runs, {self.count} members: {preview})"

@@ -1,0 +1,61 @@
+"""Morphological operations on REGIONs.
+
+Treatment planning — the §2.1 "targeting electrodes or radiation beams"
+scenario — works with *margins*: the structure plus a safety shell, or the
+structure eroded to its core.  These are standard binary morphology
+operators lifted onto the REGION type; they round-trip through a dense
+mask, which is fine at QBISM grid sizes (a 128^3 boolean mask is 2 MiB).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from repro.regions.region import Region
+
+__all__ = ["dilate", "erode", "boundary_shell", "margin"]
+
+
+def _ball_structure(radius: int, ndim: int) -> np.ndarray:
+    """A discrete ball structuring element of the given voxel radius."""
+    if radius < 1:
+        raise ValueError("radius must be >= 1")
+    axes = [np.arange(-radius, radius + 1, dtype=np.float64)] * ndim
+    mesh = np.meshgrid(*axes, indexing="ij", sparse=True)
+    return sum(m**2 for m in mesh) <= radius * radius
+
+
+def dilate(region: Region, radius: int = 1) -> Region:
+    """Grow a region by a voxel radius (clipped at the grid boundary)."""
+    mask = ndimage.binary_dilation(
+        region.to_mask(), structure=_ball_structure(radius, region.grid.ndim)
+    )
+    return Region.from_mask(mask, region.grid, region.curve)
+
+
+def erode(region: Region, radius: int = 1) -> Region:
+    """Shrink a region by a voxel radius (may become empty)."""
+    mask = ndimage.binary_erosion(
+        region.to_mask(), structure=_ball_structure(radius, region.grid.ndim)
+    )
+    return Region.from_mask(mask, region.grid, region.curve)
+
+
+def boundary_shell(region: Region, thickness: int = 1) -> Region:
+    """The region's boundary layer: voxels within ``thickness`` of outside.
+
+    ``region - erode(region, thickness)`` — the cortex-strip shape used
+    when activity concentrates in "sections or layers of brain structures"
+    (§2.1).
+    """
+    return region.difference(erode(region, thickness))
+
+
+def margin(region: Region, radius: int) -> Region:
+    """The safety margin around a target: ``dilate(region) - region``.
+
+    This is the tissue a beam aimed at ``region`` endangers; intersect it
+    with other structures to find what must be spared.
+    """
+    return dilate(region, radius).difference(region)

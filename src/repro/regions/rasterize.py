@@ -1,0 +1,123 @@
+"""Geometric primitives rasterized into REGIONs.
+
+The medical layer uses these to build anatomical phantoms (ellipsoidal
+structures), and queries use them for probe geometries: the paper's Q2 is a
+rectangular solid, and its future-work section targets "electrodes or
+radiation beams" — cylinders and line probes — at regions of interest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves import GridSpec, SpaceFillingCurve
+from repro.regions.region import Region
+
+__all__ = [
+    "box",
+    "sphere",
+    "ellipsoid",
+    "cylinder",
+    "halfspace",
+    "from_predicate",
+]
+
+
+def _voxel_centers(grid: GridSpec) -> list[np.ndarray]:
+    """Open mesh of voxel-center coordinates, one array per axis."""
+    axes = [np.arange(s, dtype=np.float64) for s in grid.shape]
+    return list(np.meshgrid(*axes, indexing="ij", sparse=True))
+
+
+def from_predicate(grid: GridSpec, predicate, curve: SpaceFillingCurve | str | None = None) -> Region:
+    """Rasterize ``predicate(*axis_meshes) -> bool array`` over the grid.
+
+    ``predicate`` receives one (sparse) float mesh per axis and must return
+    a boolean array broadcast to the grid shape.  All other primitives in
+    this module are built on top of this.
+    """
+    mesh = _voxel_centers(grid)
+    mask = np.broadcast_to(predicate(*mesh), grid.shape)
+    return Region.from_mask(mask, grid, curve)
+
+
+def box(grid: GridSpec, lower: tuple[int, ...], upper: tuple[int, ...],
+        curve: SpaceFillingCurve | str | None = None) -> Region:
+    """Half-open axis-aligned box ``[lower, upper)`` (the paper's Q2 geometry)."""
+    return Region.from_box(grid, lower, upper, curve)
+
+
+def sphere(grid: GridSpec, center: tuple[float, ...], radius: float,
+           curve: SpaceFillingCurve | str | None = None) -> Region:
+    """Ball of the given radius around ``center`` (voxel units)."""
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+
+    def predicate(*mesh):
+        d2 = sum((m - c) ** 2 for m, c in zip(mesh, center))
+        return d2 <= radius * radius
+
+    return from_predicate(grid, predicate, curve)
+
+
+def ellipsoid(grid: GridSpec, center: tuple[float, ...], radii: tuple[float, ...],
+              rotation: np.ndarray | None = None,
+              curve: SpaceFillingCurve | str | None = None) -> Region:
+    """Axis-aligned or rotated ellipsoid.
+
+    ``rotation`` is an optional ``(ndim, ndim)`` orthogonal matrix applied to
+    the offset from ``center`` before scaling by ``radii``.
+    """
+    if any(r <= 0 for r in radii):
+        raise ValueError("ellipsoid radii must be positive")
+    center_arr = np.asarray(center, dtype=np.float64)
+    radii_arr = np.asarray(radii, dtype=np.float64)
+
+    def predicate(*mesh):
+        offsets = [np.asarray(m - c) for m, c in zip(mesh, center_arr)]
+        if rotation is not None:
+            rotated = [
+                sum(rotation[i, j] * offsets[j] for j in range(grid.ndim))
+                for i in range(grid.ndim)
+            ]
+            offsets = rotated
+        return sum((o / r) ** 2 for o, r in zip(offsets, radii_arr)) <= 1.0
+
+    return from_predicate(grid, predicate, curve)
+
+
+def cylinder(grid: GridSpec, point: tuple[float, ...], direction: tuple[float, ...],
+             radius: float, curve: SpaceFillingCurve | str | None = None) -> Region:
+    """Infinite cylinder around the line through ``point`` along ``direction``.
+
+    Models a beam / electrode track targeted at a region of interest (§2.1).
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    d = np.asarray(direction, dtype=np.float64)
+    norm = np.linalg.norm(d)
+    if norm == 0:
+        raise ValueError("direction must be non-zero")
+    d = d / norm
+    p = np.asarray(point, dtype=np.float64)
+
+    def predicate(*mesh):
+        offsets = [m - c for m, c in zip(mesh, p)]
+        along = sum(o * di for o, di in zip(offsets, d))
+        d2 = sum(o * o for o in offsets) - along * along
+        return d2 <= radius * radius
+
+    return from_predicate(grid, predicate, curve)
+
+
+def halfspace(grid: GridSpec, normal: tuple[float, ...], offset: float,
+              curve: SpaceFillingCurve | str | None = None) -> Region:
+    """Voxels with ``normal . x <= offset`` — e.g. one brain hemisphere."""
+    n = np.asarray(normal, dtype=np.float64)
+    if not np.any(n):
+        raise ValueError("normal must be non-zero")
+
+    def predicate(*mesh):
+        return sum(m * c for m, c in zip(mesh, n)) <= offset
+
+    return from_predicate(grid, predicate, curve)

@@ -1,0 +1,329 @@
+"""The REGION spatial data type (§3.1 / §4.2 of the paper).
+
+A :class:`Region` is the spatial extent of an arbitrarily shaped entity —
+an anatomical structure, an intensity band, a query box — represented
+volumetrically as runs along a space-filling curve over a grid.  It pairs a
+curve-agnostic :class:`~repro.regions.intervals.IntervalSet` with the
+:class:`~repro.curves.GridSpec` and curve that give the runs spatial
+meaning, and enforces that only compatible regions are combined.
+
+Regions serialize to self-describing byte strings (:meth:`Region.to_bytes`)
+suitable for storage in a DBMS long field; the encoding scheme is pluggable
+(see :mod:`repro.compression.runcodecs`).
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.curves import GridSpec, SpaceFillingCurve, curve_for_grid
+from repro.errors import CodecError, CurveMismatchError
+from repro.regions.intervals import IntervalSet
+from repro.regions.octants import (
+    decompose_oblong_octants,
+    decompose_octants,
+)
+
+__all__ = ["Region", "REGION_MAGIC"]
+
+REGION_MAGIC = b"RGN1"
+_HEADER = struct.Struct("<4s8s8sBB2x")  # magic, curve, codec, ndim, bits
+
+
+def _resolve_curve(grid: GridSpec, curve: SpaceFillingCurve | str | None) -> SpaceFillingCurve:
+    if curve is None:
+        return curve_for_grid(grid)
+    if isinstance(curve, str):
+        return curve_for_grid(grid, curve)
+    if curve.ndim != grid.ndim or curve.bits < grid.bits:
+        raise CurveMismatchError(
+            f"curve {curve!r} cannot address a grid of shape {grid.shape}"
+        )
+    return curve
+
+
+class Region:
+    """A set of voxels on a grid, stored as maximal runs along a curve."""
+
+    __slots__ = ("_intervals", "_grid", "_curve")
+
+    def __init__(self, intervals: IntervalSet, grid: GridSpec, curve: SpaceFillingCurve | str | None = None):
+        self._grid = grid
+        self._curve = _resolve_curve(grid, curve)
+        if intervals.run_count and intervals.max_index >= self._curve.length:
+            raise ValueError("runs extend past the end of the curve")
+        self._intervals = intervals
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def empty(cls, grid: GridSpec, curve: SpaceFillingCurve | str | None = None) -> "Region":
+        """A region with no voxels on the given grid."""
+        return cls(IntervalSet.empty(), grid, curve)
+
+    @classmethod
+    def full(cls, grid: GridSpec, curve: SpaceFillingCurve | str | None = None) -> "Region":
+        """Every voxel of the grid."""
+        resolved = _resolve_curve(grid, curve)
+        if grid.is_cube:
+            return cls(IntervalSet.full(resolved.length), grid, resolved)
+        return cls.from_box(grid, (0,) * grid.ndim, grid.shape, resolved)
+
+    @classmethod
+    def from_coords(cls, coords: np.ndarray, grid: GridSpec,
+                    curve: SpaceFillingCurve | str | None = None) -> "Region":
+        """Build from an ``(n, ndim)`` array of voxel coordinates."""
+        resolved = _resolve_curve(grid, curve)
+        coords = np.asarray(coords, dtype=np.int64)
+        if coords.size and not grid.contains(coords).all():
+            raise ValueError("coordinates fall outside the grid")
+        return cls(IntervalSet.from_indices(resolved.index(coords)), grid, resolved)
+
+    @classmethod
+    def from_mask(cls, mask: np.ndarray, grid: GridSpec | None = None,
+                  curve: SpaceFillingCurve | str | None = None) -> "Region":
+        """Build from an ndim-dimensional boolean occupancy array."""
+        mask = np.asarray(mask, dtype=bool)
+        if grid is None:
+            grid = GridSpec(mask.shape)
+        elif mask.shape != grid.shape:
+            raise ValueError(f"mask shape {mask.shape} does not match grid {grid.shape}")
+        coords = np.argwhere(mask)
+        return cls.from_coords(coords, grid, curve)
+
+    @classmethod
+    def from_runs(cls, runs: Iterable[tuple[int, int]], grid: GridSpec,
+                  curve: SpaceFillingCurve | str | None = None) -> "Region":
+        """Build from inclusive ``<start, end>`` run pairs (the paper's notation)."""
+        return cls(IntervalSet.from_runs(runs), grid, curve)
+
+    @classmethod
+    def from_box(cls, grid: GridSpec, lower: tuple[int, ...], upper: tuple[int, ...],
+                 curve: SpaceFillingCurve | str | None = None) -> "Region":
+        """The half-open axis-aligned box ``[lower, upper)``."""
+        lower = tuple(int(v) for v in lower)
+        upper = tuple(int(v) for v in upper)
+        if len(lower) != grid.ndim or len(upper) != grid.ndim:
+            raise ValueError("box corners must match the grid dimensionality")
+        clipped_lower = tuple(max(0, lo) for lo in lower)
+        clipped_upper = tuple(min(int(s), up) for s, up in zip(grid.shape, upper))
+        if any(lo >= up for lo, up in zip(clipped_lower, clipped_upper)):
+            return cls.empty(grid, curve)
+        axes = [np.arange(lo, up, dtype=np.int64) for lo, up in zip(clipped_lower, clipped_upper)]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        coords = np.stack([m.ravel() for m in mesh], axis=1)
+        return cls.from_coords(coords, grid, curve)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def intervals(self) -> IntervalSet:
+        """The underlying run list on the curve."""
+        return self._intervals
+
+    @property
+    def grid(self) -> GridSpec:
+        return self._grid
+
+    @property
+    def curve(self) -> SpaceFillingCurve:
+        return self._curve
+
+    @property
+    def voxel_count(self) -> int:
+        return self._intervals.count
+
+    @property
+    def run_count(self) -> int:
+        return self._intervals.run_count
+
+    def coords(self) -> np.ndarray:
+        """All member voxel coordinates, ``(n, ndim)``, in curve order."""
+        return self._curve.coords(self._intervals.indices())
+
+    def to_mask(self) -> np.ndarray:
+        """Render as an ndim-dimensional boolean occupancy array."""
+        mask = np.zeros(self._grid.shape, dtype=bool)
+        if self.voxel_count:
+            coords = self.coords()
+            mask[tuple(coords.T)] = True
+        return mask
+
+    def bounding_box(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Tight axis-aligned bounding box as ``(lower, upper)`` (half-open)."""
+        if not self.voxel_count:
+            raise ValueError("empty region has no bounding box")
+        coords = self.coords()
+        return tuple(coords.min(axis=0).tolist()), tuple((coords.max(axis=0) + 1).tolist())
+
+    def centroid(self) -> tuple[float, ...]:
+        """Mean voxel coordinate."""
+        if not self.voxel_count:
+            raise ValueError("empty region has no centroid")
+        return tuple(float(v) for v in self.coords().mean(axis=0))
+
+    # ------------------------------------------------------------------ #
+    # decompositions
+    # ------------------------------------------------------------------ #
+
+    def octants(self) -> tuple[np.ndarray, np.ndarray]:
+        """Regular-octant decomposition: ``(ids, ranks)``, rank % ndim == 0."""
+        return decompose_octants(self._intervals, self._grid.ndim,
+                                 max_rank=self._grid.ndim * self._curve.bits)
+
+    def oblong_octants(self) -> tuple[np.ndarray, np.ndarray]:
+        """Oblong-octant (z-element) decomposition: ``(ids, ranks)``."""
+        return decompose_oblong_octants(self._intervals,
+                                        max_rank=self._grid.ndim * self._curve.bits)
+
+    # ------------------------------------------------------------------ #
+    # set algebra (the paper's spatial operators, §3.2)
+    # ------------------------------------------------------------------ #
+
+    def _check_compatible(self, other: "Region") -> None:
+        self._grid.require_same(other._grid)
+        if self._curve != other._curve:
+            raise CurveMismatchError(
+                f"regions linearized along different curves: "
+                f"{self._curve!r} vs {other._curve!r}"
+            )
+
+    def intersection(self, *others: "Region") -> "Region":
+        """``INTERSECTION(r1, r2, ...)``: voxels common to all regions."""
+        for other in others:
+            self._check_compatible(other)
+        sets = [self._intervals] + [o._intervals for o in others]
+        return Region(IntervalSet.sweep(sets, len(sets)), self._grid, self._curve)
+
+    def union(self, *others: "Region") -> "Region":
+        """``UNION(r1, r2, ...)``: voxels in any of the regions."""
+        for other in others:
+            self._check_compatible(other)
+        sets = [self._intervals] + [o._intervals for o in others]
+        return Region(IntervalSet.sweep(sets, 1), self._grid, self._curve)
+
+    def difference(self, other: "Region") -> "Region":
+        """``DIFFERENCE(r1, r2)``: voxels of this region not in ``other``."""
+        self._check_compatible(other)
+        return Region(self._intervals.difference(other._intervals), self._grid, self._curve)
+
+    def complement(self) -> "Region":
+        """All grid voxels not in this region."""
+        return Region.full(self._grid, self._curve).difference(self)
+
+    def contains(self, other: "Region") -> bool:
+        """``CONTAINS(r1, r2)``: is ``other`` a spatial subset of ``self``?"""
+        self._check_compatible(other)
+        return self._intervals.issuperset(other._intervals)
+
+    def isdisjoint(self, other: "Region") -> bool:
+        """True when the regions share no voxel."""
+        self._check_compatible(other)
+        return self._intervals.isdisjoint(other._intervals)
+
+    def contains_points(self, coords: np.ndarray) -> np.ndarray:
+        """Vectorized point-in-region test for ``(n, ndim)`` coordinates."""
+        coords = np.asarray(coords, dtype=np.int64)
+        inside_grid = self._grid.contains(coords)
+        result = np.zeros(coords.shape[0], dtype=bool)
+        if inside_grid.any():
+            idx = self._curve.index(coords[inside_grid])
+            result[inside_grid] = self._intervals.contains_indices(idx)
+        return result
+
+    def __and__(self, other: "Region") -> "Region":
+        return self.intersection(other)
+
+    def __or__(self, other: "Region") -> "Region":
+        return self.union(other)
+
+    def __sub__(self, other: "Region") -> "Region":
+        return self.difference(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Region):
+            return NotImplemented
+        return (
+            self._grid.shape == other._grid.shape
+            and self._curve == other._curve
+            and self._intervals == other._intervals
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._grid.shape, self._curve, self._intervals))
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    # ------------------------------------------------------------------ #
+    # reordering
+    # ------------------------------------------------------------------ #
+
+    def reorder(self, curve: SpaceFillingCurve | str) -> "Region":
+        """Re-linearize along a different curve (same voxels, new run list).
+
+        This is how the benchmarks compare h-runs against z-runs for the
+        same REGION.
+        """
+        target = _resolve_curve(self._grid, curve)
+        if target == self._curve:
+            return self
+        if not self.voxel_count:
+            return Region.empty(self._grid, target)
+        coords = self.coords()
+        return Region(IntervalSet.from_indices(target.index(coords)), self._grid, target)
+
+    # ------------------------------------------------------------------ #
+    # serialization (the long-field representation)
+    # ------------------------------------------------------------------ #
+
+    def to_bytes(self, codec: str = "elias") -> bytes:
+        """Serialize to a self-describing long-field payload."""
+        from repro.compression.runcodecs import get_codec
+
+        payload = get_codec(codec).encode(self._intervals)
+        header = _HEADER.pack(
+            REGION_MAGIC,
+            self._curve.name.encode("ascii").ljust(8, b"\0"),
+            codec.encode("ascii").ljust(8, b"\0"),
+            self._grid.ndim,
+            self._curve.bits,
+        )
+        shape = struct.pack(f"<{self._grid.ndim}I", *self._grid.shape)
+        return header + shape + payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Region":
+        """Deserialize a payload produced by :meth:`to_bytes`."""
+        from repro.compression.runcodecs import get_codec
+        from repro.curves import CURVE_CLASSES
+
+        if len(data) < _HEADER.size or data[:4] != REGION_MAGIC:
+            raise CodecError("not a serialized REGION (bad magic)")
+        magic, curve_name, codec_name, ndim, bits = _HEADER.unpack_from(data)
+        del magic
+        curve_name = curve_name.rstrip(b"\0").decode("ascii")
+        codec_name = codec_name.rstrip(b"\0").decode("ascii")
+        offset = _HEADER.size
+        shape = struct.unpack_from(f"<{ndim}I", data, offset)
+        offset += 4 * ndim
+        grid = GridSpec(shape)
+        try:
+            curve = CURVE_CLASSES[curve_name](ndim, bits)
+        except KeyError:
+            raise CodecError(f"serialized REGION uses unknown curve {curve_name!r}") from None
+        intervals = get_codec(codec_name).decode(data[offset:])
+        return cls(intervals, grid, curve)
+
+    def __repr__(self) -> str:
+        return (
+            f"Region({self.voxel_count} voxels, {self.run_count} runs, "
+            f"grid={self._grid.shape}, curve={self._curve.name})"
+        )

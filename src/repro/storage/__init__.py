@@ -1,0 +1,18 @@
+"""Storage engine: block device, buddy allocator, Long Field Manager."""
+
+from __future__ import annotations
+
+from repro.storage.buddy import BuddyAllocator
+from repro.storage.cache import PageCache
+from repro.storage.device import PAGE_SIZE, BlockDevice, IOStats
+from repro.storage.lfm import LongField, LongFieldManager
+
+__all__ = [
+    "PAGE_SIZE",
+    "BlockDevice",
+    "IOStats",
+    "BuddyAllocator",
+    "PageCache",
+    "LongField",
+    "LongFieldManager",
+]

@@ -1,0 +1,162 @@
+"""Buddy allocator (the Starburst LFM allocation scheme).
+
+The Long Field Manager "stores long fields directly in an operating system
+disk device ... using a buddy allocation scheme to promote contiguity"
+(§5.1).  Contiguity is what lets the Hilbert curve's clustering reach the
+disk: consecutive curve positions are consecutive bytes in one extent.
+
+Classic power-of-two buddy system: blocks of size ``2^k * min_block``;
+allocation splits larger blocks, freeing merges buddies back together.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AllocationError
+
+__all__ = ["BuddyAllocator"]
+
+
+class BuddyAllocator:
+    """Allocates power-of-two blocks from a fixed arena."""
+
+    def __init__(self, capacity: int, min_block: int = 4096):
+        if min_block <= 0 or min_block & (min_block - 1):
+            raise ValueError("min_block must be a positive power of two")
+        if capacity < min_block or capacity & (capacity - 1):
+            raise ValueError("capacity must be a power-of-two multiple of min_block")
+        self.capacity = capacity
+        self.min_block = min_block
+        self._min_order = min_block.bit_length() - 1
+        self._max_order = capacity.bit_length() - 1
+        # free_lists[order] holds offsets of free blocks of size 2^order
+        self._free_lists: dict[int, set[int]] = {
+            order: set() for order in range(self._min_order, self._max_order + 1)
+        }
+        self._free_lists[self._max_order].add(0)
+        self._allocated: dict[int, int] = {}  # offset -> order
+
+    # ------------------------------------------------------------------ #
+
+    def _order_for(self, size: int) -> int:
+        if size <= 0:
+            raise AllocationError("allocation size must be positive")
+        order = max(self._min_order, (size - 1).bit_length())
+        if order > self._max_order:
+            raise AllocationError(
+                f"request of {size} bytes exceeds arena capacity {self.capacity}"
+            )
+        return order
+
+    def alloc(self, size: int) -> int:
+        """Allocate a block of at least ``size`` bytes; returns its offset."""
+        order = self._order_for(size)
+        # Find the smallest free block that fits.
+        source = order
+        while source <= self._max_order and not self._free_lists[source]:
+            source += 1
+        if source > self._max_order:
+            raise AllocationError(
+                f"arena exhausted: no free block of {1 << order} bytes "
+                f"(capacity {self.capacity}, allocated {self.allocated_bytes})"
+            )
+        offset = self._free_lists[source].pop()
+        # Split down to the requested order, freeing the upper halves.
+        while source > order:
+            source -= 1
+            buddy = offset + (1 << source)
+            self._free_lists[source].add(buddy)
+        self._allocated[offset] = order
+        return offset
+
+    def free(self, offset: int) -> None:
+        """Release a block, merging with free buddies as far as possible."""
+        try:
+            order = self._allocated.pop(offset)
+        except KeyError:
+            raise AllocationError(f"offset {offset} is not an allocated block") from None
+        while order < self._max_order:
+            buddy = offset ^ (1 << order)
+            if buddy not in self._free_lists[order]:
+                break
+            self._free_lists[order].remove(buddy)
+            offset = min(offset, buddy)
+            order += 1
+        self._free_lists[order].add(offset)
+
+    def carve(self, offset: int, size: int) -> None:
+        """Mark a specific block as allocated (crash/restart recovery).
+
+        Splits whichever free block contains ``offset`` down to the order
+        that fits ``size``.  Used when reloading a persisted database: the
+        saved field table records where every long field lives, and the
+        allocator is rebuilt by carving those extents back out.
+        """
+        order = self._order_for(size)
+        if offset & ((1 << order) - 1):
+            raise AllocationError(
+                f"offset {offset} is not aligned for a {1 << order}-byte block"
+            )
+        if offset in self._allocated:
+            raise AllocationError(f"offset {offset} is already allocated")
+        for source in range(order, self._max_order + 1):
+            candidate = offset & ~((1 << source) - 1)
+            if candidate not in self._free_lists[source]:
+                continue
+            self._free_lists[source].remove(candidate)
+            current_offset, current_order = candidate, source
+            while current_order > order:
+                current_order -= 1
+                half = current_offset + (1 << current_order)
+                if offset >= half:
+                    self._free_lists[current_order].add(current_offset)
+                    current_offset = half
+                else:
+                    self._free_lists[current_order].add(half)
+            self._allocated[offset] = order
+            return
+        raise AllocationError(f"no free block covers offset {offset}")
+
+    def allocations(self) -> dict[int, int]:
+        """Snapshot of allocated blocks: offset -> block size in bytes."""
+        return {offset: 1 << order for offset, order in self._allocated.items()}
+
+    def block_size(self, offset: int) -> int:
+        """Size of the allocated block at ``offset``."""
+        try:
+            return 1 << self._allocated[offset]
+        except KeyError:
+            raise AllocationError(f"offset {offset} is not an allocated block") from None
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(1 << order for order in self._allocated.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.allocated_bytes
+
+    @property
+    def allocation_count(self) -> int:
+        return len(self._allocated)
+
+    def fragmentation(self) -> float:
+        """1 - (largest free block / total free bytes); 0 when unfragmented."""
+        free = self.free_bytes
+        if free == 0:
+            return 0.0
+        largest = 0
+        for order in range(self._max_order, self._min_order - 1, -1):
+            if self._free_lists[order]:
+                largest = 1 << order
+                break
+        return 1.0 - largest / free
+
+    def __repr__(self) -> str:
+        return (
+            f"BuddyAllocator({self.allocation_count} blocks, "
+            f"{self.allocated_bytes}/{self.capacity} bytes used)"
+        )

@@ -1,0 +1,32 @@
+"""Synthetic data: brain phantom atlas and PET/MRI study generators."""
+
+from __future__ import annotations
+
+from repro.synthdata.noise import smooth_field, smooth_field_like
+from repro.synthdata.phantom import (
+    STRUCTURE_SPECS,
+    BrainPhantom,
+    StructureSpec,
+    build_phantom,
+)
+from repro.synthdata.studies import (
+    MRI_SHAPE,
+    PET_SHAPE,
+    SyntheticStudy,
+    generate_mri_studies,
+    generate_pet_studies,
+)
+
+__all__ = [
+    "smooth_field",
+    "smooth_field_like",
+    "BrainPhantom",
+    "StructureSpec",
+    "STRUCTURE_SPECS",
+    "build_phantom",
+    "SyntheticStudy",
+    "generate_pet_studies",
+    "generate_mri_studies",
+    "PET_SHAPE",
+    "MRI_SHAPE",
+]

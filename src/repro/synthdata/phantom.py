@@ -1,0 +1,141 @@
+"""A synthetic brain atlas: the stand-in for the Talairach & Tournoux data.
+
+The paper's atlas was digitally extracted from [29] and "represented 11
+neuro-anatomic structures as REGIONs in a 128x128x128 atlas space grid".
+We cannot ship that data, so this module builds a deterministic phantom
+with the same *statistics*: 11 compact, organically shaped 3-D structures
+(ellipsoids modulated by smooth noise) inside a brain-shaped envelope, at
+sizes spanning the same range as the paper's (a hemisphere of ~8% of the
+grid down to deep nuclei of a few thousand voxels at 128^3).
+
+All geometry is expressed in fractions of the grid side, so the same
+phantom scales from the 32^3 grids the tests use to the 128^3 grid of the
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.curves import GridSpec
+from repro.regions import Region
+from repro.synthdata.noise import smooth_field
+
+__all__ = ["StructureSpec", "BrainPhantom", "build_phantom", "STRUCTURE_SPECS"]
+
+
+@dataclass(frozen=True)
+class StructureSpec:
+    """Geometry of one structure, in grid-side fractions.
+
+    ``wobble`` is the amplitude of the smooth-noise modulation of the
+    ellipsoid boundary (0 = exact ellipsoid, 0.5 = very organic).
+    """
+
+    name: str
+    center: tuple[float, float, float]
+    radii: tuple[float, float, float]
+    wobble: float = 0.25
+    #: baseline physiological activity used by the synthetic PET generator
+    base_activity: float = 0.5
+
+
+#: the 11 named structures of the phantom atlas.  ``ntal`` and ``ntal1``
+#: reuse the paper's names: ntal is a deep midline structure, ntal1 is one
+#: brain hemisphere (Figure 6a), derived below from the envelope.
+STRUCTURE_SPECS: tuple[StructureSpec, ...] = (
+    StructureSpec("ntal", (0.50, 0.48, 0.42), (0.14, 0.10, 0.085), 0.30, 0.55),
+    StructureSpec("hippocampus_l", (0.34, 0.58, 0.38), (0.055, 0.10, 0.05), 0.35, 0.75),
+    StructureSpec("hippocampus_r", (0.66, 0.58, 0.38), (0.055, 0.10, 0.05), 0.35, 0.75),
+    StructureSpec("putamen_l", (0.38, 0.46, 0.46), (0.05, 0.08, 0.055), 0.25, 0.65),
+    StructureSpec("putamen_r", (0.62, 0.46, 0.46), (0.05, 0.08, 0.055), 0.25, 0.65),
+    StructureSpec("thalamus", (0.50, 0.52, 0.46), (0.095, 0.075, 0.06), 0.25, 0.60),
+    StructureSpec("caudate_l", (0.42, 0.40, 0.52), (0.045, 0.085, 0.05), 0.30, 0.55),
+    StructureSpec("caudate_r", (0.58, 0.40, 0.52), (0.045, 0.085, 0.05), 0.30, 0.55),
+    StructureSpec("cerebellum", (0.50, 0.72, 0.28), (0.17, 0.12, 0.10), 0.30, 0.45),
+    StructureSpec("brainstem", (0.50, 0.62, 0.22), (0.055, 0.065, 0.14), 0.20, 0.40),
+    StructureSpec("cortex_band", (0.50, 0.42, 0.60), (0.26, 0.24, 0.16), 0.40, 0.70),
+)
+
+#: the whole-brain envelope (not one of the 11, but every study lives in it)
+ENVELOPE = StructureSpec("brain", (0.50, 0.50, 0.46), (0.40, 0.44, 0.34), 0.12, 0.30)
+
+
+@dataclass(frozen=True)
+class BrainPhantom:
+    """The built atlas: envelope, hemisphere, and the 11 named structures."""
+
+    grid: GridSpec
+    envelope: Region
+    structures: dict[str, Region]
+    #: dense float field in [0, 1]: baseline anatomy used by the study generators
+    anatomy: np.ndarray
+
+    @property
+    def structure_names(self) -> list[str]:
+        return list(self.structures)
+
+    def structure(self, name: str) -> Region:
+        """Look up one structure's REGION by name (KeyError with suggestions)."""
+        try:
+            return self.structures[name]
+        except KeyError:
+            known = ", ".join(sorted(self.structures))
+            raise KeyError(f"phantom has no structure {name!r}; known: {known}") from None
+
+
+def _wobbly_ellipsoid_mask(
+    grid: GridSpec, spec: StructureSpec, rng: np.random.Generator
+) -> np.ndarray:
+    """Boolean mask of an ellipsoid whose boundary is modulated by smooth noise."""
+    side = max(grid.shape)
+    axes = [np.arange(s, dtype=np.float64) for s in grid.shape]
+    mesh = np.meshgrid(*axes, indexing="ij", sparse=True)
+    q = np.zeros(grid.shape, dtype=np.float64)
+    for m, c, r in zip(mesh, spec.center, spec.radii):
+        q = q + ((m - c * side) / (r * side)) ** 2
+    if spec.wobble > 0:
+        modulation = smooth_field(grid.shape, correlation_length=side / 10, rng=rng)
+        threshold = 1.0 + spec.wobble * modulation
+    else:
+        threshold = 1.0
+    return q <= threshold
+
+
+def build_phantom(grid_side: int = 128, seed: int = 1994) -> BrainPhantom:
+    """Build the deterministic atlas phantom on a cubic grid.
+
+    The structure list always contains ``ntal1`` (the left hemisphere:
+    envelope clipped to x < center, eroded slightly from the midline) plus
+    the 11 named deep structures, all intersected with the envelope.
+    """
+    grid = GridSpec((grid_side,) * 3)
+    rng = np.random.default_rng(seed)
+    envelope_mask = _wobbly_ellipsoid_mask(grid, ENVELOPE, rng)
+    envelope = Region.from_mask(envelope_mask, grid)
+
+    structures: dict[str, Region] = {}
+    # ntal1: one hemisphere of the brain (Figure 6a), clipped off the midline.
+    midline = int(grid_side * 0.49)
+    hemisphere_mask = envelope_mask.copy()
+    hemisphere_mask[midline:, :, :] = False
+    structures["ntal1"] = Region.from_mask(hemisphere_mask, grid)
+
+    for spec in STRUCTURE_SPECS:
+        mask = _wobbly_ellipsoid_mask(grid, spec, rng) & envelope_mask
+        structures[spec.name] = Region.from_mask(mask, grid)
+
+    # Baseline anatomy: bright interior fading toward the envelope boundary,
+    # plus structure-specific contrast, used by both PET and MRI generators.
+    anatomy = np.zeros(grid.shape, dtype=np.float64)
+    anatomy[envelope_mask] = 0.35
+    texture = smooth_field(grid.shape, correlation_length=grid_side / 16, rng=rng)
+    anatomy += 0.08 * texture * envelope_mask
+    for spec in STRUCTURE_SPECS:
+        mask = structures[spec.name].to_mask()
+        anatomy[mask] = 0.35 + 0.45 * spec.base_activity
+    anatomy = np.clip(anatomy, 0.0, 1.0)
+
+    return BrainPhantom(grid=grid, envelope=envelope, structures=structures, anatomy=anatomy)

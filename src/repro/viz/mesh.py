@@ -1,0 +1,114 @@
+"""Triangular surface meshes for atlas structures.
+
+The *Atlas Structure* entity stores, next to the volumetric REGION, "a
+triangular mesh representing the surface of the structure to support faster
+rendering" (§3.3).  This module extracts that mesh: every face of an
+occupied voxel that borders an unoccupied voxel contributes two triangles.
+The mesh serializes to a long-field payload so the loader can store it in
+the ``surfaceMesh`` column.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CodecError
+from repro.regions import Region
+
+__all__ = ["TriangleMesh", "extract_surface_mesh"]
+
+MESH_MAGIC = b"MSH1"
+_HEADER = struct.Struct("<4sII")  # magic, vertex count, triangle count
+
+# The 4 corner offsets of each of the 6 voxel faces (unit cube corners),
+# ordered so both triangles of a face share the diagonal (0, 2).
+_FACE_CORNERS = {
+    (-1, 0, 0): ((0, 0, 0), (0, 1, 0), (0, 1, 1), (0, 0, 1)),
+    (+1, 0, 0): ((1, 0, 0), (1, 0, 1), (1, 1, 1), (1, 1, 0)),
+    (0, -1, 0): ((0, 0, 0), (0, 0, 1), (1, 0, 1), (1, 0, 0)),
+    (0, +1, 0): ((0, 1, 0), (1, 1, 0), (1, 1, 1), (0, 1, 1)),
+    (0, 0, -1): ((0, 0, 0), (1, 0, 0), (1, 1, 0), (0, 1, 0)),
+    (0, 0, +1): ((0, 0, 1), (0, 1, 1), (1, 1, 1), (1, 0, 1)),
+}
+
+
+@dataclass(frozen=True)
+class TriangleMesh:
+    """Indexed triangle mesh: ``vertices`` (n, 3) float32, ``triangles`` (m, 3) int32."""
+
+    vertices: np.ndarray
+    triangles: np.ndarray
+
+    @property
+    def vertex_count(self) -> int:
+        return int(self.vertices.shape[0])
+
+    @property
+    def triangle_count(self) -> int:
+        return int(self.triangles.shape[0])
+
+    def surface_area(self) -> float:
+        """Total area; for a voxel surface this equals the exposed face count."""
+        a = self.vertices[self.triangles[:, 0]]
+        b = self.vertices[self.triangles[:, 1]]
+        c = self.vertices[self.triangles[:, 2]]
+        cross = np.cross(b - a, c - a)
+        return float(0.5 * np.linalg.norm(cross, axis=1).sum())
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the surfaceMesh long-field layout."""
+        header = _HEADER.pack(MESH_MAGIC, self.vertex_count, self.triangle_count)
+        return (
+            header
+            + self.vertices.astype("<f4").tobytes()
+            + self.triangles.astype("<i4").tobytes()
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TriangleMesh":
+        """Deserialize a payload produced by :meth:`to_bytes`."""
+        if len(data) < _HEADER.size or data[:4] != MESH_MAGIC:
+            raise CodecError("not a serialized mesh (bad magic)")
+        _, nv, nt = _HEADER.unpack_from(data)
+        offset = _HEADER.size
+        vertices = np.frombuffer(data, dtype="<f4", count=nv * 3, offset=offset).reshape(nv, 3)
+        offset += nv * 12
+        triangles = np.frombuffer(data, dtype="<i4", count=nt * 3, offset=offset).reshape(nt, 3)
+        return cls(vertices.copy(), triangles.copy())
+
+    def __repr__(self) -> str:
+        return f"TriangleMesh({self.vertex_count} vertices, {self.triangle_count} triangles)"
+
+
+def extract_surface_mesh(region: Region) -> TriangleMesh:
+    """Boundary-face mesh of a 3-D REGION (two triangles per exposed face)."""
+    if region.grid.ndim != 3:
+        raise ValueError("surface meshes are defined for 3-D regions")
+    mask = region.to_mask()
+    padded = np.pad(mask, 1, constant_values=False)
+    corner_chunks: list[np.ndarray] = []
+    for normal, corners in _FACE_CORNERS.items():
+        inner = padded[1:-1, 1:-1, 1:-1]
+        neighbor = padded[
+            1 + normal[0]: padded.shape[0] - 1 + normal[0],
+            1 + normal[1]: padded.shape[1] - 1 + normal[1],
+            1 + normal[2]: padded.shape[2] - 1 + normal[2],
+        ]
+        exposed = np.argwhere(inner & ~neighbor)
+        if not exposed.size:
+            continue
+        offsets = np.asarray(corners, dtype=np.int64)  # (4, 3)
+        corner_chunks.append(exposed[:, None, :] + offsets[None, :, :])
+    if not corner_chunks:
+        return TriangleMesh(
+            np.empty((0, 3), dtype=np.float32), np.empty((0, 3), dtype=np.int32)
+        )
+    face_corners = np.concatenate(corner_chunks)  # (faces, 4, 3)
+    flat = face_corners.reshape(-1, 3)
+    vertices, inverse = np.unique(flat, axis=0, return_inverse=True)
+    quads = inverse.reshape(-1, 4)
+    triangles = np.concatenate([quads[:, (0, 1, 2)], quads[:, (0, 2, 3)]])
+    return TriangleMesh(vertices.astype(np.float32), triangles.astype(np.int32))

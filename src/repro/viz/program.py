@@ -1,0 +1,205 @@
+"""DX visual programs: declarative visualization pipelines (Figure 5).
+
+The paper's front end is "a DX 'visual program' which accepts the user's
+query specifications through entry fields and renders the result" — a
+dataflow of modules, "typically hidden from the user".  This module is
+that dataflow: a :class:`VisualProgram` is an ordered list of steps
+applied to a running :class:`~repro.core.system.QbismSystem`; the first
+step issues the database query (through ImportVolume), later steps
+post-process the imported data (band filter, restrict, cutting plane,
+viewpoint), and sinks render or export.
+
+Programs are plain data — they serialize to/from dicts, so a front end
+could store and replay sessions, exactly how DX programs were shipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.medical.server import QuerySpec
+
+__all__ = ["VisualProgram", "ProgramState", "Step", "STEP_TYPES"]
+
+
+class ProgramError(ReproError, ValueError):
+    """A visual program was malformed or applied out of order."""
+
+
+@dataclass
+class ProgramState:
+    """What flows between steps: the current data, images, and timings."""
+
+    data: "object | None" = None  # DataRegion
+    images: dict[str, np.ndarray] = field(default_factory=dict)
+    outputs: list[Path] = field(default_factory=list)
+    query_outcome: "object | None" = None  # QueryOutcome
+
+    def require_data(self, step_name: str):
+        if self.data is None:
+            raise ProgramError(f"step {step_name!r} needs data; run a query step first")
+        return self.data
+
+
+@dataclass(frozen=True)
+class Step:
+    """One module instance: a type name plus its parameters."""
+
+    type: str
+    params: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"type": self.type, **self.params}
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "Step":
+        spec = dict(spec)
+        try:
+            type_name = spec.pop("type")
+        except KeyError:
+            raise ProgramError("step specification needs a 'type'") from None
+        return cls(type_name, spec)
+
+
+# ---------------------------------------------------------------------- #
+# step implementations: fn(system, state, **params) -> None
+# ---------------------------------------------------------------------- #
+
+
+def _step_query(system, state: ProgramState, **params) -> None:
+    spec = QuerySpec(
+        study_id=params["study_id"],
+        atlas_name=params.get("atlas_name", "Talairach"),
+        structures=tuple(params.get("structures", ())),
+        intensity_range=tuple(params["intensity_range"]) if params.get("intensity_range") else None,
+        box=(tuple(params["box"][0]), tuple(params["box"][1])) if params.get("box") else None,
+    )
+    outcome = system.query(spec, render_mode=None)
+    state.query_outcome = outcome
+    state.data = outcome.data
+
+
+def _step_band(system, state: ProgramState, low: int, high: int) -> None:
+    state.data = state.require_data("band").band(low, high)
+
+
+def _step_restrict(system, state: ProgramState, structure: str) -> None:
+    region = system.phantom.structure(structure)
+    state.data = state.require_data("restrict").restrict(region)
+
+
+def _step_render(system, state: ProgramState, mode: str = "mip", axis: int = 2,
+                 name: str = "image") -> None:
+    from repro.viz import render_mip, render_slice, render_surface, render_textured_surface
+
+    data = state.require_data("render")
+    renderers = {
+        "mip": lambda: render_mip(data, axis=axis),
+        "slice": lambda: render_slice(data, axis=axis),
+        "surface": lambda: render_surface(data.region, axis=axis),
+        "textured": lambda: render_textured_surface(data.region, data, axis=axis),
+    }
+    try:
+        state.images[name] = renderers[mode]()
+    except KeyError:
+        raise ProgramError(f"unknown render mode {mode!r}") from None
+
+
+def _step_rotate(system, state: ProgramState, angle: float, axis: int = 2,
+                 name: str = "image") -> None:
+    from repro.viz import render_rotated_mip
+
+    state.images[name] = render_rotated_mip(state.require_data("rotate"), angle, axis=axis)
+
+
+def _step_export(system, state: ProgramState, path: str, name: str = "image") -> None:
+    from repro.viz import to_pgm
+
+    try:
+        image = state.images[name]
+    except KeyError:
+        raise ProgramError(f"no rendered image named {name!r} to export") from None
+    state.outputs.append(to_pgm(image, path))
+
+
+def _step_statistics(system, state: ProgramState, name: str = "stats") -> None:
+    data = state.require_data("statistics")
+    state.images[name] = np.asarray(
+        [data.voxel_count, float(data.min() or 0), float(data.max() or 0)]
+    )
+
+
+STEP_TYPES = {
+    "query": _step_query,
+    "band": _step_band,
+    "restrict": _step_restrict,
+    "render": _step_render,
+    "rotate": _step_rotate,
+    "export": _step_export,
+    "statistics": _step_statistics,
+}
+
+
+@dataclass
+class VisualProgram:
+    """An executable pipeline of steps."""
+
+    steps: list[Step] = field(default_factory=list)
+
+    # builder API ------------------------------------------------------- #
+
+    def query(self, study_id: int, **kwargs) -> "VisualProgram":
+        self.steps.append(Step("query", {"study_id": study_id, **kwargs}))
+        return self
+
+    def band(self, low: int, high: int) -> "VisualProgram":
+        self.steps.append(Step("band", {"low": low, "high": high}))
+        return self
+
+    def restrict(self, structure: str) -> "VisualProgram":
+        self.steps.append(Step("restrict", {"structure": structure}))
+        return self
+
+    def render(self, mode: str = "mip", axis: int = 2, name: str = "image") -> "VisualProgram":
+        self.steps.append(Step("render", {"mode": mode, "axis": axis, "name": name}))
+        return self
+
+    def rotate(self, angle: float, axis: int = 2, name: str = "image") -> "VisualProgram":
+        self.steps.append(Step("rotate", {"angle": angle, "axis": axis, "name": name}))
+        return self
+
+    def export(self, path: str, name: str = "image") -> "VisualProgram":
+        self.steps.append(Step("export", {"path": str(path), "name": name}))
+        return self
+
+    # execution ---------------------------------------------------------- #
+
+    def run(self, system) -> ProgramState:
+        """Apply every step in order; returns the final state."""
+        state = ProgramState()
+        for step in self.steps:
+            try:
+                fn = STEP_TYPES[step.type]
+            except KeyError:
+                known = ", ".join(sorted(STEP_TYPES))
+                raise ProgramError(
+                    f"unknown step type {step.type!r}; known: {known}"
+                ) from None
+            fn(system, state, **step.params)
+        return state
+
+    # serialization ------------------------------------------------------ #
+
+    def to_dicts(self) -> list[dict]:
+        return [step.to_dict() for step in self.steps]
+
+    @classmethod
+    def from_dicts(cls, specs: list[dict]) -> "VisualProgram":
+        return cls([Step.from_dict(spec) for spec in specs])
+
+    def __len__(self) -> int:
+        return len(self.steps)

@@ -1,0 +1,96 @@
+"""Intensity banding (§3.3, the *Intensity Band* entity).
+
+An intensity band is the REGION of voxels of a VOLUME whose intensities
+fall in a particular interval.  QBISM precomputes bands with fixed width
+and uniform spacing (32 units over 0-255 in the prototype) at load time and
+stores them as a redundant index: an attribute query ("show the high
+intensity voxels") becomes a cheap REGION fetch instead of a full-volume
+scan.
+
+Because VOLUMEs hold values in curve order, a band's run list falls out of
+a thresholded boolean array directly — no sorting is involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.regions import Region
+from repro.regions.intervals import IntervalSet
+from repro.volumes.volume import Volume
+
+__all__ = ["IntensityBand", "band_region", "uniform_bands", "bands_covering", "union_of_bands"]
+
+
+@dataclass(frozen=True)
+class IntensityBand:
+    """One precomputed band: the closed intensity interval and its REGION."""
+
+    low: int
+    high: int
+    region: Region
+
+    @property
+    def label(self) -> str:
+        return f"{self.low}-{self.high}"
+
+    def covers(self, lo: float, hi: float) -> bool:
+        """Does the query interval ``[lo, hi]`` lie inside this band?"""
+        return self.low <= lo and hi <= self.high
+
+
+def band_region(volume: Volume, low: float, high: float) -> Region:
+    """The REGION of voxels with intensity in the closed interval ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"empty intensity interval [{low}, {high}]")
+    mask = (volume.values >= low) & (volume.values <= high)
+    return Region(IntervalSet.from_mask(mask), volume.grid, volume.curve)
+
+
+def uniform_bands(volume: Volume, width: int = 32, value_range: tuple[int, int] = (0, 255)) -> list[IntensityBand]:
+    """The paper's load-time banding: uniformly spaced bands of fixed width.
+
+    The default (width 32 over 0-255) produces the 8 bands of the
+    prototype: 0-31, 32-63, ..., 224-255.
+    """
+    if width < 1:
+        raise ValueError("band width must be >= 1")
+    lo, hi = value_range
+    if lo > hi:
+        raise ValueError("invalid value range")
+    bands = []
+    for start in range(lo, hi + 1, width):
+        end = min(start + width - 1, hi)
+        bands.append(IntensityBand(start, end, band_region(volume, start, end)))
+    return bands
+
+
+def bands_covering(bands: list[IntensityBand], lo: float, hi: float) -> list[IntensityBand] | None:
+    """The minimal set of stored bands whose union covers ``[lo, hi]`` exactly.
+
+    Returns ``None`` when the query interval does not align with band
+    boundaries (the query must then fall back to scanning the volume and
+    post-filtering, as the paper notes for non-band-aligned ranges).
+    """
+    chosen = [b for b in bands if not (b.high < lo or b.low > hi)]
+    if not chosen:
+        return None
+    chosen.sort(key=lambda b: b.low)
+    exact = (
+        chosen[0].low == lo
+        and chosen[-1].high == hi
+        and all(a.high + 1 == b.low for a, b in zip(chosen, chosen[1:]))
+    )
+    return chosen if exact else None
+
+
+def union_of_bands(bands: list[IntensityBand]) -> Region:
+    """Union the REGIONs of several stored bands (contiguous or not)."""
+    if not bands:
+        raise ValueError("no bands to union")
+    first = bands[0].region
+    if len(bands) == 1:
+        return first
+    return first.union(*[b.region for b in bands[1:]])

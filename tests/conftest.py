@@ -1,0 +1,68 @@
+"""Shared fixtures.
+
+The expensive fixture is ``demo_system``: a fully loaded QBISM instance at
+32^3 scale (3 PET + 1 MRI studies, three band encodings), built once per
+session and reused by the integration tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import QbismSystem
+from repro.curves import GridSpec
+from repro.regions import Region, rasterize
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20260704)
+
+
+@pytest.fixture
+def grid3() -> GridSpec:
+    """A small 3-D grid most region/volume tests run on."""
+    return GridSpec((16, 16, 16))
+
+
+@pytest.fixture
+def grid2() -> GridSpec:
+    return GridSpec((8, 8))
+
+
+@pytest.fixture
+def sphere_region(grid3) -> Region:
+    return rasterize.sphere(grid3, center=(8, 8, 8), radius=5.0)
+
+
+@pytest.fixture
+def blob_region(grid3) -> Region:
+    """An irregular region: union of two spheres minus a third."""
+    a = rasterize.sphere(grid3, (6, 6, 8), 4.0)
+    b = rasterize.sphere(grid3, (10, 10, 8), 4.0)
+    c = rasterize.sphere(grid3, (8, 8, 8), 2.0)
+    return a.union(b).difference(c)
+
+
+@pytest.fixture(scope="session")
+def demo_system() -> QbismSystem:
+    return QbismSystem.build_demo(
+        seed=1994,
+        grid_side=32,
+        n_pet=3,
+        n_mri=1,
+        band_encodings=("hilbert-naive", "z-naive", "octant"),
+    )
+
+
+# The paper's Figure 3 example: a 4x4 grid with 7 shaded cells whose
+# z-runs are <1,1> <4,7> <12,13> and whose single h-run is <3,9>.
+PAPER_FIGURE3_CELLS = np.array(
+    [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 2), (2, 3)], dtype=np.int64
+)
+
+
+@pytest.fixture
+def figure3_cells() -> np.ndarray:
+    return PAPER_FIGURE3_CELLS.copy()

@@ -1,0 +1,102 @@
+"""Unit tests for approximate REGION representations (§4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.regions import (
+    Region,
+    approximation_stats,
+    coarsen_octants,
+    merge_gaps,
+)
+
+
+class TestMergeGaps:
+    def test_mingap_one_is_identity(self, blob_region):
+        assert merge_gaps(blob_region, 1) == blob_region
+
+    def test_merging_reduces_runs(self, blob_region):
+        merged = merge_gaps(blob_region, 8)
+        assert merged.run_count <= blob_region.run_count
+
+    def test_merged_is_superset(self, blob_region):
+        merged = merge_gaps(blob_region, 16)
+        assert merged.contains(blob_region)
+
+    def test_no_short_gaps_survive(self, blob_region):
+        mingap = 8
+        merged = merge_gaps(blob_region, mingap)
+        gaps = merged.intervals.gap_lengths
+        assert (gaps >= mingap).all()
+
+    def test_monotone_in_mingap(self, blob_region):
+        previous = blob_region
+        for mingap in (2, 4, 8, 16, 64):
+            current = merge_gaps(blob_region, mingap)
+            assert current.contains(previous)
+            assert current.run_count <= previous.run_count
+            previous = current
+
+    def test_huge_mingap_yields_single_run(self, blob_region):
+        merged = merge_gaps(blob_region, blob_region.curve.length)
+        assert merged.run_count == 1
+
+    def test_invalid_mingap(self, blob_region):
+        with pytest.raises(ValueError):
+            merge_gaps(blob_region, 0)
+
+    def test_empty_region(self, grid3):
+        empty = Region.empty(grid3)
+        assert merge_gaps(empty, 8) == empty
+
+
+class TestCoarsenOctants:
+    def test_g_one_is_identity(self, blob_region):
+        assert coarsen_octants(blob_region, 1) == blob_region
+
+    def test_coarse_is_superset(self, blob_region):
+        for g in (2, 4, 8):
+            assert coarsen_octants(blob_region, g).contains(blob_region)
+
+    def test_coarse_region_blocks_aligned(self, blob_region):
+        g = 4
+        coarse = coarsen_octants(blob_region, g)
+        ids, ranks = coarse.octants()
+        min_rank = blob_region.grid.ndim * 2  # log2(4) * ndim
+        assert (ranks >= min_rank).all()
+        assert not (ids % (1 << min_rank)).any()
+
+    def test_non_power_of_two_rejected(self, blob_region):
+        with pytest.raises(ValueError):
+            coarsen_octants(blob_region, 3)
+
+    def test_zero_rejected(self, blob_region):
+        with pytest.raises(ValueError):
+            coarsen_octants(blob_region, 0)
+
+    def test_empty_region(self, grid3):
+        empty = Region.empty(grid3)
+        assert coarsen_octants(empty, 4) == empty
+
+
+class TestApproximationStats:
+    def test_stats_fields(self, blob_region):
+        approx = merge_gaps(blob_region, 8)
+        stats = approximation_stats(blob_region, approx)
+        assert stats.exact_runs == blob_region.run_count
+        assert stats.approx_runs == approx.run_count
+        assert 0.0 <= stats.run_reduction <= 1.0
+        assert stats.volume_inflation >= 0.0
+
+    def test_rejects_non_superset(self, blob_region, sphere_region):
+        smaller = blob_region.intersection(sphere_region)
+        if smaller == blob_region:
+            pytest.skip("fixtures unexpectedly equal")
+        with pytest.raises(ValueError):
+            approximation_stats(blob_region, smaller)
+
+    def test_identity_stats(self, blob_region):
+        stats = approximation_stats(blob_region, blob_region)
+        assert stats.run_reduction == 0.0
+        assert stats.volume_inflation == 0.0

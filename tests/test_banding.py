@@ -1,0 +1,109 @@
+"""Unit tests for intensity banding (the Intensity Band index, §3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.volumes import (
+    Volume,
+    band_region,
+    bands_covering,
+    uniform_bands,
+    union_of_bands,
+)
+
+
+@pytest.fixture
+def volume(rng):
+    return Volume.from_array(rng.integers(0, 256, (16, 16, 16)).astype(np.uint8))
+
+
+class TestBandRegion:
+    def test_matches_threshold_mask(self, volume):
+        region = band_region(volume, 100, 150)
+        dense = volume.to_array()
+        expected = (dense >= 100) & (dense <= 150)
+        assert np.array_equal(region.to_mask(), expected)
+
+    def test_full_range_is_everything(self, volume):
+        assert band_region(volume, 0, 255).voxel_count == volume.voxel_count
+
+    def test_empty_band(self, volume):
+        capped = Volume.from_array(np.minimum(volume.to_array(), 200))
+        assert band_region(capped, 201, 255).voxel_count == 0
+
+    def test_invalid_interval(self, volume):
+        with pytest.raises(ValueError):
+            band_region(volume, 10, 5)
+
+    def test_band_runs_on_volume_curve(self, volume):
+        region = band_region(volume, 0, 127)
+        assert region.curve == volume.curve
+
+
+class TestUniformBands:
+    def test_paper_prototype_bands(self, volume):
+        """Width 32 over 0-255 gives the paper's 8 bands."""
+        bands = uniform_bands(volume)
+        assert len(bands) == 8
+        assert (bands[0].low, bands[0].high) == (0, 31)
+        assert (bands[-1].low, bands[-1].high) == (224, 255)
+        assert bands[3].label == "96-127"
+
+    def test_bands_partition_volume(self, volume):
+        bands = uniform_bands(volume)
+        assert sum(b.region.voxel_count for b in bands) == volume.voxel_count
+        for a, b in zip(bands, bands[1:]):
+            assert a.region.isdisjoint(b.region)
+
+    def test_custom_width(self, volume):
+        bands = uniform_bands(volume, width=64)
+        assert len(bands) == 4
+
+    def test_width_validation(self, volume):
+        with pytest.raises(ValueError):
+            uniform_bands(volume, width=0)
+
+    def test_covers_predicate(self, volume):
+        band = uniform_bands(volume)[7]
+        assert band.covers(224, 255)
+        assert band.covers(230, 240)
+        assert not band.covers(200, 255)
+
+
+class TestBandsCovering:
+    def test_exact_single_band(self, volume):
+        bands = uniform_bands(volume)
+        chosen = bands_covering(bands, 224, 255)
+        assert chosen is not None and len(chosen) == 1
+        assert chosen[0].low == 224
+
+    def test_exact_multi_band(self, volume):
+        bands = uniform_bands(volume)
+        chosen = bands_covering(bands, 128, 255)
+        assert chosen is not None and len(chosen) == 4
+
+    def test_misaligned_returns_none(self, volume):
+        bands = uniform_bands(volume)
+        assert bands_covering(bands, 100, 200) is None
+
+    def test_out_of_range_returns_none(self, volume):
+        bands = uniform_bands(volume)
+        assert bands_covering(bands, 300, 400) is None
+
+
+class TestUnionOfBands:
+    def test_union_matches_wide_band(self, volume):
+        bands = uniform_bands(volume)
+        union = union_of_bands(bands[4:])
+        wide = band_region(volume, 128, 255)
+        assert union == wide
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            union_of_bands([])
+
+    def test_single_band_passthrough(self, volume):
+        bands = uniform_bands(volume)
+        assert union_of_bands([bands[0]]) == bands[0].region

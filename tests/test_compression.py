@@ -1,0 +1,262 @@
+"""Unit tests for bit I/O and the integer codes (Elias, Golomb, varlen)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    BitReader,
+    BitWriter,
+    delta_code_length,
+    delta_decode_array,
+    delta_encode_array,
+    gamma_code_length,
+    gamma_decode_array,
+    gamma_encode_array,
+    golomb_code_length,
+    golomb_decode_array,
+    golomb_encode_array,
+    optimal_golomb_parameter,
+    varlen_code_length,
+    varlen_decode_array,
+    varlen_encode_array,
+)
+from repro.compression.elias import decode_gamma, encode_gamma
+
+
+class TestBitWriter:
+    def test_single_code(self):
+        w = BitWriter()
+        w.write(0b101, 3)
+        assert w.getvalue() == bytes([0b10100000])
+        assert w.bit_length == 3
+
+    def test_multiple_codes_pack_contiguously(self):
+        w = BitWriter()
+        w.write(0b1, 1)
+        w.write(0b0110, 4)
+        w.write(0b111, 3)
+        assert w.getvalue() == bytes([0b10110111])
+
+    def test_crosses_byte_boundaries(self):
+        w = BitWriter()
+        w.write(0b111111, 6)
+        w.write(0b0000011, 7)
+        data = w.getvalue()
+        assert len(data) == 2
+        assert data == bytes([0b11111100, 0b00011000])
+
+    def test_empty(self):
+        assert BitWriter().getvalue() == b""
+
+    def test_array_with_scalar_nbits(self):
+        w = BitWriter()
+        w.write_array(np.array([1, 2, 3]), 4)
+        assert w.bit_length == 12
+
+    def test_rejects_oversized_codes(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write(1, 63)
+        with pytest.raises(ValueError):
+            w.write(1, 0)
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(-1, 4)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_array(np.array([1, 2]), np.array([3]))
+
+
+class TestBitReader:
+    def test_read_back(self):
+        w = BitWriter()
+        w.write(0b1011, 4)
+        w.write(0b001, 3)
+        r = BitReader(w.getvalue())
+        assert r.read(4) == 0b1011
+        assert r.read(3) == 0b001
+
+    def test_read_past_end(self):
+        r = BitReader(bytes([0xFF]))
+        r.read(8)
+        with pytest.raises(ValueError):
+            r.read(1)
+
+    def test_read_unary(self):
+        w = BitWriter()
+        w.write(1, 5)  # 00001
+        w.write(1, 1)  # 1
+        r = BitReader(w.getvalue())
+        assert r.read_unary() == 4
+        assert r.read_unary() == 0
+
+    def test_unary_exhausted(self):
+        r = BitReader(bytes([0x00]))
+        with pytest.raises(ValueError):
+            r.read_unary()
+
+    def test_remaining(self):
+        r = BitReader(bytes([0xAA]))
+        assert r.remaining == 8
+        r.read(3)
+        assert r.remaining == 5
+
+
+class TestGamma:
+    def test_known_codewords(self):
+        """The paper's worked examples: 1 -> '1', 2 -> '010', 3 -> '011', 4 -> '00100'."""
+        assert encode_gamma(1) == bytes([0b10000000])
+        assert encode_gamma(2) == bytes([0b01000000])
+        assert encode_gamma(3) == bytes([0b01100000])
+        assert encode_gamma(4) == bytes([0b00100000])
+
+    def test_scalar_roundtrip(self):
+        for x in (1, 2, 3, 4, 7, 100, 12345):
+            assert decode_gamma(encode_gamma(x)) == x
+
+    def test_code_lengths(self):
+        values = np.array([1, 2, 3, 4, 7, 8, 1023, 1024])
+        assert gamma_code_length(values).tolist() == [1, 3, 3, 5, 5, 7, 19, 21]
+
+    def test_array_roundtrip(self, rng):
+        values = rng.integers(1, 1 << 20, 2000)
+        w = BitWriter()
+        gamma_encode_array(values, w)
+        out = gamma_decode_array(BitReader(w.getvalue()), values.size)
+        assert np.array_equal(out, values)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            gamma_encode_array(np.array([0]), BitWriter())
+
+    def test_declared_length_matches_stream(self, rng):
+        values = rng.integers(1, 5000, 500)
+        w = BitWriter()
+        gamma_encode_array(values, w)
+        assert w.bit_length == int(gamma_code_length(values).sum())
+
+
+class TestDelta:
+    def test_array_roundtrip(self, rng):
+        values = rng.integers(1, 1 << 30, 1500)
+        w = BitWriter()
+        delta_encode_array(values, w)
+        out = delta_decode_array(BitReader(w.getvalue()), values.size)
+        assert np.array_equal(out, values)
+
+    def test_small_values(self):
+        values = np.array([1, 1, 2, 3, 1])
+        w = BitWriter()
+        delta_encode_array(values, w)
+        out = delta_decode_array(BitReader(w.getvalue()), 5)
+        assert out.tolist() == [1, 1, 2, 3, 1]
+
+    def test_delta_beats_gamma_for_large_values(self):
+        big = np.full(100, 1 << 28)
+        assert delta_code_length(big).sum() < gamma_code_length(big).sum()
+
+    def test_gamma_beats_delta_for_tiny_values(self):
+        tiny = np.array([2, 3] * 50)  # gamma: 3 bits; delta: 4 bits
+        assert gamma_code_length(tiny).sum() < delta_code_length(tiny).sum()
+
+    def test_gamma_equals_delta_for_one(self):
+        ones = np.array([1] * 10)
+        assert np.array_equal(gamma_code_length(ones), delta_code_length(ones))
+
+    def test_declared_length_matches_stream(self, rng):
+        values = rng.integers(1, 100000, 300)
+        w = BitWriter()
+        delta_encode_array(values, w)
+        assert w.bit_length == int(delta_code_length(values).sum())
+
+
+class TestGolomb:
+    @pytest.mark.parametrize("m", [1, 2, 3, 4, 5, 8, 13, 64])
+    def test_roundtrip(self, m, rng):
+        values = rng.integers(1, 500, 800)
+        w = BitWriter()
+        golomb_encode_array(values, m, w)
+        out = golomb_decode_array(BitReader(w.getvalue()), m, values.size)
+        assert np.array_equal(out, values)
+
+    def test_rice_is_power_of_two_golomb(self, rng):
+        values = rng.integers(1, 200, 100)
+        lengths = golomb_code_length(values, 8)
+        # Rice(k=3): q zeros + 1 + 3 remainder bits
+        expected = (values - 1) // 8 + 1 + 3
+        assert np.array_equal(lengths, expected)
+
+    def test_large_quotient_fallback(self):
+        """Values forcing unary prefixes beyond the chunk limit still roundtrip."""
+        values = np.array([1, 5000, 2, 9999])
+        w = BitWriter()
+        golomb_encode_array(values, 2, w)
+        out = golomb_decode_array(BitReader(w.getvalue()), 2, 4)
+        assert out.tolist() == values.tolist()
+
+    def test_declared_length_matches_stream(self, rng):
+        values = rng.integers(1, 300, 200)
+        for m in (3, 7, 10):
+            w = BitWriter()
+            golomb_encode_array(values, m, w)
+            assert w.bit_length == int(golomb_code_length(values, m).sum())
+
+    def test_optimal_parameter_geometric(self, rng):
+        p = 0.02
+        values = rng.geometric(p, 5000)
+        m = optimal_golomb_parameter(values)
+        assert 0.3 / p < m < 1.2 / p
+
+    def test_optimal_on_geometric_beats_neighbors(self, rng):
+        values = rng.geometric(0.05, 3000)
+        m = optimal_golomb_parameter(values)
+        best = golomb_code_length(values, m).sum()
+        assert best <= golomb_code_length(values, max(1, m // 3)).sum()
+        assert best <= golomb_code_length(values, m * 3).sum()
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            golomb_encode_array(np.array([1]), 0, BitWriter())
+
+    def test_rejects_zero_values(self):
+        with pytest.raises(ValueError):
+            golomb_encode_array(np.array([0]), 4, BitWriter())
+
+
+class TestVarlen:
+    @pytest.mark.parametrize("k", [1, 3, 7, 15])
+    def test_roundtrip(self, k, rng):
+        values = rng.integers(1, 1 << 16, 600)
+        w = BitWriter()
+        varlen_encode_array(values, k, w)
+        out = varlen_decode_array(BitReader(w.getvalue()), k, values.size)
+        assert np.array_equal(out, values)
+
+    def test_lengths_are_multiples_of_group(self):
+        values = np.array([1, 2, 300, 70000])
+        for k in (3, 7):
+            lengths = varlen_code_length(values, k)
+            assert not (lengths % (k + 1)).any()
+
+    def test_value_one_gets_single_group(self):
+        assert varlen_code_length(np.array([1]), 7).tolist() == [8]
+
+    def test_declared_length_matches_stream(self, rng):
+        values = rng.integers(1, 100000, 250)
+        w = BitWriter()
+        varlen_encode_array(values, 5, w)
+        assert w.bit_length == int(varlen_code_length(values, 5).sum())
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            varlen_encode_array(np.array([1]), 0, BitWriter())
+        with pytest.raises(ValueError):
+            varlen_encode_array(np.array([1]), 40, BitWriter())
+
+    def test_rejects_zero_values(self):
+        with pytest.raises(ValueError):
+            varlen_encode_array(np.array([0]), 7, BitWriter())

@@ -1,0 +1,223 @@
+"""Unit tests for the space-filling curves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.curves import (
+    CURVE_CLASSES,
+    GridSpec,
+    HilbertCurve,
+    MortonCurve,
+    RowMajorCurve,
+    curve_for_grid,
+)
+from repro.errors import GridMismatchError
+
+ALL_CURVES = [HilbertCurve, MortonCurve, RowMajorCurve]
+
+
+class TestGridSpec:
+    def test_basic_properties(self):
+        grid = GridSpec((128, 128, 128))
+        assert grid.ndim == 3
+        assert grid.size == 128**3
+        assert grid.bits == 7
+        assert grid.is_cube
+
+    def test_non_cube_grid(self):
+        grid = GridSpec((512, 512, 44))
+        assert grid.bits == 9
+        assert not grid.is_cube
+        assert grid.size == 512 * 512 * 44
+
+    def test_bits_covers_non_power_of_two(self):
+        assert GridSpec((100,)).bits == 7
+        assert GridSpec((129, 4)).bits == 8
+
+    def test_default_origin_and_spacing(self):
+        grid = GridSpec((4, 4))
+        assert grid.origin == (0.0, 0.0)
+        assert grid.spacing == (1.0, 1.0)
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(ValueError):
+            GridSpec(())
+
+    def test_rejects_nonpositive_axis(self):
+        with pytest.raises(ValueError):
+            GridSpec((8, 0, 8))
+
+    def test_rejects_mismatched_origin(self):
+        with pytest.raises(ValueError):
+            GridSpec((8, 8), origin=(0.0,))
+
+    def test_contains(self):
+        grid = GridSpec((4, 4))
+        coords = np.array([[0, 0], [3, 3], [4, 0], [-1, 2]])
+        assert grid.contains(coords).tolist() == [True, True, False, False]
+
+    def test_require_same(self):
+        GridSpec((4, 4)).require_same(GridSpec((4, 4)))
+        with pytest.raises(GridMismatchError):
+            GridSpec((4, 4)).require_same(GridSpec((8, 8)))
+
+    def test_world_voxel_roundtrip(self):
+        grid = GridSpec((8, 8, 8), origin=(1.0, 2.0, 3.0), spacing=(0.5, 1.0, 2.0))
+        pts = np.array([[2.0, 4.0, 7.0]])
+        voxels = grid.world_to_voxel(pts)
+        assert np.allclose(grid.voxel_to_world(voxels), pts)
+
+
+class TestCurveConstruction:
+    @pytest.mark.parametrize("cls", ALL_CURVES)
+    def test_dimensions(self, cls):
+        curve = cls(3, 4)
+        assert curve.side == 16
+        assert curve.length == 16**3
+
+    @pytest.mark.parametrize("cls", ALL_CURVES)
+    def test_rejects_bad_args(self, cls):
+        with pytest.raises(ValueError):
+            cls(0, 4)
+        with pytest.raises(ValueError):
+            cls(3, 0)
+        with pytest.raises(ValueError):
+            cls(3, 32)  # would overflow int64
+
+    def test_equality_and_hash(self):
+        assert HilbertCurve(3, 5) == HilbertCurve(3, 5)
+        assert HilbertCurve(3, 5) != HilbertCurve(3, 6)
+        assert HilbertCurve(3, 5) != MortonCurve(3, 5)
+        assert hash(HilbertCurve(2, 2)) == hash(HilbertCurve(2, 2))
+
+    def test_curve_for_grid(self):
+        grid = GridSpec((128, 128, 128))
+        curve = curve_for_grid(grid)
+        assert isinstance(curve, HilbertCurve)
+        assert curve.bits == 7
+        assert isinstance(curve_for_grid(grid, "morton"), MortonCurve)
+
+    def test_curve_for_grid_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown curve"):
+            curve_for_grid(GridSpec((4, 4)), "peano-gosper")
+
+    def test_registry_names(self):
+        assert set(CURVE_CLASSES) == {"hilbert", "morton", "rowmajor"}
+
+
+class TestBijection:
+    @pytest.mark.parametrize("cls", ALL_CURVES)
+    @pytest.mark.parametrize("ndim,bits", [(1, 6), (2, 4), (3, 3), (4, 2)])
+    def test_full_roundtrip(self, cls, ndim, bits):
+        curve = cls(ndim, bits)
+        idx = np.arange(curve.length, dtype=np.int64)
+        coords = curve.coords(idx)
+        assert coords.shape == (curve.length, ndim)
+        assert np.array_equal(curve.index(coords), idx)
+
+    @pytest.mark.parametrize("cls", ALL_CURVES)
+    def test_coords_cover_cube_exactly_once(self, cls):
+        curve = cls(3, 3)
+        coords = curve.coords(np.arange(curve.length))
+        assert len(np.unique(coords, axis=0)) == curve.length
+        assert coords.min() == 0
+        assert coords.max() == curve.side - 1
+
+    @pytest.mark.parametrize("cls", ALL_CURVES)
+    def test_empty_arrays(self, cls):
+        curve = cls(3, 3)
+        assert curve.index(np.empty((0, 3), dtype=np.int64)).shape == (0,)
+        assert curve.coords(np.empty(0, dtype=np.int64)).shape == (0, 3)
+
+    @pytest.mark.parametrize("cls", ALL_CURVES)
+    def test_scalar_helpers(self, cls):
+        curve = cls(2, 3)
+        idx = curve.index_point(3, 5)
+        assert curve.coords_point(idx) == (3, 5)
+
+    @pytest.mark.parametrize("cls", ALL_CURVES)
+    def test_out_of_range_rejected(self, cls):
+        curve = cls(2, 2)
+        with pytest.raises(ValueError):
+            curve.index(np.array([[4, 0]]))
+        with pytest.raises(ValueError):
+            curve.index(np.array([[-1, 0]]))
+        with pytest.raises(ValueError):
+            curve.coords(np.array([curve.length]))
+
+    @pytest.mark.parametrize("cls", ALL_CURVES)
+    def test_bad_shapes_rejected(self, cls):
+        curve = cls(3, 2)
+        with pytest.raises(ValueError):
+            curve.index(np.zeros((4, 2), dtype=np.int64))
+        with pytest.raises(ValueError):
+            curve.coords(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestHilbertProperties:
+    @pytest.mark.parametrize("ndim,bits", [(2, 5), (3, 4)])
+    def test_adjacency(self, ndim, bits):
+        """Consecutive curve positions are neighboring voxels — the defining
+        property the clustering results rest on."""
+        curve = HilbertCurve(ndim, bits)
+        coords = curve.coords(np.arange(curve.length))
+        steps = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+        assert np.all(steps == 1)
+
+    def test_matches_paper_figure3_convention(self):
+        """The 4x4 ordering of Figure 3: start (0,0), then (1,0), (1,1), (0,1)..."""
+        curve = HilbertCurve(2, 2)
+        seq = [curve.coords_point(d) for d in range(6)]
+        assert seq == [(0, 0), (1, 0), (1, 1), (0, 1), (0, 2), (0, 3)]
+
+    def test_nested_prefix_property(self):
+        """Each 2^n-aligned block of positions stays inside one subcube."""
+        curve = HilbertCurve(3, 3)
+        coords = curve.coords(np.arange(curve.length))
+        block = 8  # 2^ndim positions = one level-1 subcube
+        for b in range(0, curve.length, block):
+            chunk = coords[b:b + block]
+            assert (chunk.max(axis=0) - chunk.min(axis=0)).max() == 1
+
+
+class TestMortonProperties:
+    def test_bit_interleaving_2d(self):
+        """§4: z-id = x1 y1 x0 y0 with axis 0 most significant."""
+        curve = MortonCurve(2, 2)
+        assert curve.index_point(0, 1) == 0b0001
+        assert curve.index_point(1, 0) == 0b0010
+        assert curve.index_point(2, 0) == 0b1000
+        assert curve.index_point(3, 3) == 0b1111
+
+    def test_bit_interleaving_3d(self):
+        curve = MortonCurve(3, 2)
+        # coordinate bits (x1 y1 z1 x0 y0 z0)
+        assert curve.index_point(0, 0, 1) == 0b000001
+        assert curve.index_point(0, 1, 0) == 0b000010
+        assert curve.index_point(1, 0, 0) == 0b000100
+        assert curve.index_point(2, 0, 0) == 0b100000
+
+    def test_quadrant_prefixes(self):
+        """All voxels of a quadrant share their z-id prefix."""
+        curve = MortonCurve(2, 3)
+        coords = curve.coords(np.arange(curve.length))
+        idx = np.arange(curve.length)
+        quadrant = (coords >= 4).astype(int)
+        prefix = idx >> 4  # top 2 bits
+        expected = quadrant[:, 0] * 2 + quadrant[:, 1]
+        assert np.array_equal(prefix, expected)
+
+
+class TestRowMajorProperties:
+    def test_matches_numpy_ravel(self):
+        curve = RowMajorCurve(3, 2)
+        arr = np.arange(64).reshape(4, 4, 4)
+        coords = np.argwhere(arr >= 0)
+        assert np.array_equal(curve.index(coords), arr.ravel())
+
+    def test_last_axis_fastest(self):
+        curve = RowMajorCurve(2, 2)
+        assert curve.index_point(0, 1) == 1
+        assert curve.index_point(1, 0) == 4

@@ -1,0 +1,124 @@
+"""Unit tests for the DATA_REGION type."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError
+from repro.regions import Region, rasterize
+from repro.volumes import DataRegion, Volume
+
+
+@pytest.fixture
+def volume(rng):
+    return Volume.from_array(rng.integers(0, 256, (16, 16, 16)).astype(np.uint8))
+
+
+@pytest.fixture
+def data_region(volume):
+    region = rasterize.sphere(volume.grid, (8, 8, 8), 5.0)
+    return volume.extract(region)
+
+
+class TestConstruction:
+    def test_value_count_must_match(self, volume):
+        region = rasterize.sphere(volume.grid, (8, 8, 8), 3.0)
+        with pytest.raises(ValueError):
+            DataRegion(region, np.zeros(region.voxel_count + 1, dtype=np.uint8))
+
+    def test_values_readonly(self, data_region):
+        with pytest.raises(ValueError):
+            data_region.values[0] = 1
+
+    def test_nbytes(self, data_region):
+        assert data_region.nbytes == data_region.voxel_count  # uint8
+
+
+class TestProbes:
+    def test_value_at_member(self, volume, data_region):
+        assert data_region.value_at(8, 8, 8) == volume.value_at(8, 8, 8)
+
+    def test_value_at_non_member_raises(self, data_region):
+        with pytest.raises(ValueError):
+            data_region.value_at(0, 0, 0)
+
+
+class TestRestriction:
+    def test_restrict_to_subregion(self, volume, data_region):
+        sub = rasterize.box(volume.grid, (6, 6, 6), (11, 11, 11))
+        restricted = data_region.restrict(sub)
+        inter = data_region.region.intersection(sub)
+        assert restricted.region == inter
+        coords = inter.coords()
+        expected = volume.to_array()[coords[:, 0], coords[:, 1], coords[:, 2]]
+        assert np.array_equal(restricted.values, expected)
+
+    def test_restrict_disjoint_is_empty(self, volume, data_region):
+        far = rasterize.box(volume.grid, (0, 0, 0), (1, 1, 1))
+        assert data_region.restrict(far).voxel_count == 0
+
+    def test_band_filter(self, data_region):
+        banded = data_region.band(100, 200)
+        assert ((banded.values >= 100) & (banded.values <= 200)).all()
+        expected = int(((data_region.values >= 100) & (data_region.values <= 200)).sum())
+        assert banded.voxel_count == expected
+
+    def test_band_then_values_locate_correctly(self, volume, data_region):
+        banded = data_region.band(0, 127)
+        coords = banded.region.coords()
+        dense = volume.to_array()
+        assert np.array_equal(banded.values, dense[coords[:, 0], coords[:, 1], coords[:, 2]])
+
+
+class TestStatistics:
+    def test_min_max_mean(self, data_region):
+        assert data_region.min() == data_region.values.min()
+        assert data_region.max() == data_region.values.max()
+        assert data_region.mean() == pytest.approx(float(data_region.values.mean()))
+
+    def test_empty_statistics(self, volume):
+        empty = volume.extract(Region.empty(volume.grid))
+        assert empty.min() is None
+        assert empty.max() is None
+        with pytest.raises(ValueError):
+            empty.mean()
+
+    def test_histogram(self, data_region):
+        counts, _ = data_region.histogram(bins=8, value_range=(0, 256))
+        assert counts.sum() == data_region.voxel_count
+
+
+class TestDense:
+    def test_to_array_fill(self, data_region):
+        dense = data_region.to_array(fill=0)
+        mask = data_region.region.to_mask()
+        assert (dense[~mask] == 0).all()
+        coords = data_region.region.coords()
+        assert np.array_equal(dense[coords[:, 0], coords[:, 1], coords[:, 2]], data_region.values)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("codec", ["naive", "elias"])
+    def test_roundtrip(self, data_region, codec):
+        payload = data_region.to_bytes(codec)
+        back = DataRegion.from_bytes(payload)
+        assert back == data_region
+
+    def test_empty_roundtrip(self, volume):
+        empty = volume.extract(Region.empty(volume.grid))
+        assert DataRegion.from_bytes(empty.to_bytes()) == empty
+
+    def test_bad_magic(self):
+        with pytest.raises(CodecError):
+            DataRegion.from_bytes(b"XXXX" + bytes(32))
+
+    def test_payload_contains_region_and_values(self, data_region):
+        payload = data_region.to_bytes("naive")
+        region_bytes = data_region.region.to_bytes("naive")
+        assert len(payload) >= len(region_bytes) + data_region.nbytes
+
+    def test_float_values_roundtrip(self, volume):
+        region = rasterize.box(volume.grid, (0, 0, 0), (4, 4, 4))
+        data = DataRegion(region, np.linspace(0, 1, region.voxel_count).astype(np.float64))
+        assert DataRegion.from_bytes(data.to_bytes()) == data

@@ -1,0 +1,84 @@
+"""Unit tests for delta statistics: entropy bound (EQ 2) and power law (EQ 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    delta_lengths,
+    entropy_bits_per_delta,
+    entropy_bound_bytes,
+    fit_power_law,
+    gamma_code_length,
+)
+from repro.regions import IntervalSet
+
+
+def iset(*runs):
+    return IntervalSet.from_runs(runs)
+
+
+class TestDeltaLengths:
+    def test_alternates_runs_and_gaps(self):
+        s = iset((0, 4), (8, 9), (15, 15))
+        # runs 5, 2, 1; gaps 3, 5 -> interleaved 5,3,2,5,1
+        assert delta_lengths(s).tolist() == [5, 3, 2, 5, 1]
+
+    def test_single_run(self):
+        assert delta_lengths(iset((2, 9))).tolist() == [8]
+
+    def test_empty(self):
+        assert delta_lengths(IntervalSet.empty()).size == 0
+
+
+class TestEntropy:
+    def test_uniform_two_symbols_is_one_bit(self):
+        lengths = np.array([1, 2, 1, 2])
+        assert entropy_bits_per_delta(lengths) == pytest.approx(1.0)
+
+    def test_single_symbol_is_zero_bits(self):
+        assert entropy_bits_per_delta(np.array([7, 7, 7])) == 0.0
+
+    def test_empty_is_zero(self):
+        assert entropy_bits_per_delta(np.array([])) == 0.0
+
+    def test_uniform_k_symbols(self):
+        lengths = np.repeat(np.arange(1, 9), 10)
+        assert entropy_bits_per_delta(lengths) == pytest.approx(3.0)
+
+    def test_entropy_is_lower_bound_for_gamma(self, rng):
+        """No code beats entropy: gamma must spend >= the bound (EQ 2)."""
+        lengths = rng.geometric(0.3, 2000)
+        bound = entropy_bits_per_delta(lengths) * lengths.size
+        actual = gamma_code_length(lengths).sum()
+        assert actual >= bound
+
+    def test_entropy_bound_bytes(self):
+        s = iset((0, 4), (8, 9), (15, 15))
+        expected = entropy_bits_per_delta(delta_lengths(s)) * 5 / 8
+        assert entropy_bound_bytes(s) == pytest.approx(expected)
+
+
+class TestPowerLawFit:
+    def test_recovers_known_exponent(self, rng):
+        """Sample from count ~ length^-1.6 and recover the exponent."""
+        lengths = np.arange(1, 200)
+        counts = np.maximum(1, (1e5 * lengths**-1.6)).astype(int)
+        sample = np.repeat(lengths, counts)
+        fit = fit_power_law(sample)
+        assert fit.exponent == pytest.approx(1.6, abs=0.1)
+        assert fit.r_squared > 0.98
+
+    def test_predicted_count(self):
+        lengths = np.repeat(np.arange(1, 50), np.arange(49, 0, -1))
+        fit = fit_power_law(lengths)
+        assert fit.predicted_count(1.0) == pytest.approx(fit.constant)
+
+    def test_needs_enough_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([3, 3, 3]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([]))

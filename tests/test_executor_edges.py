@@ -1,0 +1,127 @@
+"""Edge-case tests for expression evaluation and result handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database
+from repro.errors import ExecutionError, SqlTypeError
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.execute("create table t (id integer, name text, score real, flag boolean)")
+    db.executemany(
+        "insert into t values (?, ?, ?, ?)",
+        [
+            [1, "a", 1.5, True],
+            [2, "b", None, False],
+            [3, None, 3.0, None],
+        ],
+    )
+    return db
+
+
+class TestNullPropagation:
+    def test_arithmetic_with_null_is_null(self, db):
+        result = db.execute("select score + 1 from t where id = 2")
+        assert result.scalar() is None
+
+    def test_concat_with_null_is_null(self, db):
+        assert db.execute("select name || 'x' from t where id = 3").scalar() is None
+
+    def test_unary_minus_null(self, db):
+        assert db.execute("select -score from t where id = 2").scalar() is None
+
+    def test_not_null_is_null(self, db):
+        assert db.execute("select not flag from t where id = 3").scalar() is None
+
+    def test_comparisons_with_null_filter_out(self, db):
+        assert db.execute("select count(*) from t where score < 10").scalar() == 2
+
+    def test_aggregates_skip_null(self, db):
+        result = db.execute("select avg(score), count(score), count(*) from t")
+        assert result.rows == [(2.25, 2, 3)]
+
+
+class TestBooleansAndLiterals:
+    def test_boolean_column_in_where(self, db):
+        assert db.execute("select id from t where flag = true").rows == [(1,)]
+
+    def test_literal_true_false(self, db):
+        assert db.execute("select count(*) from t where true").scalar() == 3
+        assert db.execute("select count(*) from t where false").scalar() == 0
+
+    def test_boolean_not_storable_in_integer(self, db):
+        with pytest.raises(SqlTypeError):
+            db.execute("insert into t values (true, 'x', 1.0, true)")
+
+    def test_int_accepted_in_real_column(self, db):
+        db.execute("insert into t values (4, 'd', 7, false)")
+        value = db.execute("select score from t where id = 4").scalar()
+        assert value == 7.0 and isinstance(value, float)
+
+    def test_whole_float_accepted_in_integer_column(self, db):
+        db.execute("insert into t (id) values (5.0)")
+        assert db.execute("select count(*) from t where id = 5").scalar() == 1
+
+    def test_fractional_float_rejected_in_integer_column(self, db):
+        with pytest.raises(SqlTypeError):
+            db.execute("insert into t (id) values (5.5)")
+
+
+class TestExpressionEdges:
+    def test_nested_parentheses(self, db):
+        assert db.execute("select ((1 + 2)) * (3 - (1)) from t limit 1").rows[0][0] == 6
+
+    def test_mixed_type_comparison_rejected(self, db):
+        with pytest.raises(SqlTypeError):
+            db.execute("select count(*) from t where name > 5")
+
+    def test_mixed_type_arithmetic_rejected(self, db):
+        with pytest.raises(SqlTypeError):
+            db.execute("select name + 1 from t where id = 1")
+
+    def test_concat_coerces_numbers(self, db):
+        assert db.execute("select 'id=' || id from t where id = 1").scalar() == "id=1"
+
+    def test_unary_minus_chains(self, db):
+        # note: `--` would start a comment, so the chain needs parentheses
+        assert db.execute("select -(-id) from t where id = 2").scalar() == 2
+
+    def test_star_in_where_rejected(self, db):
+        from repro.errors import SqlSyntaxError
+
+        with pytest.raises((ExecutionError, SqlSyntaxError)):
+            db.execute("select id from t where * = 1")
+
+
+class TestResultSet:
+    def test_scalar_requires_1x1(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("select id from t").scalar()
+        with pytest.raises(ExecutionError):
+            db.execute("select id, name from t where id = 1").scalar()
+
+    def test_first_on_empty(self, db):
+        assert db.execute("select id from t where id = 99").first() is None
+
+    def test_to_dicts(self, db):
+        dicts = db.execute("select id, name from t where id = 1").to_dicts()
+        assert dicts == [{"id": 1, "name": "a"}]
+
+    def test_unknown_column_lookup(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("select id from t").column("wibble")
+
+    def test_distinct_with_unhashable_values(self, db):
+        db.register_function("aslist", lambda x: [x])
+        result = db.execute("select distinct aslist(1) from t")
+        # Unhashable outputs fall back to identity; all three survive.
+        assert len(result) == 3
+
+    def test_len_and_iter(self, db):
+        result = db.execute("select id from t order by id")
+        assert len(result) == 3
+        assert [row[0] for row in result] == [1, 2, 3]

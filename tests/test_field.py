@@ -1,0 +1,80 @@
+"""Unit tests for vector fields (the §1 m-vector generalization)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GridMismatchError
+from repro.regions import rasterize
+from repro.volumes import VectorField, Volume, gradient_field
+
+
+@pytest.fixture
+def field_array(rng):
+    return rng.normal(0, 1, (8, 8, 8, 3))
+
+
+@pytest.fixture
+def vfield(field_array):
+    return VectorField.from_array(field_array)
+
+
+class TestConstruction:
+    def test_from_array(self, vfield, field_array):
+        assert vfield.vector_dim == 3
+        assert vfield.grid.shape == (8, 8, 8)
+
+    def test_vector_at(self, vfield, field_array, rng):
+        for _ in range(10):
+            x, y, z = (int(v) for v in rng.integers(0, 8, 3))
+            assert np.allclose(vfield.vector_at(x, y, z), field_array[x, y, z])
+
+    def test_requires_cube(self, rng):
+        with pytest.raises(GridMismatchError):
+            VectorField(rng.normal(0, 1, (10, 2)), __import__("repro").GridSpec((5, 2)))
+
+    def test_wrong_shape(self, rng):
+        from repro.curves import GridSpec
+
+        with pytest.raises(ValueError):
+            VectorField(rng.normal(0, 1, (100,)), GridSpec((8, 8, 8)))
+
+
+class TestExtraction:
+    def test_extract_matches_dense(self, vfield, field_array):
+        region = rasterize.sphere(vfield.grid, (4, 4, 4), 2.5)
+        _, vectors = vfield.extract(region)
+        coords = region.coords()
+        expected = field_array[coords[:, 0], coords[:, 1], coords[:, 2]]
+        assert np.allclose(vectors, expected)
+
+
+class TestDerivedScalars:
+    def test_magnitude(self, vfield, field_array):
+        mags = vfield.magnitude()
+        assert isinstance(mags, Volume)
+        expected = np.linalg.norm(field_array, axis=-1)
+        assert np.allclose(mags.to_array(), expected)
+
+    def test_component(self, vfield, field_array):
+        for i in range(3):
+            assert np.allclose(vfield.component(i).to_array(), field_array[..., i])
+
+
+class TestGradientField:
+    def test_gradient_of_linear_ramp(self):
+        """d/dx of a ramp along x is 1 everywhere, 0 along y and z."""
+        x = np.arange(8, dtype=np.float64)
+        ramp = np.broadcast_to(x[:, None, None], (8, 8, 8)).copy()
+        volume = Volume.from_array(ramp)
+        grad = gradient_field(volume)
+        dense_x = grad.component(0).to_array()
+        dense_y = grad.component(1).to_array()
+        assert np.allclose(dense_x, 1.0)
+        assert np.allclose(dense_y, 0.0)
+
+    def test_gradient_shares_curve(self, vfield):
+        volume = vfield.magnitude()
+        grad = gradient_field(volume)
+        assert grad.curve == volume.curve

@@ -1,0 +1,123 @@
+"""Unit tests for octant / oblong-octant decompositions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.regions import (
+    IntervalSet,
+    count_octants,
+    decompose_oblong_octants,
+    decompose_octants,
+    octants_to_intervals,
+)
+
+
+def iset(*runs):
+    return IntervalSet.from_runs(runs)
+
+
+class TestOblongOctants:
+    def test_single_aligned_block(self):
+        ids, ranks = decompose_oblong_octants(iset((8, 15)))
+        assert ids.tolist() == [8]
+        assert ranks.tolist() == [3]
+
+    def test_unaligned_run_splits(self):
+        # [1, 8): 1 + [2,4) + [4,8)
+        ids, ranks = decompose_oblong_octants(iset((1, 7)))
+        assert list(zip(ids.tolist(), ranks.tolist())) == [(1, 0), (2, 1), (4, 2)]
+
+    def test_run_not_power_of_two(self):
+        # [0, 6): [0,4) + [4,6)
+        ids, ranks = decompose_oblong_octants(iset((0, 5)))
+        assert list(zip(ids.tolist(), ranks.tolist())) == [(0, 2), (4, 1)]
+
+    def test_empty(self):
+        ids, ranks = decompose_oblong_octants(IntervalSet.empty())
+        assert ids.size == 0 and ranks.size == 0
+
+    def test_never_more_elements_than_runs_times_log(self):
+        rng = np.random.default_rng(5)
+        s = IntervalSet.from_indices(np.unique(rng.integers(0, 1 << 12, 800)))
+        ids, _ = decompose_oblong_octants(s)
+        assert s.run_count <= ids.size <= s.run_count * 24
+
+
+class TestRegularOctants:
+    def test_rank_multiple_of_ndim(self):
+        rng = np.random.default_rng(6)
+        s = IntervalSet.from_indices(np.unique(rng.integers(0, 1 << 12, 500)))
+        _, ranks = decompose_octants(s, ndim=3)
+        assert np.all(ranks % 3 == 0)
+
+    def test_2d_ranks_even(self):
+        s = iset((1, 8))
+        _, ranks = decompose_octants(s, ndim=2)
+        assert np.all(ranks % 2 == 0)
+
+    def test_octant_count_at_least_oblong(self):
+        """Every run splits into >= as many octants as oblong octants (§4.2)."""
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            s = IntervalSet.from_indices(np.unique(rng.integers(0, 1 << 15, 1000)))
+            n_oct, n_obl = count_octants(s, ndim=3)
+            assert n_oct >= n_obl >= s.run_count
+
+    def test_ndim_validation(self):
+        with pytest.raises(ValueError):
+            decompose_octants(iset((0, 1)), ndim=0)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    def test_octants_rebuild_exactly(self, ndim):
+        rng = np.random.default_rng(8)
+        s = IntervalSet.from_indices(np.unique(rng.integers(0, 1 << 12, 600)))
+        ids, ranks = decompose_octants(s, ndim=ndim)
+        assert octants_to_intervals(ids, ranks) == s
+
+    def test_oblong_rebuild_exactly(self):
+        rng = np.random.default_rng(9)
+        s = IntervalSet.from_indices(np.unique(rng.integers(0, 1 << 12, 600)))
+        ids, ranks = decompose_oblong_octants(s)
+        assert octants_to_intervals(ids, ranks) == s
+
+    def test_rebuild_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            octants_to_intervals(np.array([3]), np.array([2]))
+
+    def test_rebuild_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            octants_to_intervals(np.array([0, 4]), np.array([2]))
+
+
+class TestAlignment:
+    def test_ids_aligned_to_rank(self):
+        rng = np.random.default_rng(10)
+        s = IntervalSet.from_indices(np.unique(rng.integers(0, 1 << 14, 700)))
+        for ids, ranks in (
+            decompose_oblong_octants(s),
+            decompose_octants(s, ndim=3),
+        ):
+            assert not np.any(ids & ((np.int64(1) << ranks) - 1))
+
+    def test_elements_in_curve_order(self):
+        rng = np.random.default_rng(11)
+        s = IntervalSet.from_indices(np.unique(rng.integers(0, 1 << 13, 400)))
+        ids, _ = decompose_oblong_octants(s)
+        assert np.all(np.diff(ids) > 0)
+
+    def test_greedy_is_maximal(self):
+        """No two adjacent same-rank siblings that could merge (canonical octree)."""
+        rng = np.random.default_rng(12)
+        s = IntervalSet.from_indices(np.unique(rng.integers(0, 1 << 12, 500)))
+        ids, ranks = decompose_oblong_octants(s)
+        blocks = set(zip(ids.tolist(), ranks.tolist()))
+        for i, r in blocks:
+            buddy_id = i ^ (1 << r)
+            if (buddy_id, r) in blocks and (min(i, buddy_id) & ((1 << (r + 1)) - 1)) == 0:
+                raise AssertionError(
+                    f"blocks <{i},{r}> and <{buddy_id},{r}> should have merged"
+                )

@@ -1,0 +1,137 @@
+"""The §1 generality claim: fields of dimensionalities other than 3.
+
+"Scalar fields can have other dimensionalities as well; for example, the
+price history of a stock can be represented as a 1-d scalar field of
+<time, price> samples" — and "the techniques presented in this paper can
+be extended to handle fields of dimensionalities other than 3 in a
+straightforward manner."  These tests run the full REGION/VOLUME machinery
+on 1-D time series and 2-D images without any special casing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import get_codec
+from repro.curves import GridSpec, HilbertCurve
+from repro.regions import Region
+from repro.volumes import Volume, band_region, uniform_bands
+
+
+class TestOneDimensionalField:
+    """A year of daily stock prices as a 1-D scalar field."""
+
+    @pytest.fixture
+    def prices(self, rng):
+        steps = rng.normal(0, 1.5, 512).cumsum()
+        return np.clip(120 + steps, 0, 255).astype(np.uint8)
+
+    @pytest.fixture
+    def field(self, prices):
+        return Volume.from_array(prices)
+
+    def test_field_construction(self, field, prices):
+        assert field.grid.shape == (512,)
+        assert field.voxel_count == 512
+        assert np.array_equal(field.to_array(), prices)
+
+    def test_point_probe_is_price_lookup(self, field, prices):
+        for day in (0, 100, 511):
+            assert field.value_at(day) == prices[day]
+
+    def test_attribute_query_high_price_days(self, field, prices):
+        """'When was the stock above 130?' is an intensity-band query."""
+        threshold = int(prices.mean())
+        region = band_region(field, threshold, 255)
+        assert region.voxel_count == int((prices >= threshold).sum())
+        days = region.coords()[:, 0]
+        assert (prices[days] >= threshold).all()
+
+    def test_spatial_query_quarter_window(self, field, prices):
+        """'Prices in Q3' is a box query on the time axis."""
+        window = Region.from_box(field.grid, (256,), (384,))
+        data = field.extract(window)
+        assert np.array_equal(data.values, prices[256:384])
+
+    def test_runs_are_price_episodes(self, field, prices):
+        """Runs of a band REGION are contiguous episodes above the bar."""
+        region = band_region(field, 130, 255)
+        for start, end in region.intervals.runs_inclusive():
+            assert (prices[start:end + 1] >= 130).all()
+            if start > 0:
+                assert prices[start - 1] < 130
+            if end < 511:
+                assert prices[end + 1] < 130
+
+    def test_serialization_roundtrip(self, field):
+        region = band_region(field, 0, 127)
+        assert Region.from_bytes(region.to_bytes("elias")) == region
+        assert Volume.from_bytes(field.to_bytes()) == field
+
+
+class TestTwoDimensionalField:
+    """A single image slice as a 2-D scalar field."""
+
+    @pytest.fixture
+    def image(self, rng):
+        x, y = np.meshgrid(np.arange(64), np.arange(64), indexing="ij")
+        blob = 200 * np.exp(-((x - 30) ** 2 + (y - 40) ** 2) / 150)
+        return np.clip(blob + rng.normal(0, 5, (64, 64)), 0, 255).astype(np.uint8)
+
+    @pytest.fixture
+    def field(self, image):
+        return Volume.from_array(image)
+
+    def test_banding_partitions_image(self, field):
+        bands = uniform_bands(field)
+        assert sum(b.region.voxel_count for b in bands) == 64 * 64
+
+    def test_bright_region_is_near_blob_center(self, field, image):
+        region = band_region(field, 150, 255)
+        assert region.voxel_count > 0
+        cx, cy = region.centroid()
+        assert abs(cx - 30) < 4 and abs(cy - 40) < 4
+
+    def test_quadrant_intersection(self, field):
+        bright = band_region(field, 150, 255)
+        quadrant = Region.from_box(field.grid, (0, 32), (32, 64))
+        both = bright.intersection(quadrant)
+        assert quadrant.contains(both)
+        assert both.voxel_count <= bright.voxel_count
+
+    def test_hilbert_beats_z_in_2d_too(self, field):
+        region = band_region(field, 100, 255)
+        z_region = region.reorder("morton")
+        assert region.run_count <= z_region.run_count
+
+    def test_2d_curve_square_grid(self):
+        curve = HilbertCurve(2, 6)
+        assert curve.length == 64 * 64
+
+    def test_codecs_work_in_2d(self, field):
+        region = band_region(field, 150, 255)
+        for name in ("naive", "elias", "octant", "oblong"):
+            codec = get_codec(name)
+            source = region.reorder("morton") if name in ("octant", "oblong") else region
+            payload = codec.encode(source.intervals, ndim=2)
+            assert codec.decode(payload) == source.intervals
+
+
+class TestFourDimensionalRegion:
+    """Even 4-D (e.g. a time series of volumes) region algebra works."""
+
+    def test_4d_region_operations(self, rng):
+        grid = GridSpec((8, 8, 8, 8))
+        mask_a = rng.random(grid.shape) < 0.1
+        mask_b = rng.random(grid.shape) < 0.1
+        a = Region.from_mask(mask_a, grid)
+        b = Region.from_mask(mask_b, grid)
+        assert np.array_equal((a & b).to_mask(), mask_a & mask_b)
+        assert np.array_equal((a | b).to_mask(), mask_a | mask_b)
+
+    def test_4d_octants(self, rng):
+        grid = GridSpec((8, 8, 8, 8))
+        region = Region.from_mask(rng.random(grid.shape) < 0.2, grid)
+        ids, ranks = region.octants()
+        assert (ranks % 4 == 0).all()

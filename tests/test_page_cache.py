@@ -1,0 +1,102 @@
+"""Tests for the optional LRU page cache (the buffering ablation substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import PAGE_SIZE, BlockDevice, LongFieldManager, PageCache
+
+
+@pytest.fixture
+def cached():
+    device = BlockDevice(64 * PAGE_SIZE)
+    return PageCache(device, capacity_pages=4), device
+
+
+class TestCorrectness:
+    def test_read_returns_written_data(self, cached):
+        cache, _ = cached
+        cache.write(100, b"hello page cache")
+        assert cache.read(100, 16) == b"hello page cache"
+
+    def test_read_spanning_pages(self, cached):
+        cache, device = cached
+        payload = bytes(range(256)) * 40  # > 2 pages
+        cache.write(PAGE_SIZE - 100, payload)
+        assert cache.read(PAGE_SIZE - 100, len(payload)) == payload
+
+    def test_read_ranges_matches_device(self, cached, rng):
+        cache, device = cached
+        blob = bytes(rng.integers(0, 256, 8 * PAGE_SIZE).astype(np.uint8))
+        cache.write(0, blob)
+        starts = np.array([10, 5000, 20000])
+        stops = starts + 123
+        assert cache.read_ranges(starts, stops) == device.read_ranges(starts, stops)
+
+    def test_write_invalidates_cached_page(self, cached):
+        cache, _ = cached
+        cache.write(0, b"aaaa")
+        assert cache.read(0, 4) == b"aaaa"  # now cached
+        cache.write(0, b"bbbb")
+        assert cache.read(0, 4) == b"bbbb"
+
+    def test_bounds_checked(self, cached):
+        cache, _ = cached
+        with pytest.raises(StorageError):
+            cache.read(cache.capacity - 1, 2)
+
+    def test_capacity_validation(self):
+        with pytest.raises(StorageError):
+            PageCache(BlockDevice(4 * PAGE_SIZE), capacity_pages=0)
+
+
+class TestCaching:
+    def test_repeated_read_hits(self, cached):
+        cache, device = cached
+        cache.read(0, 100)
+        physical_before = device.stats.pages_read
+        cache.read(0, 100)
+        cache.read(50, 10)
+        assert device.stats.pages_read == physical_before  # served from cache
+        assert cache.hits >= 2
+        assert cache.stats.pages_read == 3  # logical I/O still counted
+
+    def test_lru_eviction(self, cached):
+        cache, device = cached
+        for n in range(5):  # capacity is 4 pages
+            cache.read(n * PAGE_SIZE, 1)
+        physical_before = device.stats.pages_read
+        cache.read(0, 1)  # page 0 was evicted
+        assert device.stats.pages_read == physical_before + 1
+
+    def test_hit_rate(self, cached):
+        cache, _ = cached
+        assert cache.hit_rate == 0.0
+        cache.read(0, 1)
+        cache.read(0, 1)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_clear(self, cached):
+        cache, device = cached
+        cache.read(0, 1)
+        cache.clear()
+        before = device.stats.pages_read
+        cache.read(0, 1)
+        assert device.stats.pages_read == before + 1
+
+
+class TestWithLfm:
+    def test_lfm_over_cache(self, rng):
+        """The LFM runs unmodified over a cached device (duck typing)."""
+        device = BlockDevice(1 << 20)
+        cache = PageCache(device, capacity_pages=16)
+        lfm = LongFieldManager(cache)
+        payload = bytes(rng.integers(0, 256, 3 * PAGE_SIZE).astype(np.uint8))
+        field = lfm.create(payload)
+        assert lfm.read(field) == payload
+        physical_before = device.stats.pages_read
+        assert lfm.read(field) == payload  # second read: all cache hits
+        assert device.stats.pages_read == physical_before
+        assert cache.stats.pages_read >= 6  # logical I/O counted both times

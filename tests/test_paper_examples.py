@@ -1,0 +1,135 @@
+"""Exact reproductions of the paper's worked examples and in-text claims.
+
+Tables 1 and 2 (the Figure 3 region under both curves and all three
+encodings), the z-id bit-interleaving example of Figure 2, and small-scale
+versions of the §4.1/§4.2 statistical claims.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import PAPER_RUN_RATIOS
+from repro.compression import get_codec
+from repro.curves import GridSpec, MortonCurve
+from repro.regions import Region
+from repro.synthdata import build_phantom
+
+
+@pytest.fixture
+def figure3_region_z(figure3_cells):
+    return Region.from_coords(figure3_cells, GridSpec((4, 4)), "morton")
+
+
+@pytest.fixture
+def figure3_region_h(figure3_cells):
+    return Region.from_coords(figure3_cells, GridSpec((4, 4)), "hilbert")
+
+
+class TestFigure2:
+    def test_zid_of_shaded_square(self):
+        """The shaded 1x1 square at x=01, y=00 has z-id 0010 = 2."""
+        curve = MortonCurve(2, 2)
+        assert curve.index_point(1, 0) == 2
+
+    def test_upper_left_quadrant_zvalue(self):
+        """The upper-left quadrant is '01**': z-ids 4..7."""
+        curve = MortonCurve(2, 2)
+        cells = np.array([(0, 2), (0, 3), (1, 2), (1, 3)])
+        ids = sorted(curve.index(cells).tolist())
+        assert ids == [4, 5, 6, 7]
+
+
+class TestTable1:
+    """Z-curve encodings of the Figure 3 region."""
+
+    def test_z_runs(self, figure3_region_z):
+        assert list(figure3_region_z.intervals.runs_inclusive()) == [
+            (1, 1), (4, 7), (12, 13),
+        ]
+
+    def test_z_octants(self, figure3_region_z):
+        ids, ranks = figure3_region_z.octants()
+        assert list(zip(ids.tolist(), ranks.tolist())) == [
+            (0b0001, 0), (0b0100, 2), (0b1100, 0), (0b1101, 0),
+        ]
+
+    def test_z_oblong_octants(self, figure3_region_z):
+        ids, ranks = figure3_region_z.oblong_octants()
+        assert list(zip(ids.tolist(), ranks.tolist())) == [
+            (0b0001, 0), (0b0100, 2), (0b1100, 1),
+        ]
+
+    def test_naive_encoding_is_8_bytes_per_run(self, figure3_region_z):
+        payload = get_codec("naive").encode(figure3_region_z.intervals)
+        assert len(payload) == 3 * 8
+
+
+class TestTable2:
+    """Hilbert-curve encodings of the same region."""
+
+    def test_h_runs(self, figure3_region_h):
+        assert list(figure3_region_h.intervals.runs_inclusive()) == [(3, 9)]
+
+    def test_h_octants(self, figure3_region_h):
+        ids, ranks = figure3_region_h.octants()
+        assert list(zip(ids.tolist(), ranks.tolist())) == [
+            (0b0011, 0), (0b0100, 2), (0b1000, 0), (0b1001, 0),
+        ]
+
+    def test_h_oblong_octants(self, figure3_region_h):
+        ids, ranks = figure3_region_h.oblong_octants()
+        assert list(zip(ids.tolist(), ranks.tolist())) == [
+            (0b0011, 0), (0b0100, 2), (0b1000, 1),
+        ]
+
+    def test_hilbert_beats_z_here(self, figure3_region_h, figure3_region_z):
+        assert figure3_region_h.run_count == 1
+        assert figure3_region_z.run_count == 3
+
+
+class TestSection42Claims:
+    """The run-count ordering of §4.2 on phantom anatomy (small scale)."""
+
+    @pytest.fixture(scope="class")
+    def phantom(self):
+        return build_phantom(grid_side=32, seed=5)
+
+    def test_run_count_ordering(self, phantom):
+        """#h-runs <= #z-runs <= #oblong octants <= #octants, per REGION."""
+        for name, region in phantom.structures.items():
+            h_runs = region.run_count
+            z_region = region.reorder("morton")
+            z_runs = z_region.run_count
+            oblong = z_region.oblong_octants()[0].size
+            octants = z_region.octants()[0].size
+            assert h_runs <= z_runs <= oblong <= octants, name
+
+    def test_aggregate_ratios_in_paper_ballpark(self, phantom):
+        """Aggregate ratios land within a factor ~2 of 1 : 1.27 : 1.61 : 2.42."""
+        totals = np.zeros(4)
+        for region in phantom.structures.values():
+            z_region = region.reorder("morton")
+            totals += (
+                region.run_count,
+                z_region.run_count,
+                z_region.oblong_octants()[0].size,
+                z_region.octants()[0].size,
+            )
+        ratios = totals / totals[0]
+        for measured, paper in zip(ratios[1:], PAPER_RUN_RATIOS[1:]):
+            assert paper / 2 < measured < paper * 2
+
+    def test_elias_best_naive_midfield_octant_worst(self, phantom):
+        """Figure 4's ordering of encoded sizes on anatomy-shaped regions."""
+        sizes = np.zeros(3)
+        for region in phantom.structures.values():
+            ivs = region.intervals
+            sizes += (
+                get_codec("elias").encoded_size(ivs),
+                get_codec("naive").encoded_size(ivs),
+                get_codec("octant").encoded_size(region.reorder("morton").intervals, ndim=3),
+            )
+        elias, naive, octant = sizes
+        assert elias < naive < octant

@@ -1,0 +1,113 @@
+"""Property-based tests for the storage layer and DATA_REGION operations."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curves import GridSpec
+from repro.errors import AllocationError
+from repro.regions import Region
+from repro.storage import BuddyAllocator
+from repro.volumes import Volume
+
+# ---------------------------------------------------------------------- #
+# buddy allocator: random alloc/free traces never hand out overlapping
+# or misaligned blocks, and a fully freed arena coalesces completely
+# ---------------------------------------------------------------------- #
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(1, 40_000)),
+        st.tuples(st.just("free"), st.integers(0, 30)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(ops=_ops)
+@settings(max_examples=60, deadline=None)
+def test_buddy_allocator_invariants(ops):
+    capacity = 1 << 18
+    buddy = BuddyAllocator(capacity, min_block=4096)
+    live: list[int] = []
+    for op, value in ops:
+        if op == "alloc":
+            try:
+                offset = buddy.alloc(value)
+            except AllocationError:
+                continue  # arena exhausted; valid outcome
+            size = buddy.block_size(offset)
+            assert size >= value
+            assert offset % size == 0  # buddy blocks are size-aligned
+            assert 0 <= offset and offset + size <= capacity
+            # No overlap with any live block.
+            for other in live:
+                other_size = buddy.block_size(other)
+                assert offset + size <= other or other + other_size <= offset
+            live.append(offset)
+        elif live:
+            buddy.free(live.pop(value % len(live)))
+    for offset in live:
+        buddy.free(offset)
+    # Everything freed: the arena must coalesce back into one max block.
+    assert buddy.allocated_bytes == 0
+    assert buddy.alloc(capacity) == 0
+
+
+# ---------------------------------------------------------------------- #
+# volume extraction / data-region operations agree with dense numpy
+# ---------------------------------------------------------------------- #
+
+_small_volume = st.builds(
+    lambda seed: np.random.default_rng(seed).integers(0, 256, (8, 8, 8)).astype(np.uint8),
+    st.integers(0, 2**31),
+)
+
+_mask8 = st.lists(st.booleans(), min_size=512, max_size=512).map(
+    lambda bits: np.asarray(bits, dtype=bool).reshape(8, 8, 8)
+)
+
+
+@given(arr=_small_volume, mask=_mask8)
+@settings(max_examples=40, deadline=None)
+def test_extract_matches_dense_indexing(arr, mask):
+    grid = GridSpec((8, 8, 8))
+    volume = Volume.from_array(arr)
+    region = Region.from_mask(mask, grid)
+    data = volume.extract(region)
+    coords = region.coords()
+    expected = arr[coords[:, 0], coords[:, 1], coords[:, 2]]
+    assert np.array_equal(data.values, expected)
+    assert np.array_equal(data.to_array(fill=0)[mask], arr[mask])
+
+
+@given(arr=_small_volume, mask=_mask8, lo=st.integers(0, 255), hi=st.integers(0, 255))
+@settings(max_examples=40, deadline=None)
+def test_band_then_restrict_consistency(arr, mask, lo, hi):
+    if lo > hi:
+        lo, hi = hi, lo
+    grid = GridSpec((8, 8, 8))
+    volume = Volume.from_array(arr)
+    region = Region.from_mask(mask, grid)
+    data = volume.extract(region)
+    banded = data.band(lo, hi)
+    # The banded region is exactly the voxels of `region` with in-range values.
+    expected = mask & (arr >= lo) & (arr <= hi)
+    assert np.array_equal(banded.region.to_mask(), expected)
+    # Restricting the full extraction to the banded region returns its values.
+    again = data.restrict(banded.region)
+    assert again == banded
+
+
+@given(arr=_small_volume, mask=_mask8)
+@settings(max_examples=30, deadline=None)
+def test_data_region_payload_roundtrip(arr, mask):
+    volume = Volume.from_array(arr)
+    region = Region.from_mask(mask, GridSpec((8, 8, 8)))
+    data = volume.extract(region)
+    from repro.volumes import DataRegion
+
+    assert DataRegion.from_bytes(data.to_bytes()) == data

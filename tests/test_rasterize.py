@@ -1,0 +1,114 @@
+"""Unit tests for geometric rasterization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.curves import GridSpec
+from repro.regions import rasterize
+
+
+class TestSphere:
+    def test_center_voxel_inside(self, grid3):
+        region = rasterize.sphere(grid3, (8, 8, 8), 3.0)
+        assert region.contains_points(np.array([[8, 8, 8]])).all()
+
+    def test_volume_close_to_analytic(self):
+        grid = GridSpec((64, 64, 64))
+        r = 20.0
+        region = rasterize.sphere(grid, (32, 32, 32), r)
+        analytic = 4 / 3 * np.pi * r**3
+        assert abs(region.voxel_count - analytic) / analytic < 0.02
+
+    def test_zero_radius_single_voxel(self, grid3):
+        region = rasterize.sphere(grid3, (5, 5, 5), 0.0)
+        assert region.voxel_count == 1
+
+    def test_negative_radius_rejected(self, grid3):
+        with pytest.raises(ValueError):
+            rasterize.sphere(grid3, (5, 5, 5), -1.0)
+
+    def test_symmetry(self, grid3):
+        region = rasterize.sphere(grid3, (8, 8, 8), 5.0)
+        mask = region.to_mask()
+        assert np.array_equal(mask, mask[::-1, :, :][::-1, :, :])
+        assert np.array_equal(mask, np.transpose(mask, (1, 0, 2)))
+
+
+class TestEllipsoid:
+    def test_axis_aligned_extents(self, grid3):
+        region = rasterize.ellipsoid(grid3, (8, 8, 8), (6, 3, 2))
+        lower, upper = region.bounding_box()
+        assert upper[0] - lower[0] > upper[1] - lower[1] > upper[2] - lower[2]
+
+    def test_rotated_ellipsoid(self, grid3):
+        theta = np.pi / 4
+        rot = np.array(
+            [
+                [np.cos(theta), -np.sin(theta), 0],
+                [np.sin(theta), np.cos(theta), 0],
+                [0, 0, 1],
+            ]
+        )
+        plain = rasterize.ellipsoid(grid3, (8, 8, 8), (6, 2, 2))
+        rotated = rasterize.ellipsoid(grid3, (8, 8, 8), (6, 2, 2), rotation=rot)
+        # Same volume within discretization error, different voxel sets.
+        assert abs(rotated.voxel_count - plain.voxel_count) < 0.3 * plain.voxel_count
+        assert rotated != plain
+
+    def test_nonpositive_radius_rejected(self, grid3):
+        with pytest.raises(ValueError):
+            rasterize.ellipsoid(grid3, (8, 8, 8), (3, 0, 2))
+
+    def test_sphere_is_special_case(self, grid3):
+        e = rasterize.ellipsoid(grid3, (8, 8, 8), (5, 5, 5))
+        s = rasterize.sphere(grid3, (8, 8, 8), 5.0)
+        assert e == s
+
+
+class TestCylinder:
+    def test_axis_aligned_beam(self, grid3):
+        region = rasterize.cylinder(grid3, (8, 8, 0), (0, 0, 1), 2.0)
+        mask = region.to_mask()
+        # Every z-slice has the same disc.
+        for z in range(1, 16):
+            assert np.array_equal(mask[:, :, z], mask[:, :, 0])
+
+    def test_diagonal_beam_hits_corners(self, grid3):
+        region = rasterize.cylinder(grid3, (0, 0, 0), (1, 1, 1), 1.5)
+        assert region.contains_points(np.array([[0, 0, 0], [15, 15, 15]])).all()
+
+    def test_zero_direction_rejected(self, grid3):
+        with pytest.raises(ValueError):
+            rasterize.cylinder(grid3, (0, 0, 0), (0, 0, 0), 1.0)
+
+    def test_negative_radius_rejected(self, grid3):
+        with pytest.raises(ValueError):
+            rasterize.cylinder(grid3, (0, 0, 0), (0, 0, 1), -2.0)
+
+
+class TestHalfspace:
+    def test_hemisphere_split(self, grid3):
+        left = rasterize.halfspace(grid3, (1, 0, 0), 7.0)
+        right = left.complement()
+        assert left.voxel_count == 8 * 16 * 16
+        assert right.voxel_count == 8 * 16 * 16
+
+    def test_zero_normal_rejected(self, grid3):
+        with pytest.raises(ValueError):
+            rasterize.halfspace(grid3, (0, 0, 0), 1.0)
+
+
+class TestFromPredicate:
+    def test_arbitrary_predicate(self, grid3):
+        region = rasterize.from_predicate(grid3, lambda x, y, z: (x + y + z) % 2 == 0)
+        assert region.voxel_count == grid3.size // 2
+
+    def test_box_equivalence(self, grid3):
+        via_box = rasterize.box(grid3, (2, 3, 4), (6, 7, 8))
+        via_pred = rasterize.from_predicate(
+            grid3,
+            lambda x, y, z: (x >= 2) & (x < 6) & (y >= 3) & (y < 7) & (z >= 4) & (z < 8),
+        )
+        assert via_box == via_pred

@@ -1,0 +1,144 @@
+"""Unit tests for the RegionIndex (§7 spatial-indexing extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.curves import GridSpec
+from repro.errors import GridMismatchError
+from repro.regions import Region, RegionIndex, rasterize
+
+
+@pytest.fixture
+def population(grid3):
+    rng = np.random.default_rng(31)
+    regions = {}
+    for i in range(12):
+        center = tuple(rng.uniform(3, 13, 3))
+        radius = float(rng.uniform(1.0, 3.0))
+        region = rasterize.sphere(grid3, center, radius)
+        if region.voxel_count:
+            regions[f"r{i}"] = region
+    return regions
+
+
+@pytest.fixture
+def index(grid3, population):
+    return RegionIndex.build(grid3, population.items())
+
+
+class TestMaintenance:
+    def test_build_and_len(self, index, population):
+        assert len(index) == len(population)
+        for key in population:
+            assert key in index
+
+    def test_duplicate_key_rejected(self, index, population, grid3):
+        key, region = next(iter(population.items()))
+        with pytest.raises(KeyError):
+            index.add(key, region)
+
+    def test_empty_region_rejected(self, index, grid3):
+        with pytest.raises(ValueError):
+            index.add("empty", Region.empty(grid3))
+
+    def test_grid_mismatch_rejected(self, index):
+        other = Region.full(GridSpec((8, 8, 8)))
+        with pytest.raises(GridMismatchError):
+            index.add("other", other)
+
+    def test_remove(self, index, population):
+        key = next(iter(population))
+        index.remove(key)
+        assert key not in index
+        assert len(index) == len(population) - 1
+        # Remaining entries still resolve correctly.
+        for other in population:
+            if other != key:
+                assert index.bounding_box(other)
+
+    def test_bounding_box_matches_region(self, index, population):
+        for key, region in population.items():
+            assert index.bounding_box(key) == region.bounding_box()
+
+
+class TestCandidates:
+    def test_no_false_negatives_box(self, index, population, grid3, rng):
+        """Every region truly intersecting a probe box must be a candidate."""
+        for _ in range(20):
+            lo = rng.integers(0, 12, 3)
+            hi = lo + rng.integers(1, 5, 3)
+            box = rasterize.box(grid3, tuple(lo), tuple(hi))
+            candidates = set(index.candidates_intersecting_box(tuple(lo), tuple(hi)))
+            for key, region in population.items():
+                if box.voxel_count and not region.isdisjoint(box):
+                    assert key in candidates, key
+
+    def test_no_false_negatives_region(self, index, population, grid3):
+        probe = rasterize.sphere(grid3, (8, 8, 8), 4.0)
+        candidates = set(index.candidates_intersecting(probe))
+        for key, region in population.items():
+            if not region.isdisjoint(probe):
+                assert key in candidates
+
+    def test_point_candidates(self, index, population):
+        for key, region in population.items():
+            point = tuple(region.coords()[0].tolist())
+            assert key in index.candidates_containing_point(point)
+
+    def test_empty_probe(self, index, grid3):
+        assert index.candidates_intersecting(Region.empty(grid3)) == []
+
+    def test_empty_index(self, grid3):
+        empty = RegionIndex(grid3)
+        assert empty.candidates_intersecting_box((0, 0, 0), (4, 4, 4)) == []
+        assert empty.candidates_containing_point((1, 1, 1)) == []
+
+    def test_dimension_validation(self, index):
+        with pytest.raises(GridMismatchError):
+            index.candidates_intersecting_box((0, 0), (4, 4))
+        with pytest.raises(GridMismatchError):
+            index.candidates_containing_point((1, 1))
+
+    def test_candidates_prune_something(self, grid3):
+        """Two far-apart blobs: a probe at one never proposes the other."""
+        a = rasterize.box(grid3, (0, 0, 0), (3, 3, 3))
+        b = rasterize.box(grid3, (12, 12, 12), (15, 15, 15))
+        index = RegionIndex.build(grid3, [("a", a), ("b", b)])
+        assert index.candidates_intersecting_box((0, 0, 0), (2, 2, 2)) == ["a"]
+
+
+class TestRefinement:
+    def test_refine_matches_ground_truth(self, index, population, grid3):
+        probe = rasterize.sphere(grid3, (7, 9, 8), 3.0)
+        fetched = []
+
+        def fetch(key):
+            fetched.append(key)
+            return population[key]
+
+        hits = set(index.refine_intersecting(probe, fetch))
+        truth = {k for k, r in population.items() if not r.isdisjoint(probe)}
+        assert hits == truth
+        # Only candidates were fetched — never the whole population
+        # (unless everything truly is a candidate).
+        assert len(fetched) <= len(population)
+        assert set(fetched) == set(index.candidates_intersecting(probe))
+
+
+class TestServerIntegration:
+    def test_indexed_and_naive_agree(self, demo_system):
+        box = ((10, 10, 8), (20, 20, 16))
+        names_indexed, r_indexed = demo_system.server.structures_intersecting_box(*box)
+        names_naive, r_naive = demo_system.server.structures_intersecting_box(
+            *box, use_index=False
+        )
+        assert names_indexed == names_naive
+        assert r_indexed.io.pages_read <= r_naive.io.pages_read
+
+    def test_miss_costs_almost_nothing(self, demo_system):
+        corner = ((0, 0, 0), (2, 2, 2))  # outside the brain envelope
+        names, result = demo_system.server.structures_intersecting_box(*corner)
+        assert names == []
+        assert result.io.pages_read <= 2

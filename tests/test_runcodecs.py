@@ -1,0 +1,135 @@
+"""Unit tests for the REGION disk encodings (§4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    REGION_CODECS,
+    EliasRunCodec,
+    NaiveRunCodec,
+    OblongOctantCodec,
+    OctantCodec,
+    entropy_bound_bytes,
+    get_codec,
+)
+from repro.errors import CodecError
+from repro.regions import IntervalSet
+
+ALL_CODEC_NAMES = ["naive", "elias", "octant", "oblong"]
+
+
+def random_set(rng, space=1 << 15, n=1500):
+    return IntervalSet.from_indices(np.unique(rng.integers(0, space, n)))
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(REGION_CODECS) == set(ALL_CODEC_NAMES)
+
+    def test_get_codec(self):
+        assert isinstance(get_codec("naive"), NaiveRunCodec)
+        assert isinstance(get_codec("elias"), EliasRunCodec)
+        assert isinstance(get_codec("octant"), OctantCodec)
+        assert isinstance(get_codec("oblong"), OblongOctantCodec)
+
+    def test_unknown_codec(self):
+        with pytest.raises(CodecError, match="unknown REGION codec"):
+            get_codec("lzma")
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("name", ALL_CODEC_NAMES)
+    def test_random_sets(self, name, rng):
+        codec = get_codec(name)
+        for _ in range(3):
+            s = random_set(rng)
+            assert codec.decode(codec.encode(s, ndim=3)) == s
+
+    @pytest.mark.parametrize("name", ALL_CODEC_NAMES)
+    def test_empty_set(self, name):
+        codec = get_codec(name)
+        assert codec.decode(codec.encode(IntervalSet.empty())) == IntervalSet.empty()
+
+    @pytest.mark.parametrize("name", ALL_CODEC_NAMES)
+    def test_single_voxel(self, name):
+        codec = get_codec(name)
+        s = IntervalSet.from_indices(np.array([42]))
+        assert codec.decode(codec.encode(s)) == s
+
+    @pytest.mark.parametrize("name", ALL_CODEC_NAMES)
+    def test_single_big_run(self, name):
+        codec = get_codec(name)
+        s = IntervalSet.from_runs([(0, (1 << 21) - 1)])  # a full 128^3 volume
+        assert codec.decode(codec.encode(s)) == s
+
+    @pytest.mark.parametrize("name", ALL_CODEC_NAMES)
+    def test_run_starting_at_zero(self, name):
+        codec = get_codec(name)
+        s = IntervalSet.from_runs([(0, 3), (10, 10)])
+        assert codec.decode(codec.encode(s)) == s
+
+
+class TestSizes:
+    def test_naive_is_8_bytes_per_run(self, rng):
+        s = random_set(rng)
+        codec = get_codec("naive")
+        assert len(codec.encode(s)) == 8 * s.run_count
+        assert codec.encoded_size(s) == 8 * s.run_count
+
+    def test_octant_is_4_bytes_per_octant(self, rng):
+        s = random_set(rng)
+        from repro.regions import decompose_octants
+
+        ids, _ = decompose_octants(s, 3)
+        assert len(get_codec("octant").encode(s, ndim=3)) == 4 * ids.size
+
+    def test_encoded_size_matches_encode(self, rng):
+        s = random_set(rng)
+        for name in ALL_CODEC_NAMES:
+            codec = get_codec(name)
+            assert codec.encoded_size(s, ndim=3) == len(codec.encode(s, ndim=3))
+
+    def test_elias_close_to_entropy_bound(self, rng):
+        """Figure 4's headline: elias lands within ~1.2x of the entropy limit
+        for realistic (power-law-ish) regions."""
+        # Build a region with many small deltas, like real anatomy.
+        lengths = rng.geometric(0.35, 4000)
+        positions = np.cumsum(lengths)
+        s = IntervalSet.from_indices(positions[::2].repeat(1))
+        bound = entropy_bound_bytes(s)
+        actual = len(get_codec("elias").encode(s))
+        assert actual < 3.0 * bound  # generous: tiny overhead dominates small sets
+
+    def test_size_order_matches_figure4(self, rng):
+        """elias < naive <= oblong-ish < octant for blobby regions."""
+        s = random_set(rng, space=1 << 18, n=20000)
+        sizes = {name: get_codec(name).encoded_size(s, ndim=3) for name in ALL_CODEC_NAMES}
+        assert sizes["elias"] < sizes["naive"]
+        assert sizes["naive"] <= sizes["oblong"] * 2.5
+        assert sizes["oblong"] <= sizes["octant"]
+
+
+class TestErrorHandling:
+    def test_naive_rejects_bad_length(self):
+        with pytest.raises(CodecError):
+            get_codec("naive").decode(b"\0" * 7)
+
+    def test_octant_rejects_bad_length(self):
+        with pytest.raises(CodecError):
+            get_codec("octant").decode(b"\0" * 5)
+
+    def test_elias_rejects_truncated_header(self):
+        with pytest.raises(CodecError):
+            get_codec("elias").decode(b"\0")
+
+    def test_naive_rejects_huge_ids(self):
+        s = IntervalSet.from_runs([(1 << 33, 1 << 33)])
+        with pytest.raises(CodecError):
+            get_codec("naive").encode(s)
+
+    def test_octant_rejects_ids_beyond_512_cubed(self):
+        s = IntervalSet.from_runs([(1 << 28, (1 << 28) + 3)])
+        with pytest.raises(CodecError, match="512x512x512"):
+            get_codec("octant").encode(s)

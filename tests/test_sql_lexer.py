@@ -1,0 +1,92 @@
+"""Unit tests for the SQL tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.sql import Token, TokenType, tokenize
+from repro.errors import SqlSyntaxError
+
+
+def kinds(sql):
+    return [t.type for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+def texts(sql):
+    return [t.text for t in tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_idents_and_keywords_are_idents(self):
+        assert kinds("select foo FROM Bar") == [TokenType.IDENT] * 4
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 1e3 3.14e-2 .5")[:-1]
+        assert [t.value for t in tokens] == [1, 2.5, 1000.0, 0.0314, 0.5]
+        assert isinstance(tokens[0].value, int)
+        assert isinstance(tokens[1].value, float)
+
+    def test_strings(self):
+        token = tokenize("'putamen'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "putamen"
+
+    def test_string_with_escaped_quote(self):
+        token = tokenize("'o''brien'")[0]
+        assert token.value == "o'brien"
+
+    def test_param(self):
+        assert tokenize("?")[0].type is TokenType.PARAM
+
+    def test_operators(self):
+        assert texts("a <= b <> c >= d != e") == ["a", "<=", "b", "<>", "c", ">=", "d", "!=", "e"]
+
+    def test_punctuation(self):
+        assert texts("f(a, b.c)") == ["f", "(", "a", ",", "b", ".", "c", ")"]
+
+    def test_concat_operator(self):
+        assert "||" in texts("a || b")
+
+
+class TestWhitespaceAndComments:
+    def test_comments_skipped(self):
+        assert texts("select -- this is a comment\n x") == ["select", "x"]
+
+    def test_trailing_comment(self):
+        assert texts("x -- done") == ["x"]
+
+    def test_newlines_tracked(self):
+        tokens = tokenize("a\nb")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_error_position(self):
+        try:
+            tokenize("abc\n  $")
+        except SqlSyntaxError as exc:
+            assert exc.line == 2
+            assert exc.column == 3
+        else:
+            raise AssertionError("expected a syntax error")
+
+
+class TestTokenHelpers:
+    def test_matches_keyword_case_insensitive(self):
+        token = tokenize("SELECT")[0]
+        assert token.matches_keyword("select")
+        assert token.matches_keyword("SELECT")
+        assert not token.matches_keyword("from")
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+        assert tokenize("x")[-1].type is TokenType.EOF

@@ -1,0 +1,130 @@
+"""Unit tests for the synthetic data substrate (phantom + studies)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synthdata import (
+    STRUCTURE_SPECS,
+    build_phantom,
+    generate_mri_studies,
+    generate_pet_studies,
+    smooth_field,
+)
+
+
+@pytest.fixture(scope="module")
+def phantom():
+    return build_phantom(grid_side=32, seed=1994)
+
+
+class TestSmoothField:
+    def test_normalized(self, rng):
+        field = smooth_field((32, 32, 32), 3.0, rng)
+        assert abs(field.mean()) < 1e-9
+        assert field.std() == pytest.approx(1.0)
+
+    def test_smoothness_increases_with_correlation(self, rng):
+        rough = smooth_field((64, 64), 1.0, np.random.default_rng(0))
+        smooth = smooth_field((64, 64), 8.0, np.random.default_rng(0))
+        # Mean squared gradient falls as correlation length rises.
+        assert np.mean(np.gradient(smooth)[0] ** 2) < np.mean(np.gradient(rough)[0] ** 2)
+
+    def test_deterministic_given_rng(self):
+        a = smooth_field((16, 16), 2.0, np.random.default_rng(5))
+        b = smooth_field((16, 16), 2.0, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_invalid_correlation(self, rng):
+        with pytest.raises(ValueError):
+            smooth_field((8, 8), 0.0, rng)
+
+
+class TestPhantom:
+    def test_structure_inventory(self, phantom):
+        names = set(phantom.structure_names)
+        assert "ntal" in names and "ntal1" in names
+        assert len(names) == len(STRUCTURE_SPECS) + 1  # the 11 specs + hemisphere
+
+    def test_structures_inside_envelope(self, phantom):
+        for name, region in phantom.structures.items():
+            assert phantom.envelope.contains(region), name
+
+    def test_structures_nonempty(self, phantom):
+        for name, region in phantom.structures.items():
+            assert region.voxel_count > 0, name
+
+    def test_hemisphere_is_half_the_brain(self, phantom):
+        ratio = phantom.structures["ntal1"].voxel_count / phantom.envelope.voxel_count
+        assert 0.3 < ratio < 0.6
+
+    def test_sizes_span_paper_range(self, phantom):
+        """Deep structures are small; the hemisphere is large, as at UCLA."""
+        sizes = {n: r.voxel_count for n, r in phantom.structures.items()}
+        assert sizes["ntal1"] > 10 * sizes["putamen_l"]
+
+    def test_bilateral_symmetry_approximate(self, phantom):
+        left = phantom.structures["putamen_l"].voxel_count
+        right = phantom.structures["putamen_r"].voxel_count
+        assert abs(left - right) < 0.5 * max(left, right)
+
+    def test_deterministic(self):
+        a = build_phantom(grid_side=16, seed=42)
+        b = build_phantom(grid_side=16, seed=42)
+        assert a.structures["ntal"] == b.structures["ntal"]
+        assert np.array_equal(a.anatomy, b.anatomy)
+
+    def test_seed_changes_shapes(self):
+        a = build_phantom(grid_side=16, seed=1)
+        b = build_phantom(grid_side=16, seed=2)
+        assert a.structures["ntal"] != b.structures["ntal"]
+
+    def test_unknown_structure_lookup(self, phantom):
+        with pytest.raises(KeyError, match="no structure"):
+            phantom.structure("amygdala")
+
+    def test_anatomy_in_unit_range(self, phantom):
+        assert phantom.anatomy.min() >= 0.0
+        assert phantom.anatomy.max() <= 1.0
+
+
+class TestStudies:
+    def test_pet_shapes_scale_with_grid(self, phantom):
+        studies = generate_pet_studies(phantom, count=2, seed=3)
+        assert len(studies) == 2
+        for study in studies:
+            assert study.modality == "PET"
+            assert study.data.dtype == np.uint8
+            assert study.shape[0] == 32  # matches the atlas side
+            assert study.shape[2] < study.shape[0]  # anisotropic slices
+
+    def test_mri_finer_in_plane(self, phantom):
+        studies = generate_mri_studies(phantom, count=1, seed=4)
+        study = studies[0]
+        assert study.modality == "MRI"
+        assert study.shape[0] > 32  # 4x the atlas side at this scale
+
+    def test_studies_differ(self, phantom):
+        a, b = generate_pet_studies(phantom, count=2, seed=5)
+        assert not np.array_equal(a.data, b.data)
+
+    def test_activity_recorded(self, phantom):
+        (study,) = generate_pet_studies(phantom, count=1, seed=6)
+        assert set(study.activity) == {s.name for s in STRUCTURE_SPECS}
+        assert all(0 < v <= 1 for v in study.activity.values())
+
+    def test_ground_truth_transform_invertible(self, phantom):
+        (study,) = generate_pet_studies(phantom, count=1, seed=7)
+        t = study.patient_to_atlas
+        roundtrip = t.compose(t.inverse())
+        assert np.allclose(roundtrip.matrix, np.eye(4), atol=1e-9)
+
+    def test_deterministic(self, phantom):
+        a = generate_pet_studies(phantom, count=1, seed=8)[0]
+        b = generate_pet_studies(phantom, count=1, seed=8)[0]
+        assert np.array_equal(a.data, b.data)
+
+    def test_brain_occupies_study(self, phantom):
+        (study,) = generate_pet_studies(phantom, count=1, seed=9)
+        assert (study.data > 30).mean() > 0.05  # a real object is in frame

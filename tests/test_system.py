@@ -1,0 +1,189 @@
+"""End-to-end integration tests on the assembled QBISM system."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import QuerySpec, format_table3, format_table4
+
+
+class TestBuildDemo:
+    def test_inventory(self, demo_system):
+        assert len(demo_system.pet_study_ids) == 3
+        assert len(demo_system.mri_study_ids) == 1
+        assert "ntal1" in demo_system.structure_names()
+        assert demo_system.atlas.resolution == 32
+
+    def test_database_populated(self, demo_system):
+        db = demo_system.db
+        assert db.execute("select count(*) from warpedVolume").scalar() == 4
+        assert db.execute("select count(*) from rawVolume").scalar() == 4
+        assert db.execute("select count(*) from patient").scalar() == 4
+        bands = db.execute("select count(*) from intensityBand").scalar()
+        assert bands == 4 * 8 * 3  # studies x bands x encodings
+
+    def test_deterministic_build(self, demo_system):
+        from repro.core import QbismSystem
+
+        other = QbismSystem.build_demo(
+            seed=1994, grid_side=32, n_pet=3, n_mri=1,
+            band_encodings=("hilbert-naive", "z-naive", "octant"),
+        )
+        a = demo_system.query_structure(demo_system.pet_study_ids[0], "ntal")
+        b = other.query_structure(other.pet_study_ids[0], "ntal")
+        assert np.array_equal(a.data.values, b.data.values)
+        assert a.timing.lfm_page_ios == b.timing.lfm_page_ios
+
+
+class TestBuildValidation:
+    def test_non_power_of_two_grid_rejected(self):
+        from repro.core import QbismSystem
+
+        with pytest.raises(ValueError, match="power of two"):
+            QbismSystem.build_demo(grid_side=48)
+        with pytest.raises(ValueError, match="power of two"):
+            QbismSystem.build_demo(grid_side=4)
+
+
+class TestSingleStudyQueries:
+    def test_q1_full_study(self, demo_system):
+        outcome = demo_system.query_full_study(demo_system.pet_study_ids[0])
+        assert outcome.data.voxel_count == 32**3
+        assert outcome.timing.runs == 1
+
+    def test_q2_box(self, demo_system):
+        outcome = demo_system.query_box(demo_system.pet_study_ids[0], (8, 8, 8), (25, 25, 25))
+        assert outcome.data.voxel_count == 17**3
+
+    def test_q3_structure_values_match_volume(self, demo_system):
+        sid = demo_system.pet_study_ids[0]
+        outcome = demo_system.query_structure(sid, "thalamus")
+        full = demo_system.query_full_study(sid)
+        dense = full.data.to_array()
+        coords = outcome.data.region.coords()
+        assert np.array_equal(
+            outcome.data.values, dense[coords[:, 0], coords[:, 1], coords[:, 2]]
+        )
+
+    def test_q5_band(self, demo_system):
+        outcome = demo_system.query_band(demo_system.pet_study_ids[0], 224, 255)
+        assert (outcome.data.values >= 224).all()
+
+    def test_q6_mixed_fewer_voxels_than_parts(self, demo_system):
+        sid = demo_system.pet_study_ids[0]
+        q4 = demo_system.query_structure(sid, "ntal1")
+        q5 = demo_system.query_band(sid, 96, 127)
+        q6 = demo_system.query_mixed(sid, "ntal1", 96, 127)
+        assert q6.data.voxel_count <= min(q4.data.voxel_count, q5.data.voxel_count)
+
+    def test_early_filtering_reduces_io_and_traffic(self, demo_system):
+        """The central claim of §6: early filtering pays off."""
+        sid = demo_system.pet_study_ids[0]
+        full = demo_system.query_full_study(sid)
+        small = demo_system.query_structure(sid, "putamen_l")
+        assert small.timing.lfm_page_ios < full.timing.lfm_page_ios
+        assert small.timing.net_messages < full.timing.net_messages
+        assert small.timing.total_seconds < full.timing.total_seconds
+
+    def test_timing_fields_consistent(self, demo_system):
+        outcome = demo_system.query_full_study(demo_system.pet_study_ids[0])
+        t = outcome.timing
+        assert t.total_seconds == pytest.approx(
+            t.starburst_real + t.net_seconds + t.import_real + t.render_seconds + t.other_seconds
+        )
+        assert t.starburst_real >= t.starburst_cpu
+
+    def test_image_rendered(self, demo_system):
+        outcome = demo_system.query_structure(
+            demo_system.pet_study_ids[0], "ntal1", render_mode="textured"
+        )
+        assert outcome.image is not None
+        assert outcome.image.shape == (32, 32)
+
+    def test_render_mode_none_skips_rendering(self, demo_system):
+        outcome = demo_system.query_full_study(demo_system.pet_study_ids[0], render_mode=None)
+        assert outcome.image is None
+        assert outcome.timing.render_seconds == 0.0
+
+    def test_mri_study_queryable(self, demo_system):
+        outcome = demo_system.query_structure(demo_system.mri_study_ids[0], "ntal")
+        assert outcome.data.voxel_count > 0
+
+
+class TestMultiStudyQueries:
+    def test_table4_encodings_agree_on_result(self, demo_system):
+        regions = {}
+        for encoding in ("hilbert-naive", "z-naive", "octant"):
+            region, row = demo_system.multi_study_band(
+                demo_system.pet_study_ids, 128, 159, encoding
+            )
+            regions[encoding] = region
+            assert row.encoding == encoding
+        masks = [r.to_mask() for r in regions.values()]
+        assert np.array_equal(masks[0], masks[1])
+        assert np.array_equal(masks[0], masks[2])
+
+    def test_table4_hilbert_at_most_z_io(self, demo_system):
+        """Table 4's ordering: h-runs <= z-runs <= octants in I/O."""
+        _, h = demo_system.multi_study_band(demo_system.pet_study_ids, 128, 159, "hilbert-naive")
+        _, z = demo_system.multi_study_band(demo_system.pet_study_ids, 128, 159, "z-naive")
+        _, o = demo_system.multi_study_band(demo_system.pet_study_ids, 128, 159, "octant")
+        assert h.lfm_page_ios <= z.lfm_page_ios <= o.lfm_page_ios
+
+    def test_intersection_smaller_than_single_band(self, demo_system):
+        region, _ = demo_system.multi_study_band(demo_system.pet_study_ids, 128, 159)
+        single = demo_system.query_band(demo_system.pet_study_ids[0], 128, 159)
+        assert region.voxel_count <= single.data.voxel_count
+
+
+class TestFormatting:
+    def test_table3_renders(self, demo_system):
+        rows = [demo_system.query_full_study(demo_system.pet_study_ids[0], label="Q1").timing]
+        text = format_table3(rows)
+        assert "Q1" in text and "LFM I/Os" in text
+
+    def test_table4_renders(self, demo_system):
+        _, row = demo_system.multi_study_band(demo_system.pet_study_ids, 128, 159)
+        text = format_table4([row])
+        assert "hilbert-naive" in text
+
+
+class TestSystemPersistence:
+    def test_save_load_roundtrip(self, demo_system, tmp_path):
+        from repro.core import QbismSystem
+
+        demo_system.save(tmp_path / "snapshot")
+        reopened = QbismSystem.load(tmp_path / "snapshot")
+        assert reopened.pet_study_ids == demo_system.pet_study_ids
+        assert reopened.atlas.name == demo_system.atlas.name
+        a = reopened.query_structure(reopened.pet_study_ids[0], "ntal")
+        b = demo_system.query_structure(demo_system.pet_study_ids[0], "ntal")
+        assert np.array_equal(a.data.values, b.data.values)
+        assert a.timing.lfm_page_ios == b.timing.lfm_page_ios
+
+    def test_loaded_system_phantom_matches(self, demo_system, tmp_path):
+        from repro.core import QbismSystem
+
+        demo_system.save(tmp_path / "snap2")
+        reopened = QbismSystem.load(tmp_path / "snap2")
+        assert (
+            reopened.phantom.structures["ntal1"]
+            == demo_system.phantom.structures["ntal1"]
+        )
+
+
+class TestDxCacheBehaviour:
+    def test_cache_flushed_per_timed_run(self, demo_system):
+        sid = demo_system.pet_study_ids[0]
+        demo_system.query_structure(sid, "ntal")
+        imports_before = demo_system.dx.imports
+        demo_system.query_structure(sid, "ntal")  # flush_cache=True default
+        assert demo_system.dx.imports == imports_before + 1
+
+    def test_cache_kept_when_requested(self, demo_system):
+        sid = demo_system.pet_study_ids[0]
+        demo_system.query_structure(sid, "ntal", flush_cache=False)
+        imports_before = demo_system.dx.imports
+        demo_system.query_structure(sid, "ntal", flush_cache=False)
+        assert demo_system.dx.imports == imports_before  # served from cache

@@ -1,0 +1,106 @@
+"""Tests for DX visual programs (the Figure 5 pipeline abstraction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.viz import VisualProgram
+from repro.viz.program import ProgramError, Step
+
+
+class TestBuilderAndSerialization:
+    def test_builder_chains(self):
+        program = (
+            VisualProgram()
+            .query(1, structures=["ntal"])
+            .band(100, 200)
+            .render(mode="mip")
+            .export("/tmp/x.pgm")
+        )
+        assert len(program) == 4
+        assert [s.type for s in program.steps] == ["query", "band", "render", "export"]
+
+    def test_dict_roundtrip(self):
+        program = VisualProgram().query(2).render(mode="slice", axis=1)
+        specs = program.to_dicts()
+        rebuilt = VisualProgram.from_dicts(specs)
+        assert rebuilt.steps == program.steps
+
+    def test_from_dict_requires_type(self):
+        with pytest.raises(ProgramError):
+            Step.from_dict({"mode": "mip"})
+
+
+class TestExecution:
+    def test_query_then_render(self, demo_system):
+        program = (
+            VisualProgram()
+            .query(demo_system.pet_study_ids[0], structures=["ntal1"])
+            .render(mode="textured", name="view")
+        )
+        state = program.run(demo_system)
+        assert state.data is not None
+        assert state.images["view"].shape == (32, 32)
+
+    def test_band_and_restrict_compose(self, demo_system):
+        sid = demo_system.pet_study_ids[0]
+        program = (
+            VisualProgram().query(sid).band(96, 159).restrict("ntal1")
+        )
+        state = program.run(demo_system)
+        direct = demo_system.query_mixed(sid, "ntal1", 96, 159, render_mode=None)
+        assert state.data.region == direct.data.region
+        assert np.array_equal(state.data.values, direct.data.values)
+
+    def test_rotate_and_export(self, demo_system, tmp_path):
+        program = (
+            VisualProgram()
+            .query(demo_system.pet_study_ids[0])
+            .rotate(45.0, name="spun")
+            .export(tmp_path / "spun.pgm", name="spun")
+        )
+        state = program.run(demo_system)
+        assert state.outputs[0].exists()
+        assert state.outputs[0].read_bytes().startswith(b"P5\n")
+
+    def test_multiple_named_images(self, demo_system):
+        program = (
+            VisualProgram()
+            .query(demo_system.pet_study_ids[0])
+            .render(mode="mip", name="front")
+            .render(mode="slice", name="cut")
+        )
+        state = program.run(demo_system)
+        assert set(state.images) == {"front", "cut"}
+
+    def test_box_query_step(self, demo_system):
+        program = VisualProgram()
+        program.query(demo_system.pet_study_ids[0], box=[[4, 4, 4], [10, 10, 10]])
+        state = program.run(demo_system)
+        assert state.data.voxel_count == 6**3
+
+    def test_query_outcome_carries_timing(self, demo_system):
+        state = VisualProgram().query(demo_system.pet_study_ids[0]).run(demo_system)
+        assert state.query_outcome.timing.lfm_page_ios > 0
+
+
+class TestErrors:
+    def test_render_before_query(self, demo_system):
+        with pytest.raises(ProgramError, match="needs data"):
+            VisualProgram().render().run(demo_system)
+
+    def test_export_unknown_image(self, demo_system):
+        program = VisualProgram().query(demo_system.pet_study_ids[0]).export("/tmp/x.pgm")
+        with pytest.raises(ProgramError, match="no rendered image"):
+            program.run(demo_system)
+
+    def test_unknown_step_type(self, demo_system):
+        program = VisualProgram([Step("holodeck", {})])
+        with pytest.raises(ProgramError, match="unknown step type"):
+            program.run(demo_system)
+
+    def test_unknown_render_mode(self, demo_system):
+        program = VisualProgram().query(demo_system.pet_study_ids[0]).render(mode="4d")
+        with pytest.raises(ProgramError, match="unknown render mode"):
+            program.run(demo_system)

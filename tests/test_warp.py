@@ -1,0 +1,146 @@
+"""Unit tests for affine transforms, resampling, and registration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.curves import GridSpec
+from repro.errors import RegistrationError
+from repro.medical import AffineTransform, register_moments, resample_to_grid
+from repro.synthdata import build_phantom
+
+
+class TestAffineTransform:
+    def test_identity(self):
+        t = AffineTransform.identity()
+        pts = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(t.apply(pts), pts)
+
+    def test_translation(self):
+        t = AffineTransform.from_params(translation=(1, 2, 3))
+        assert np.allclose(t.apply(np.zeros((1, 3))), [[1, 2, 3]])
+
+    def test_scale(self):
+        t = AffineTransform.from_params(scale=(2, 3, 4))
+        assert np.allclose(t.apply(np.ones((1, 3))), [[2, 3, 4]])
+
+    def test_rotation_preserves_norm(self):
+        t = AffineTransform.from_params(rotation_deg=(10, 20, 30))
+        pts = np.random.default_rng(0).normal(0, 1, (10, 3))
+        assert np.allclose(
+            np.linalg.norm(t.apply(pts), axis=1), np.linalg.norm(pts, axis=1)
+        )
+
+    def test_rotation_about_center_fixes_center(self):
+        center = (8.0, 8.0, 8.0)
+        t = AffineTransform.from_params(rotation_deg=(15, 0, 25), center=center)
+        assert np.allclose(t.apply(np.array([center])), [center])
+
+    def test_compose(self):
+        scale = AffineTransform.from_params(scale=(2, 2, 2))
+        shift = AffineTransform.from_params(translation=(1, 0, 0))
+        both = shift.compose(scale)  # scale first, then shift
+        assert np.allclose(both.apply(np.ones((1, 3))), [[3, 2, 2]])
+
+    def test_inverse(self):
+        t = AffineTransform.from_params(
+            rotation_deg=(5, -3, 8), scale=(1.1, 0.9, 1.0), translation=(2, -1, 4)
+        )
+        identity = t.compose(t.inverse())
+        assert np.allclose(identity.matrix, np.eye(4), atol=1e-10)
+
+    def test_singular_inverse_rejected(self):
+        t = AffineTransform.from_linear(np.zeros((3, 3)), np.zeros(3))
+        with pytest.raises(RegistrationError):
+            t.inverse()
+
+    def test_parameters_roundtrip(self):
+        t = AffineTransform.from_params(rotation_deg=(3, 4, 5), translation=(1, 2, 3))
+        params = t.parameters()
+        assert len(params) == 12
+        back = AffineTransform.from_parameters(params)
+        assert np.allclose(back.matrix, t.matrix)
+
+    def test_bad_matrix_shapes(self):
+        with pytest.raises(ValueError):
+            AffineTransform(np.eye(3))
+        bad = np.eye(4)
+        bad[3, 0] = 1.0
+        with pytest.raises(ValueError):
+            AffineTransform(bad)
+
+    def test_from_parameters_validation(self):
+        with pytest.raises(ValueError):
+            AffineTransform.from_parameters([1.0] * 10)
+
+
+class TestResampling:
+    def test_identity_resample_is_noop(self, rng):
+        grid = GridSpec((16, 16, 16))
+        study = rng.integers(0, 255, grid.shape).astype(np.uint8)
+        out = resample_to_grid(study, AffineTransform.identity(), grid)
+        assert np.array_equal(out, study)
+
+    def test_translation_moves_content(self):
+        grid = GridSpec((16, 16, 16))
+        study = np.zeros(grid.shape, dtype=np.uint8)
+        study[4, 4, 4] = 200
+        shift = AffineTransform.from_params(translation=(2, 0, 0))
+        out = resample_to_grid(study, shift, grid)
+        assert out[6, 4, 4] == 200
+        assert out[4, 4, 4] == 0
+
+    def test_upsampling_anisotropic_study(self, rng):
+        """A 16x16x8 patient volume lands on a 16^3 atlas grid."""
+        atlas = GridSpec((16, 16, 16))
+        study = rng.integers(0, 255, (16, 16, 8)).astype(np.uint8)
+        scale = AffineTransform.from_linear(np.diag([1, 1, 2.0]), np.zeros(3))
+        out = resample_to_grid(study, scale, atlas)
+        assert out.shape == (16, 16, 16)
+        # Content is preserved at matching sample points.
+        assert out[5, 5, 0] == study[5, 5, 0]
+
+    def test_outside_is_zero(self):
+        grid = GridSpec((8, 8, 8))
+        study = np.full(grid.shape, 100, dtype=np.uint8)
+        shift = AffineTransform.from_params(translation=(6, 0, 0))
+        out = resample_to_grid(study, shift, grid)
+        assert (out[:5] == 0).all()
+
+    def test_dtype_preserved(self, rng):
+        grid = GridSpec((8, 8, 8))
+        study = rng.random(grid.shape).astype(np.float32)
+        out = resample_to_grid(study, AffineTransform.identity(), grid)
+        assert out.dtype == np.float32
+
+
+class TestRegistration:
+    def test_recovers_small_misalignment(self):
+        """Moment registration recovers a small warp of the phantom brain."""
+        phantom = build_phantom(grid_side=32, seed=3)
+        reference = (phantom.anatomy * 255).astype(np.uint8)
+        true_warp = AffineTransform.from_params(
+            rotation_deg=(3, -2, 4),
+            scale=(1.03, 0.97, 1.01),
+            translation=(1.0, -1.5, 0.5),
+            center=(16, 16, 16),
+        )
+        # Create the "patient" volume by pulling the reference through the warp.
+        moved = resample_to_grid(reference, true_warp.inverse(), phantom.grid)
+        recovered = register_moments(moved, reference)
+        # Compare by how far brain-interior points land from their true images.
+        pts = phantom.envelope.coords()[::50].astype(np.float64)
+        err = np.linalg.norm(recovered.apply(pts) - true_warp.apply(pts), axis=1)
+        assert err.mean() < 1.5  # voxels, on a 32-voxel brain
+
+    def test_identity_registration(self):
+        phantom = build_phantom(grid_side=16, seed=4)
+        reference = (phantom.anatomy * 255).astype(np.uint8)
+        t = register_moments(reference, reference)
+        assert np.allclose(t.matrix, np.eye(4), atol=0.05)
+
+    def test_flat_volume_rejected(self):
+        flat = np.zeros((8, 8, 8), dtype=np.uint8)
+        with pytest.raises(RegistrationError):
+            register_moments(flat, flat)
