@@ -32,10 +32,11 @@ __all__ = [
     "MortonCurve",
     "RowMajorCurve",
     "curve_for_grid",
-    "Region",
-    "Volume",
-    "DataRegion",
-    "QbismSystem",
+    # Lazy re-exports, provided by __getattr__ below rather than statically.
+    "Region",  # qblint: disable=consistent-all
+    "Volume",  # qblint: disable=consistent-all
+    "DataRegion",  # qblint: disable=consistent-all
+    "QbismSystem",  # qblint: disable=consistent-all
 ]
 
 
@@ -57,4 +58,7 @@ def __getattr__(name: str):
         from repro.core import QbismSystem
 
         return QbismSystem
-    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    # The module __getattr__ protocol requires AttributeError specifically.
+    raise AttributeError(  # qblint: disable=repro-error-subclass
+        f"module 'repro' has no attribute {name!r}"
+    )

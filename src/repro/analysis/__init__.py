@@ -1,0 +1,29 @@
+"""qblint — the project's own static analysis layer.
+
+Where :mod:`repro.db.semantic` checks *queries* before they run, this
+package checks the *codebase* itself: a small, pluggable, ``ast``-based
+linter enforcing the architectural invariants the QBISM reproduction
+depends on (all block I/O flows through the storage layer, all errors
+derive from :class:`~repro.errors.ReproError`, ...).  It runs as
+``python -m repro.analysis <paths>`` and in CI next to the test suite.
+
+Violations can be suppressed per line with ``# qblint: disable=<rule>``
+(on the offending line or the line above) or per file with
+``# qblint: disable-file=<rule>``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import Violation, lint_file, lint_paths
+from repro.analysis.report import render_json, render_text
+from repro.analysis.rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Rule",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,58 @@
+"""``python -m repro.analysis`` — the qblint command-line interface.
+
+Exit status: 0 when the tree is clean, 1 when violations were found,
+2 on usage errors (bad path, unknown rule name).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.engine import lint_paths
+from repro.analysis.report import render_json, render_text
+from repro.analysis.rules import ALL_RULES
+from repro.errors import ValidationError
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="qblint: static analysis for the QBISM reproduction",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint (default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format")
+    parser.add_argument("--rule", action="append", default=None, metavar="NAME",
+                        help="run only the named rule (repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.name}: {rule.description}")
+        return 0
+
+    rules = ALL_RULES
+    if args.rule:
+        by_name = {rule.name: rule for rule in ALL_RULES}
+        unknown = [name for name in args.rule if name not in by_name]
+        if unknown:
+            print(f"unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        rules = tuple(by_name[name] for name in args.rule)
+
+    try:
+        violations = lint_paths(args.paths, rules)
+    except ValidationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(violations))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Reporters turning qblint violations into terminal text or JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.engine import Violation
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(violations: Sequence[Violation]) -> str:
+    """One ``path:line: [rule] message`` line per violation, plus a summary."""
+    lines = [v.format() for v in violations]
+    if violations:
+        lines.append(f"{len(violations)} violation(s) found")
+    else:
+        lines.append("qblint: clean")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation]) -> str:
+    """A machine-readable report (stable keys, sorted input order)."""
+    payload = {
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "rule": v.rule,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+        "count": len(violations),
+    }
+    return json.dumps(payload, indent=2)

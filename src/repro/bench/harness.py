@@ -8,6 +8,8 @@ recorded in ``EXPERIMENTS.md``.
 
 from __future__ import annotations
 
+from repro.errors import ValidationError
+
 from collections.abc import Mapping, Sequence
 
 __all__ = [
@@ -83,7 +85,7 @@ def ratio_line(label: str, values: Sequence[float], names: Sequence[str]) -> str
     """Format a normalized ratio series like the paper's in-text ratios."""
     base = values[0]
     if base == 0:
-        raise ValueError("first value of a ratio series must be non-zero")
+        raise ValidationError("first value of a ratio series must be non-zero")
     normalized = [v / base for v in values]
     body = " : ".join(f"{v:.2f}" for v in normalized)
     legend = " : ".join(names)

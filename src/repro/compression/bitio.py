@@ -12,6 +12,8 @@ with no padding except zero bits at the very end of the stream.
 
 from __future__ import annotations
 
+from repro.errors import ValidationError
+
 import numpy as np
 
 __all__ = ["BitWriter", "BitReader"]
@@ -44,13 +46,13 @@ class BitWriter:
         else:
             nbits = np.ascontiguousarray(nbits, dtype=np.int64)
         if values.shape != nbits.shape:
-            raise ValueError("values and nbits must have the same shape")
+            raise ValidationError("values and nbits must have the same shape")
         if values.size == 0:
             return
         if nbits.min() < 1 or nbits.max() > _MAX_CODE_BITS:
-            raise ValueError(f"code lengths must be in [1, {_MAX_CODE_BITS}]")
+            raise ValidationError(f"code lengths must be in [1, {_MAX_CODE_BITS}]")
         if values.min() < 0:
-            raise ValueError("codes must be non-negative")
+            raise ValidationError("codes must be non-negative")
         self._values.append(values)
         self._nbits.append(nbits)
         self._total_bits += int(nbits.sum())
@@ -99,7 +101,7 @@ class BitReader:
     def read(self, nbits: int) -> int:
         """Read ``nbits`` bits MSB-first as an unsigned integer."""
         if nbits < 0 or self.pos + nbits > self._bits.size:
-            raise ValueError("bit stream exhausted")
+            raise ValidationError("bit stream exhausted")
         value = 0
         for b in self._bits[self.pos:self.pos + nbits]:
             value = (value << 1) | int(b)
@@ -114,7 +116,7 @@ class BitReader:
         """
         k = np.searchsorted(self._ones, self.pos)
         if k >= self._ones.size:
-            raise ValueError("bit stream exhausted while reading unary code")
+            raise ValidationError("bit stream exhausted while reading unary code")
         one_pos = int(self._ones[k])
         zeros = one_pos - self.pos
         self.pos = one_pos + 1
@@ -124,5 +126,5 @@ class BitReader:
         """Position of the next set bit at or after the cursor (no advance)."""
         k = np.searchsorted(self._ones, self.pos)
         if k >= self._ones.size:
-            raise ValueError("no further set bits in stream")
+            raise ValidationError("no further set bits in stream")
         return int(self._ones[k])

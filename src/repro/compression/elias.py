@@ -12,6 +12,8 @@ All encoders work on positive integers (``x >= 1``).
 
 from __future__ import annotations
 
+from repro.errors import ValidationError
+
 import numpy as np
 
 from repro.compression.bitio import BitReader, BitWriter
@@ -43,7 +45,7 @@ def _floor_log2(values: np.ndarray) -> np.ndarray:
 def _check_positive(values: np.ndarray) -> np.ndarray:
     values = np.ascontiguousarray(values, dtype=np.int64)
     if values.size and values.min() < 1:
-        raise ValueError("Elias codes are defined for integers >= 1")
+        raise ValidationError("Elias codes are defined for integers >= 1")
     return values
 
 
@@ -91,7 +93,7 @@ def gamma_decode_array(reader: BitReader, count: int) -> np.ndarray:
         level = one_pos - pos  # floor(log2 x): number of leading zeros
         end = one_pos + level + 1
         if end > bits.size:
-            raise ValueError("bit stream exhausted while decoding gamma code")
+            raise ValidationError("bit stream exhausted while decoding gamma code")
         if level == 0:
             out[i] = 1
         else:
@@ -161,7 +163,7 @@ def delta_decode_array(reader: BitReader, count: int) -> np.ndarray:
         else:
             end = reader.pos + level
             if end > bits.size:
-                raise ValueError("bit stream exhausted while decoding delta code")
+                raise ValidationError("bit stream exhausted while decoding delta code")
             chunk = bits[reader.pos:end].astype(np.int64)
             out[i] = (np.int64(1) << level) | int(chunk @ powers[-level:])
             reader.pos = end

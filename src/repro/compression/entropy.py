@@ -9,6 +9,8 @@ can beat.  Both computations live here.
 
 from __future__ import annotations
 
+from repro.errors import ValidationError
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -84,12 +86,12 @@ def fit_power_law(lengths: np.ndarray, min_points: int = 3, binned: bool = True,
     """
     lengths = np.asarray(lengths)
     if lengths.size == 0:
-        raise ValueError("cannot fit a power law to an empty sample")
+        raise ValidationError("cannot fit a power law to an empty sample")
     values, counts = np.unique(lengths, return_counts=True)
     positive = values > 0
     values, counts = values[positive], counts[positive]
     if values.size < min_points:
-        raise ValueError(
+        raise ValidationError(
             f"need at least {min_points} distinct lengths, got {values.size}"
         )
     if binned:

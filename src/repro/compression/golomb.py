@@ -17,6 +17,8 @@ All encoders work on positive integers (``x >= 1``).
 
 from __future__ import annotations
 
+from repro.errors import ValidationError
+
 import numpy as np
 
 from repro.compression.bitio import BitReader, BitWriter
@@ -42,9 +44,9 @@ def golomb_code_length(values: np.ndarray, m: int) -> np.ndarray:
     """Bits the Golomb(m) code spends on each positive value."""
     values = np.ascontiguousarray(values, dtype=np.int64)
     if values.size and values.min() < 1:
-        raise ValueError("Golomb codes here are defined for integers >= 1")
+        raise ValidationError("Golomb codes here are defined for integers >= 1")
     if m < 1:
-        raise ValueError("Golomb parameter m must be >= 1")
+        raise ValidationError("Golomb parameter m must be >= 1")
     x = values - 1
     q = x // m
     if m == 1:
@@ -61,9 +63,9 @@ def golomb_encode_array(values: np.ndarray, m: int, writer: BitWriter) -> None:
     if values.size == 0:
         return
     if values.min() < 1:
-        raise ValueError("Golomb codes here are defined for integers >= 1")
+        raise ValidationError("Golomb codes here are defined for integers >= 1")
     if m < 1:
-        raise ValueError("Golomb parameter m must be >= 1")
+        raise ValidationError("Golomb parameter m must be >= 1")
     x = values - 1
     q = x // m
     b, threshold = _truncated_binary_params(m)
@@ -106,7 +108,7 @@ def golomb_encode_array(values: np.ndarray, m: int, writer: BitWriter) -> None:
 def golomb_decode_array(reader: BitReader, m: int, count: int) -> np.ndarray:
     """Read ``count`` Golomb(m) codes from ``reader``."""
     if m < 1:
-        raise ValueError("Golomb parameter m must be >= 1")
+        raise ValidationError("Golomb parameter m must be >= 1")
     b, threshold = _truncated_binary_params(m)
     out = np.empty(count, dtype=np.int64)
     for i in range(count):

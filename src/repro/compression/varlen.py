@@ -12,6 +12,8 @@ that 1 gets the shortest code.
 
 from __future__ import annotations
 
+from repro.errors import ValidationError
+
 import numpy as np
 
 from repro.compression.bitio import BitReader, BitWriter
@@ -43,9 +45,9 @@ def _bit_length(values: np.ndarray) -> np.ndarray:
 def _check(values: np.ndarray, k: int) -> np.ndarray:
     values = np.ascontiguousarray(values, dtype=np.int64)
     if values.size and values.min() < 1:
-        raise ValueError("varlen codes here are defined for integers >= 1")
+        raise ValidationError("varlen codes here are defined for integers >= 1")
     if not 1 <= k <= 32:
-        raise ValueError("group width k must be in [1, 32]")
+        raise ValidationError("group width k must be in [1, 32]")
     return values
 
 
@@ -83,7 +85,7 @@ def varlen_encode_array(values: np.ndarray, k: int, writer: BitWriter) -> None:
 def varlen_decode_array(reader: BitReader, k: int, count: int) -> np.ndarray:
     """Read ``count`` fixed-increment codes from ``reader``."""
     if not 1 <= k <= 32:
-        raise ValueError("group width k must be in [1, 32]")
+        raise ValidationError("group width k must be in [1, 32]")
     out = np.empty(count, dtype=np.int64)
     for i in range(count):
         x = 0

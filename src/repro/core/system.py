@@ -13,6 +13,8 @@ equivalent of the paper's pre-warped, pre-banded UCLA database.
 
 from __future__ import annotations
 
+from repro.errors import ValidationError
+
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -92,7 +94,7 @@ class QbismSystem:
         moment-based registration.
         """
         if grid_side < 8 or grid_side & (grid_side - 1):
-            raise ValueError(
+            raise ValidationError(
                 f"grid_side must be a power of two >= 8 (VOLUMEs are stored on "
                 f"power-of-two cubes), got {grid_side}"
             )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from repro.errors import ValidationError
+
 from repro.curves.base import GridSpec, SpaceFillingCurve
 from repro.curves.hilbert import HilbertCurve
 from repro.curves.morton import MortonCurve
@@ -35,5 +37,5 @@ def curve_for_grid(grid: GridSpec, name: str = "hilbert") -> SpaceFillingCurve:
         cls = CURVE_CLASSES[name]
     except KeyError:
         known = ", ".join(sorted(CURVE_CLASSES))
-        raise ValueError(f"unknown curve {name!r}; known curves: {known}") from None
+        raise ValidationError(f"unknown curve {name!r}; known curves: {known}") from None
     return cls(grid.ndim, grid.bits)

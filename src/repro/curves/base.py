@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import GridMismatchError
+from repro.errors import GridMismatchError, ValidationError
 
 __all__ = ["GridSpec", "SpaceFillingCurve"]
 
@@ -44,16 +44,16 @@ class GridSpec:
 
     def __post_init__(self) -> None:
         if not self.shape:
-            raise ValueError("grid shape must have at least one axis")
+            raise ValidationError("grid shape must have at least one axis")
         if any(int(s) <= 0 for s in self.shape):
-            raise ValueError(f"grid shape must be positive, got {self.shape}")
+            raise ValidationError(f"grid shape must be positive, got {self.shape}")
         object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
         if not self.origin:
             object.__setattr__(self, "origin", (0.0,) * self.ndim)
         if not self.spacing:
             object.__setattr__(self, "spacing", (1.0,) * self.ndim)
         if len(self.origin) != self.ndim or len(self.spacing) != self.ndim:
-            raise ValueError("origin and spacing must match the grid dimensionality")
+            raise ValidationError("origin and spacing must match the grid dimensionality")
 
     @property
     def ndim(self) -> int:
@@ -119,11 +119,11 @@ class SpaceFillingCurve(ABC):
 
     def __init__(self, ndim: int, bits: int):
         if ndim < 1:
-            raise ValueError("curve dimensionality must be >= 1")
+            raise ValidationError("curve dimensionality must be >= 1")
         if bits < 1:
-            raise ValueError("curve bit depth must be >= 1")
+            raise ValidationError("curve bit depth must be >= 1")
         if ndim * bits > 62:
-            raise ValueError(
+            raise ValidationError(
                 f"curve index would overflow int64: ndim={ndim} bits={bits}"
             )
         self.ndim = int(ndim)
@@ -158,11 +158,11 @@ class SpaceFillingCurve(ABC):
     def _validate_coords(self, coords: np.ndarray) -> np.ndarray:
         coords = np.ascontiguousarray(coords, dtype=np.int64)
         if coords.ndim != 2 or coords.shape[1] != self.ndim:
-            raise ValueError(
+            raise ValidationError(
                 f"expected (n, {self.ndim}) coordinate array, got shape {coords.shape}"
             )
         if coords.size and (coords.min() < 0 or coords.max() >= self.side):
-            raise ValueError(
+            raise ValidationError(
                 f"coordinates out of range for a {self.side}^{self.ndim} cube"
             )
         return coords
@@ -170,9 +170,9 @@ class SpaceFillingCurve(ABC):
     def _validate_index(self, index: np.ndarray) -> np.ndarray:
         index = np.ascontiguousarray(index, dtype=np.int64)
         if index.ndim != 1:
-            raise ValueError(f"expected 1-D index array, got shape {index.shape}")
+            raise ValidationError(f"expected 1-D index array, got shape {index.shape}")
         if index.size and (index.min() < 0 or index.max() >= self.length):
-            raise ValueError(f"curve positions out of range [0, {self.length})")
+            raise ValidationError(f"curve positions out of range [0, {self.length})")
         return index
 
     def __eq__(self, other: object) -> bool:

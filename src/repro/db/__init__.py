@@ -4,11 +4,23 @@ from __future__ import annotations
 
 from repro.db.catalog import Catalog
 from repro.db.database import Database, QueryResult
+from repro.db.diagnostics import CODES, Diagnostic
 from repro.db.executor import ResultSet
-from repro.db.functions import ExecutionContext, FunctionRegistry, WorkCounters
+from repro.db.functions import (
+    ExecutionContext,
+    FunctionRegistry,
+    FunctionSignature,
+    WorkCounters,
+)
 from repro.db.persist import load_database, save_database
 from repro.db.schema import Column, TableSchema
-from repro.db.spatial import SPATIAL_FUNCTION_NAMES, register_spatial_functions
+from repro.db.semantic import analyze, check
+from repro.db.spatial import (
+    SPATIAL_FUNCTION_NAMES,
+    register_spatial_functions,
+    spatial_signatures,
+)
+from repro.db.sql.ast import Span
 from repro.db.table import Table
 from repro.db.types import NULL, SqlType, coerce_value, type_of_value
 
@@ -25,10 +37,17 @@ __all__ = [
     "type_of_value",
     "NULL",
     "FunctionRegistry",
+    "FunctionSignature",
     "ExecutionContext",
     "WorkCounters",
     "register_spatial_functions",
+    "spatial_signatures",
     "SPATIAL_FUNCTION_NAMES",
     "save_database",
     "load_database",
+    "Diagnostic",
+    "CODES",
+    "Span",
+    "analyze",
+    "check",
 ]

@@ -15,10 +15,14 @@ from repro.db.executor import Executor, ResultSet
 from repro.db.functions import (
     ExecutionContext,
     FunctionRegistry,
+    FunctionSignature,
     WorkCounters,
     builtin_functions,
+    builtin_signatures,
 )
+from repro.db.semantic import check
 from repro.db.sql.parser import parse
+from repro.errors import UnsupportedStatementError
 from repro.storage.device import IOStats
 from repro.storage.lfm import LongFieldManager
 
@@ -75,18 +79,23 @@ class Database:
     functions: FunctionRegistry = field(default_factory=FunctionRegistry)
 
     def __post_init__(self) -> None:
-        self.functions.register_all(builtin_functions())
+        self.functions.register_all(builtin_functions(), builtin_signatures())
         self._executor = Executor(self.catalog, self.functions)
 
     def execute(self, sql: str, params: list | None = None) -> QueryResult:
-        """Parse and run one SQL statement.
+        """Parse, analyze, and run one SQL statement.
+
+        The semantic analyzer runs unconditionally between parse and
+        execution, so a malformed query fails with a ``QBxxx`` diagnostic
+        before any Long Field Manager I/O is issued or any UDF is called.
 
         ``params`` binds ``?`` placeholders positionally; this is how
         Python-side values (LongField handles, large strings) enter
         statements without literal syntax.
         """
         stmt = parse(sql)
-        ctx = ExecutionContext(lfm=self.lfm)
+        check(stmt, self.catalog, self.functions)
+        ctx = ExecutionContext(lfm=self.lfm, analyzed=True)
         io_before = self.lfm.stats.copy() if self.lfm else None
         result = self._executor.execute(stmt, list(params or ()), ctx)
         io_delta = (self.lfm.stats - io_before) if self.lfm else None
@@ -95,25 +104,43 @@ class Database:
     def executemany(self, sql: str, param_rows: list[list]) -> int:
         """Run one parameterized statement repeatedly; returns total rowcount."""
         stmt = parse(sql)
+        check(stmt, self.catalog, self.functions)
         total = 0
         for params in param_rows:
-            ctx = ExecutionContext(lfm=self.lfm)
+            ctx = ExecutionContext(lfm=self.lfm, analyzed=True)
             total += self._executor.execute(stmt, list(params), ctx).rowcount
         return total
 
     def explain(self, sql: str) -> str:
-        """The nested-loop plan the engine would run for a SELECT."""
+        """The nested-loop plan the engine would run for a SELECT.
+
+        The statement is analyzed first: EXPLAIN on a semantically invalid
+        query reports the diagnostic rather than a plan.
+        """
         from repro.db.planner import plan_select
         from repro.db.sql.ast import Select
 
         stmt = parse(sql)
         if not isinstance(stmt, Select):
-            raise ValueError("EXPLAIN supports SELECT statements only")
+            raise UnsupportedStatementError("EXPLAIN supports SELECT statements only")
+        check(stmt, self.catalog, self.functions)
         return plan_select(stmt, self.catalog).describe()
 
-    def register_function(self, name: str, fn) -> None:
-        """Register a user-defined SQL function (the Starburst extension hook)."""
-        self.functions.register(name, fn)
+    def analyze(self, sql: str) -> list:
+        """Run only the static pass; returns the list of diagnostics."""
+        from repro.db.semantic import analyze as _analyze
+
+        return _analyze(parse(sql), self.catalog, self.functions)
+
+    def register_function(self, name: str, fn,
+                          signature: FunctionSignature | None = None,
+                          replace: bool = False) -> None:
+        """Register a user-defined SQL function (the Starburst extension hook).
+
+        A declared ``signature`` lets the analyzer type-check calls; without
+        one, only arity (derived from the callable) is enforced.
+        """
+        self.functions.register(name, fn, signature=signature, replace=replace)
 
     def table_names(self) -> list[str]:
         """All table names, sorted."""

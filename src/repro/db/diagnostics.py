@@ -1,0 +1,132 @@
+"""Structured diagnostics for the SQL semantic analyzer.
+
+Every problem the static pass finds is a :class:`Diagnostic`: a stable
+``QBxxx`` error code, a human message, and the source :class:`Span` of the
+offending token (threaded through the lexer and parser).  Codes are grouped
+by hundreds:
+
+* ``QB1xx`` — name resolution and statement structure (unknown or ambiguous
+  tables/columns/functions, misplaced aggregates);
+* ``QB2xx`` — typing (operator/operand mismatches, UDF arity and argument
+  types, INSERT/UPDATE value checks);
+* ``QB3xx`` — spatial misuse (LONGFIELD values in scalar contexts).
+
+Codes are part of the engine's public contract: tests and clients match on
+them, so a code is never renumbered or reused once shipped.
+``raise_diagnostics`` converts the first error into the exception type
+callers of the *runtime* engine already catch for the same mistake
+(:class:`~repro.errors.CatalogError` for resolution, ``SqlTypeError`` for
+typing, ``ExecutionError`` for aggregate misuse), so moving a check from
+execution time to analysis time is invisible to error handling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.sql.ast import Span
+from repro.errors import (
+    AggregateUsageError,
+    FunctionUsageError,
+    ResolutionError,
+    SpatialUsageError,
+    StaticAnalysisError,
+    TypeCheckError,
+    ValidationError,
+)
+
+__all__ = ["Diagnostic", "CODES", "raise_diagnostics", "error_class_for"]
+
+
+#: stable code -> one-line description (the documented catalog)
+CODES: dict[str, str] = {
+    # QB1xx — resolution / structure
+    "QB101": "unknown table",
+    "QB102": "unknown column",
+    "QB103": "ambiguous column reference",
+    "QB104": "unknown function",
+    "QB105": "duplicate table binding in FROM",
+    "QB106": "table already exists",
+    "QB107": "unknown table or alias qualifier",
+    "QB110": "aggregate not allowed in this clause",
+    "QB111": "HAVING requires GROUP BY or aggregates",
+    "QB112": "aggregates cannot be nested",
+    "QB113": "subquery must produce exactly one column",
+    "QB114": "column must appear in GROUP BY or inside an aggregate",
+    "QB115": "aggregate takes exactly one argument",
+    # QB2xx — typing
+    "QB201": "operator not defined for operand types",
+    "QB202": "comparison between incompatible types",
+    "QB203": "wrong number of arguments to function",
+    "QB204": "argument type mismatch in function call",
+    "QB205": "unknown SQL type name",
+    "QB206": "INSERT arity mismatch",
+    "QB207": "value not storable in column",
+    "QB208": "duplicate column name in CREATE TABLE",
+    # QB3xx — spatial / LONGFIELD misuse
+    "QB301": "LONGFIELD value used in a scalar context",
+    "QB302": "LONGFIELD values cannot be ordered",
+    "QB303": "LONGFIELD value in a numeric aggregate",
+}
+
+#: code -> exception class raised when the diagnostic is an error
+_ERROR_CLASSES: dict[str, type[StaticAnalysisError]] = {
+    "QB101": ResolutionError,
+    "QB102": ResolutionError,
+    "QB103": ResolutionError,
+    "QB104": ResolutionError,
+    "QB105": ResolutionError,
+    "QB106": ResolutionError,
+    "QB107": ResolutionError,
+    "QB110": AggregateUsageError,
+    "QB111": AggregateUsageError,
+    "QB112": AggregateUsageError,
+    "QB113": AggregateUsageError,
+    "QB114": AggregateUsageError,
+    "QB115": AggregateUsageError,
+    "QB201": TypeCheckError,
+    "QB202": TypeCheckError,
+    "QB203": FunctionUsageError,
+    "QB204": FunctionUsageError,
+    "QB205": TypeCheckError,
+    "QB206": TypeCheckError,
+    "QB207": TypeCheckError,
+    "QB208": TypeCheckError,
+    "QB301": SpatialUsageError,
+    "QB302": SpatialUsageError,
+    "QB303": SpatialUsageError,
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the semantic analyzer."""
+
+    code: str
+    message: str
+    span: Span | None = None
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValidationError(f"undeclared diagnostic code {self.code!r}")
+
+    def format(self) -> str:
+        """``QB102: unknown column 'x' (line 1, column 8)``."""
+        location = f" ({self.span})" if self.span is not None else ""
+        return f"{self.code}: {self.message}{location}"
+
+
+def error_class_for(code: str) -> type[StaticAnalysisError]:
+    """The exception class a diagnostic code raises as."""
+    return _ERROR_CLASSES[code]
+
+
+def raise_diagnostics(diagnostics: list[Diagnostic]) -> None:
+    """Raise for the first diagnostic (no-op on an empty list).
+
+    The raised exception carries *all* diagnostics so callers that want the
+    complete report (the SQL console, tests) can show every problem at once.
+    """
+    if not diagnostics:
+        return
+    raise error_class_for(diagnostics[0].code)(diagnostics)

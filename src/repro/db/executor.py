@@ -147,7 +147,18 @@ class Executor:
     # -------------------------------------------------------------- #
 
     def execute(self, stmt: Statement, params: list, ctx: ExecutionContext) -> ResultSet:
-        """Dispatch one parsed statement to its handler."""
+        """Dispatch one parsed statement to its handler.
+
+        Statements must pass semantic analysis before they run; when the
+        caller has not already analyzed (``ctx.analyzed``), the analyzer
+        runs here so direct ``Executor`` users get the same guarantees as
+        the :class:`~repro.db.database.Database` facade.
+        """
+        if not ctx.analyzed:
+            from repro.db.semantic import check
+
+            check(stmt, self.catalog, self.functions)
+            ctx.analyzed = True
         if isinstance(stmt, Select):
             return self.execute_select(stmt, params, ctx)
         if isinstance(stmt, Insert):
@@ -182,8 +193,7 @@ class Executor:
             if stmt.columns is None:
                 table.insert(values)
             else:
-                if len(values) != len(stmt.columns):
-                    raise SqlTypeError("INSERT column list and VALUES length differ")
+                # value/column arity was proven to match by the analyzer (QB206)
                 table.insert_named(**dict(zip(stmt.columns, values)))
             count += 1
         return ResultSet([], [], rowcount=count)
@@ -249,8 +259,7 @@ class Executor:
                 expr, select, unit, params, ctx
             )
         else:
-            if select.having is not None:
-                raise ExecutionError("HAVING requires GROUP BY or aggregates")
+            # HAVING without grouping was rejected by the analyzer (QB111)
             columns = self._output_columns(select, plan)
             rows = [
                 tuple(self._project(select, plan, env, params, ctx))
@@ -492,10 +501,8 @@ class Executor:
         if isinstance(expr, FuncCall):
             if expr.name == "__is_null":
                 return self._eval(expr.args[0], env, params, ctx) is None
-            if expr.name.lower() in _AGGREGATES:
-                raise ExecutionError(
-                    f"aggregate {expr.name}() is only allowed inside GROUP BY queries"
-                )
+            # aggregates outside grouped queries were rejected by the
+            # analyzer (QB110); any FuncCall reaching here is a scalar call
             if expr in env.call_cache:
                 return env.call_cache[expr]
             args = [self._eval(arg, env, params, ctx) for arg in expr.args]

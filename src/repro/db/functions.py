@@ -13,10 +13,85 @@ from __future__ import annotations
 import inspect
 from dataclasses import dataclass, field
 
+from repro.db.types import SqlType
 from repro.errors import CatalogError, ExecutionError
 from repro.storage.lfm import LongField, LongFieldManager
 
-__all__ = ["ExecutionContext", "FunctionRegistry", "WorkCounters"]
+__all__ = [
+    "ANY",
+    "NUMBER",
+    "ExecutionContext",
+    "FunctionRegistry",
+    "FunctionSignature",
+    "WorkCounters",
+    "builtin_functions",
+    "builtin_signatures",
+    "signature_from_callable",
+]
+
+#: argument type spec: any SQL type is acceptable
+ANY = None
+#: argument type spec: INTEGER or REAL
+NUMBER = frozenset({SqlType.INTEGER, SqlType.REAL})
+
+
+@dataclass(frozen=True)
+class FunctionSignature:
+    """Declared shape of a SQL-callable function, for static checking.
+
+    ``param_types`` lists, per positional argument, the set of acceptable
+    :class:`SqlType` values (``ANY`` = unconstrained).  ``max_args`` of
+    ``None`` marks a variadic function.  ``returns`` of ``None`` means the
+    result type is not statically known.  A signature derived from a bare
+    Python callable (no declaration) constrains arity only.
+    """
+
+    name: str
+    min_args: int
+    max_args: int | None
+    param_types: tuple[frozenset | None, ...] = ()
+    returns: SqlType | None = None
+
+    def arity_ok(self, count: int) -> bool:
+        if count < self.min_args:
+            return False
+        return self.max_args is None or count <= self.max_args
+
+    def arity_description(self) -> str:
+        if self.max_args is None:
+            return f"at least {self.min_args}"
+        if self.min_args == self.max_args:
+            return str(self.min_args)
+        return f"{self.min_args} to {self.max_args}"
+
+    def param_spec(self, position: int) -> frozenset | None:
+        """The acceptable types of one positional argument (ANY if unspecified)."""
+        if position < len(self.param_types):
+            return self.param_types[position]
+        return ANY
+
+
+def signature_from_callable(name: str, fn, wants_ctx: bool) -> FunctionSignature:
+    """Derive an arity-only signature by inspecting a Python callable."""
+    min_args = 0
+    max_args: int | None = 0
+    try:
+        params = list(inspect.signature(fn).parameters.values())
+    except (TypeError, ValueError):
+        return FunctionSignature(name, 0, None)
+    if wants_ctx:
+        params = params[1:]
+    for param in params:
+        if param.kind in (param.VAR_POSITIONAL, param.VAR_KEYWORD):
+            max_args = None
+            continue
+        if param.kind is param.KEYWORD_ONLY:
+            continue
+        if max_args is not None:
+            max_args += 1
+        if param.default is param.empty:
+            min_args += 1
+    return FunctionSignature(name, min_args, max_args)
 
 
 @dataclass
@@ -54,6 +129,9 @@ class ExecutionContext:
     work: WorkCounters = field(default_factory=WorkCounters)
     #: memoized results of (uncorrelated) nested query blocks, per statement
     subquery_cache: dict = field(default_factory=dict)
+    #: True once the statement has passed semantic analysis; the executor
+    #: runs the analyzer itself when handed an unanalyzed statement.
+    analyzed: bool = False
 
     def read_longfield(self, value) -> bytes:
         """Dereference a LONGFIELD cell: handles are read via the LFM,
@@ -81,22 +159,46 @@ class FunctionRegistry:
 
     def __init__(self) -> None:
         self._functions: dict[str, tuple[callable, bool]] = {}
+        self._signatures: dict[str, FunctionSignature] = {}
 
-    def register(self, name: str, fn: callable) -> None:
-        """Add one function under a case-insensitive name."""
+    def register(self, name: str, fn: callable,
+                 signature: FunctionSignature | None = None,
+                 replace: bool = False) -> None:
+        """Add one function under a case-insensitive name.
+
+        Re-registering an existing name is rejected unless ``replace=True``
+        (silently shadowing a spatial operator would invalidate every plan
+        the analyzer has blessed against its declared signature).  Without a
+        declared ``signature``, an arity-only one is derived by inspecting
+        the callable so the analyzer can still reject wrong-arity calls.
+        """
         key = name.lower()
-        if key in self._functions:
-            raise CatalogError(f"function {name!r} already registered")
+        if key in self._functions and not replace:
+            raise CatalogError(
+                f"function {name!r} already registered (pass replace=True to override)"
+            )
         wants_ctx = False
-        params = list(inspect.signature(fn).parameters)
+        try:
+            params = list(inspect.signature(fn).parameters)
+        except (TypeError, ValueError):
+            params = []
         if params and params[0] == "ctx":
             wants_ctx = True
+        if signature is None:
+            signature = signature_from_callable(name, fn, wants_ctx)
         self._functions[key] = (fn, wants_ctx)
+        self._signatures[key] = signature
 
-    def register_all(self, functions: dict[str, callable]) -> None:
-        """Register several functions at once."""
+    def register_all(self, functions: dict[str, callable],
+                     signatures: dict[str, FunctionSignature] | None = None) -> None:
+        """Register several functions at once (with optional signatures)."""
+        signatures = signatures or {}
         for name, fn in functions.items():
-            self.register(name, fn)
+            self.register(name, fn, signature=signatures.get(name))
+
+    def signature(self, name: str) -> FunctionSignature | None:
+        """The declared (or derived) signature of a function, if registered."""
+        return self._signatures.get(name.lower())
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._functions
@@ -114,7 +216,9 @@ class FunctionRegistry:
             return fn(*args)
         except (CatalogError, ExecutionError):
             raise
-        except Exception as exc:
+        # The UDF sandbox boundary: arbitrary user code fails in arbitrary
+        # ways, and every failure must surface as one ExecutionError.
+        except Exception as exc:  # qblint: disable=no-broad-except
             raise ExecutionError(f"function {name}() failed: {exc}") from exc
 
     def names(self) -> list[str]:
@@ -130,4 +234,16 @@ def builtin_functions() -> dict[str, callable]:
         "upper": lambda s: s.upper() if s is not None else None,
         "length": lambda v: len(v) if v is not None else None,
         "coalesce": lambda *args: next((a for a in args if a is not None), None),
+    }
+
+
+def builtin_signatures() -> dict[str, FunctionSignature]:
+    """Declared signatures of the builtin scalar functions."""
+    text = frozenset({SqlType.TEXT})
+    return {
+        "abs": FunctionSignature("abs", 1, 1, (NUMBER,)),
+        "lower": FunctionSignature("lower", 1, 1, (text,), SqlType.TEXT),
+        "upper": FunctionSignature("upper", 1, 1, (text,), SqlType.TEXT),
+        "length": FunctionSignature("length", 1, 1, (ANY,), SqlType.INTEGER),
+        "coalesce": FunctionSignature("coalesce", 1, None),
     }

@@ -103,7 +103,8 @@ def load_database(path: str | Path, in_memory: bool = False) -> Database:
     if in_memory:
         device = BlockDevice(capacity, page_size=page_size)
         image = (path / "device.img").read_bytes()
-        device._backing.buf[: len(image)] = image  # bulk restore, unaccounted
+        # Bulk image restore is deliberately unaccounted device I/O.
+        device._backing.buf[: len(image)] = image  # qblint: disable=no-raw-device-io
     else:
         device = BlockDevice(
             capacity, path=path / "device.img", page_size=page_size,

@@ -23,13 +23,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.db.database import Database
-from repro.db.functions import ExecutionContext
+from repro.db.functions import NUMBER, ExecutionContext, FunctionSignature
+from repro.db.types import SqlType
 from repro.errors import ExecutionError
 from repro.regions import Region
 from repro.storage.lfm import LongField
 from repro.volumes import DataRegion, Volume
 
-__all__ = ["register_spatial_functions", "SPATIAL_FUNCTION_NAMES"]
+__all__ = [
+    "register_spatial_functions",
+    "spatial_signatures",
+    "SPATIAL_FUNCTION_NAMES",
+]
 
 SPATIAL_FUNCTION_NAMES = (
     "intersection",
@@ -213,23 +218,70 @@ def _sql_read_piece(ctx: ExecutionContext, value, offset: int, length: int) -> b
     return piece
 
 
+#: LONGFIELD argument/result spec (REGION, VOLUME, and DATA_REGION payloads
+#: all travel as LONGFIELD values)
+_LF = frozenset({SqlType.LONGFIELD})
+_INT = frozenset({SqlType.INTEGER})
+_TEXT = frozenset({SqlType.TEXT})
+
+
+def spatial_signatures() -> dict[str, FunctionSignature]:
+    """Declared signatures of the §3.2 operators, for the semantic analyzer.
+
+    With these on file, a query that hands ``voxelCount`` a patient name or
+    calls ``extractVoxels`` with one argument is rejected before any long
+    field is opened.
+    """
+
+    def sig(name, *params, returns=None):
+        return FunctionSignature(name, len(params), len(params), params, returns)
+
+    return {
+        "intersection": sig("intersection", _LF, _LF, returns=SqlType.LONGFIELD),
+        "regionUnion": sig("regionUnion", _LF, _LF, returns=SqlType.LONGFIELD),
+        "regionDifference": sig(
+            "regionDifference", _LF, _LF, returns=SqlType.LONGFIELD
+        ),
+        "contains": sig("contains", _LF, _LF, returns=SqlType.BOOLEAN),
+        "extractVoxels": sig("extractVoxels", _LF, _LF, returns=SqlType.LONGFIELD),
+        "extractAll": sig("extractAll", _LF, returns=SqlType.LONGFIELD),
+        "voxelCount": sig("voxelCount", _LF, returns=SqlType.INTEGER),
+        "runCount": sig("runCount", _LF, returns=SqlType.INTEGER),
+        "reencode": sig("reencode", _LF, _TEXT, returns=SqlType.LONGFIELD),
+        "dataMean": sig("dataMean", _LF, returns=SqlType.REAL),
+        "dataMin": sig("dataMin", _LF, returns=SqlType.REAL),
+        "dataMax": sig("dataMax", _LF, returns=SqlType.REAL),
+        "dataVoxels": sig("dataVoxels", _LF, returns=SqlType.INTEGER),
+        "dataBand": sig("dataBand", _LF, NUMBER, NUMBER, returns=SqlType.LONGFIELD),
+        "readPiece": sig("readPiece", _LF, _INT, _INT, returns=SqlType.LONGFIELD),
+        "regionDilate": sig("regionDilate", _LF, _INT, returns=SqlType.LONGFIELD),
+        "regionErode": sig("regionErode", _LF, _INT, returns=SqlType.LONGFIELD),
+        "regionMargin": sig("regionMargin", _LF, _INT, returns=SqlType.LONGFIELD),
+    }
+
+
 def register_spatial_functions(db: Database) -> None:
-    """Install the §3.2 operators into a database's function registry."""
-    db.register_function("intersection", _sql_intersection)
-    db.register_function("regionUnion", _sql_union)
-    db.register_function("regionDifference", _sql_difference)
-    db.register_function("contains", _sql_contains)
-    db.register_function("extractVoxels", _sql_extract_voxels)
-    db.register_function("extractAll", _sql_extract_all)
-    db.register_function("voxelCount", _sql_voxel_count)
-    db.register_function("runCount", _sql_run_count)
-    db.register_function("reencode", _sql_reencode)
-    db.register_function("dataMean", _sql_data_mean)
-    db.register_function("dataMin", _sql_data_min)
-    db.register_function("dataMax", _sql_data_max)
-    db.register_function("dataVoxels", _sql_data_voxels)
-    db.register_function("dataBand", _sql_data_band)
-    db.register_function("readPiece", _sql_read_piece)
-    db.register_function("regionDilate", _sql_dilate)
-    db.register_function("regionErode", _sql_erode)
-    db.register_function("regionMargin", _sql_margin)
+    """Install the §3.2 operators (with declared signatures) into a database."""
+    signatures = spatial_signatures()
+    implementations = {
+        "intersection": _sql_intersection,
+        "regionUnion": _sql_union,
+        "regionDifference": _sql_difference,
+        "contains": _sql_contains,
+        "extractVoxels": _sql_extract_voxels,
+        "extractAll": _sql_extract_all,
+        "voxelCount": _sql_voxel_count,
+        "runCount": _sql_run_count,
+        "reencode": _sql_reencode,
+        "dataMean": _sql_data_mean,
+        "dataMin": _sql_data_min,
+        "dataMax": _sql_data_max,
+        "dataVoxels": _sql_data_voxels,
+        "dataBand": _sql_data_band,
+        "readPiece": _sql_read_piece,
+        "regionDilate": _sql_dilate,
+        "regionErode": _sql_erode,
+        "regionMargin": _sql_margin,
+    }
+    for name in SPATIAL_FUNCTION_NAMES:
+        db.register_function(name, implementations[name], signature=signatures[name])

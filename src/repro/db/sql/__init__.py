@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 from repro.db.sql import ast
+from repro.db.sql.ast import Span
 from repro.db.sql.lexer import Token, TokenType, tokenize
 from repro.db.sql.parser import parse, parse_expression
 
-__all__ = ["ast", "tokenize", "Token", "TokenType", "parse", "parse_expression"]
+__all__ = ["ast", "Span", "tokenize", "Token", "TokenType", "parse", "parse_expression"]

@@ -3,6 +3,14 @@
 Expressions and statements are plain frozen dataclasses; the executor walks
 them directly (the engine compiles no bytecode — queries here are small and
 the heavy lifting happens inside the spatial functions, as in the paper).
+
+Every node carries an optional :class:`Span` — the source position of the
+token that introduced it, threaded through from the lexer — so the semantic
+analyzer can attach precise locations to its diagnostics.  Spans never
+participate in equality or hashing: the executor compares and caches nodes
+structurally (GROUP BY matching, per-statement subquery memoization), and
+two occurrences of the same expression must stay equal even though they sit
+at different source positions.
 """
 
 from __future__ import annotations
@@ -10,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 __all__ = [
+    "Span",
     "Expr",
     "Literal",
     "Param",
@@ -36,6 +45,22 @@ __all__ = [
 ]
 
 
+@dataclass(frozen=True)
+class Span:
+    """A 1-based (line, column) source position of one token."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"line {self.line}, column {self.column}"
+
+
+#: shorthand for the span field every node carries (excluded from equality)
+def _span_field():
+    return field(default=None, compare=False, repr=False)
+
+
 class Expr:
     """Base class for expressions."""
 
@@ -45,6 +70,7 @@ class Expr:
 @dataclass(frozen=True)
 class Literal(Expr):
     value: object
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -52,12 +78,14 @@ class Param(Expr):
     """A ``?`` placeholder, bound positionally at execution time."""
 
     index: int
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
 class ColumnRef(Expr):
     qualifier: str | None
     name: str
+    span: Span | None = _span_field()
 
     def __str__(self) -> str:
         return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
@@ -67,6 +95,7 @@ class ColumnRef(Expr):
 class FuncCall(Expr):
     name: str
     args: tuple[Expr, ...]
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -74,29 +103,35 @@ class BinOp(Expr):
     op: str  # one of = <> < <= > >= + - * / and or ||
     left: Expr
     right: Expr
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
 class UnaryOp(Expr):
     op: str  # '-' or 'not'
     operand: Expr
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
 class Star(Expr):
     """``*`` in a select list or ``count(*)``."""
 
+    span: Span | None = _span_field()
+
 
 @dataclass(frozen=True)
 class SelectItem:
     expr: Expr
     alias: str | None = None
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
 class TableRef:
     name: str
     alias: str | None = None
+    span: Span | None = _span_field()
 
     @property
     def binding(self) -> str:
@@ -108,6 +143,7 @@ class TableRef:
 class OrderItem:
     expr: Expr
     ascending: bool = True
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -120,6 +156,7 @@ class Select:
     order_by: tuple[OrderItem, ...] = ()
     limit: int | None = None
     distinct: bool = False
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -127,23 +164,27 @@ class Insert:
     table: str
     columns: tuple[str, ...] | None
     rows: tuple[tuple[Expr, ...], ...]
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
 class CreateTable:
     table: str
     columns: tuple[tuple[str, str], ...]  # (name, type name)
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
 class DropTable:
     table: str
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
 class Delete:
     table: str
     where: Expr | None = None
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -151,6 +192,7 @@ class Update:
     table: str
     assignments: tuple[tuple[str, Expr], ...]
     where: Expr | None = None
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -158,11 +200,13 @@ class CreateIndex:
     name: str
     table: str
     column: str
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
 class DropIndex:
     name: str
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -170,6 +214,7 @@ class Subquery(Expr):
     """A nested SELECT used as an expression (scalar or IN-list source)."""
 
     select: "Select"
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -179,6 +224,7 @@ class InSubquery(Expr):
     value: Expr
     subquery: "Select"
     negated: bool = False
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -187,6 +233,7 @@ class Exists(Expr):
 
     subquery: "Select"
     negated: bool = False
+    span: Span | None = _span_field()
 
 
 Statement = Select | Insert | CreateTable | DropTable | Delete | Update | CreateIndex | DropIndex

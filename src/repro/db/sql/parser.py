@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from repro.db.sql.ast import (
     BinOp,
+    Span,
     ColumnRef,
     CreateIndex,
     CreateTable,
@@ -83,6 +84,15 @@ class _Parser:
         found = token.text or "end of input"
         return SqlSyntaxError(f"{message} (found {found!r})", token.line, token.column)
 
+    def span_here(self) -> Span:
+        """The span of the token about to be consumed."""
+        token = self.peek()
+        return Span(token.line, token.column)
+
+    @staticmethod
+    def span_of(token: Token) -> Span:
+        return Span(token.line, token.column)
+
     def at_keyword(self, *keywords: str) -> bool:
         return any(self.peek().matches_keyword(k) for k in keywords)
 
@@ -143,6 +153,7 @@ class _Parser:
         return stmt
 
     def parse_select(self) -> Select:
+        span = self.span_here()
         self.expect_keyword("select")
         distinct = self.accept_keyword("distinct")
         items = self.parse_select_items()
@@ -166,13 +177,14 @@ class _Parser:
         if self.accept_keyword("order"):
             self.expect_keyword("by")
             while True:
+                item_span = self.span_here()
                 expr = self.parse_expr()
                 ascending = True
                 if self.accept_keyword("desc"):
                     ascending = False
                 else:
                     self.accept_keyword("asc")
-                order_by.append(OrderItem(expr, ascending))
+                order_by.append(OrderItem(expr, ascending, span=item_span))
                 if not self.accept_operator(","):
                     break
         limit = None
@@ -185,14 +197,16 @@ class _Parser:
         return Select(
             tuple(items), tuple(tables), where,
             tuple(group_by), having, tuple(order_by), limit, distinct,
+            span=span,
         )
 
     def parse_select_items(self) -> list[SelectItem]:
         items = []
         while True:
+            item_span = self.span_here()
             if self.at_operator("*"):
                 self.advance()
-                items.append(SelectItem(Star()))
+                items.append(SelectItem(Star(span=item_span), span=item_span))
             else:
                 expr = self.parse_expr()
                 alias = None
@@ -203,20 +217,22 @@ class _Parser:
                     and self.peek().text.lower() not in _KEYWORDS
                 ):
                     alias = self.advance().text
-                items.append(SelectItem(expr, alias))
+                items.append(SelectItem(expr, alias, span=item_span))
             if not self.accept_operator(","):
                 return items
 
     def parse_table_ref(self) -> TableRef:
+        span = self.span_here()
         name = self.expect_ident("a table name")
         alias = None
         if self.peek().type is TokenType.IDENT and self.peek().text.lower() not in _KEYWORDS:
             alias = self.advance().text
         elif self.accept_keyword("as"):
             alias = self.expect_ident("a table alias")
-        return TableRef(name, alias)
+        return TableRef(name, alias, span=span)
 
     def parse_insert(self) -> Insert:
+        span = self.span_here()
         self.expect_keyword("insert")
         self.expect_keyword("into")
         table = self.expect_ident("a table name")
@@ -231,7 +247,7 @@ class _Parser:
         rows = [self.parse_value_row()]
         while self.accept_operator(","):
             rows.append(self.parse_value_row())
-        return Insert(table, tuple(columns) if columns else None, tuple(rows))
+        return Insert(table, tuple(columns) if columns else None, tuple(rows), span=span)
 
     def parse_value_row(self) -> tuple[Expr, ...]:
         self.expect_operator("(")
@@ -242,6 +258,7 @@ class _Parser:
         return tuple(exprs)
 
     def parse_update(self) -> Update:
+        span = self.span_here()
         self.expect_keyword("update")
         table = self.expect_ident("a table name")
         self.expect_keyword("set")
@@ -251,7 +268,7 @@ class _Parser:
         where = None
         if self.accept_keyword("where"):
             where = self.parse_expr()
-        return Update(table, tuple(assignments), where)
+        return Update(table, tuple(assignments), where, span=span)
 
     def parse_assignment(self) -> tuple[str, Expr]:
         column = self.expect_ident("a column name")
@@ -259,6 +276,7 @@ class _Parser:
         return column, self.parse_expr()
 
     def parse_create(self) -> CreateTable | CreateIndex:
+        span = self.span_here()
         self.expect_keyword("create")
         if self.accept_keyword("index"):
             name = self.expect_ident("an index name")
@@ -267,7 +285,7 @@ class _Parser:
             self.expect_operator("(")
             column = self.expect_ident("a column name")
             self.expect_operator(")")
-            return CreateIndex(name, table, column)
+            return CreateIndex(name, table, column, span=span)
         self.expect_keyword("table")
         table = self.expect_ident("a table name")
         self.expect_operator("(")
@@ -275,7 +293,7 @@ class _Parser:
         while self.accept_operator(","):
             columns.append(self.parse_column_def())
         self.expect_operator(")")
-        return CreateTable(table, tuple(columns))
+        return CreateTable(table, tuple(columns), span=span)
 
     def parse_column_def(self) -> tuple[str, str]:
         name = self.expect_ident("a column name")
@@ -289,20 +307,22 @@ class _Parser:
         return name, type_name
 
     def parse_drop(self) -> DropTable | DropIndex:
+        span = self.span_here()
         self.expect_keyword("drop")
         if self.accept_keyword("index"):
-            return DropIndex(self.expect_ident("an index name"))
+            return DropIndex(self.expect_ident("an index name"), span=span)
         self.expect_keyword("table")
-        return DropTable(self.expect_ident("a table name"))
+        return DropTable(self.expect_ident("a table name"), span=span)
 
     def parse_delete(self) -> Delete:
+        span = self.span_here()
         self.expect_keyword("delete")
         self.expect_keyword("from")
         table = self.expect_ident("a table name")
         where = None
         if self.accept_keyword("where"):
             where = self.parse_expr()
-        return Delete(table, where)
+        return Delete(table, where, span=span)
 
     # -------------------------------------------------------------- #
     # expressions, by descending precedence
@@ -314,37 +334,42 @@ class _Parser:
     def parse_or(self) -> Expr:
         left = self.parse_and()
         while self.at_keyword("or"):
-            self.advance()
-            left = BinOp("or", left, self.parse_and())
+            op = self.advance()
+            left = BinOp("or", left, self.parse_and(), span=self.span_of(op))
         return left
 
     def parse_and(self) -> Expr:
         left = self.parse_not()
         while self.at_keyword("and"):
-            self.advance()
-            left = BinOp("and", left, self.parse_not())
+            op = self.advance()
+            left = BinOp("and", left, self.parse_not(), span=self.span_of(op))
         return left
 
     def parse_not(self) -> Expr:
         if self.at_keyword("not"):
-            self.advance()
-            return UnaryOp("not", self.parse_not())
+            op = self.advance()
+            return UnaryOp("not", self.parse_not(), span=self.span_of(op))
         return self.parse_comparison()
 
     def parse_comparison(self) -> Expr:
         left = self.parse_additive()
         if self.at_keyword("is"):
-            self.advance()
+            is_span = self.span_of(self.advance())
             negated = self.accept_keyword("not")
             self.expect_keyword("null")
-            test = FuncCall("__is_null", (left,))
-            return UnaryOp("not", test) if negated else test
+            test = FuncCall("__is_null", (left,), span=is_span)
+            return UnaryOp("not", test, span=is_span) if negated else test
         if self.at_keyword("between"):
-            self.advance()
+            between_span = self.span_of(self.advance())
             lo = self.parse_additive()
             self.expect_keyword("and")
             hi = self.parse_additive()
-            return BinOp("and", BinOp(">=", left, lo), BinOp("<=", left, hi))
+            return BinOp(
+                "and",
+                BinOp(">=", left, lo, span=between_span),
+                BinOp("<=", left, hi, span=between_span),
+                span=between_span,
+            )
         negated = False
         if self.at_keyword("not"):
             self.advance()
@@ -352,24 +377,24 @@ class _Parser:
                 raise self.error("expected IN after NOT")
             negated = True
         if self.at_keyword("in"):
-            self.advance()
+            in_span = self.span_of(self.advance())
             self.expect_operator("(")
             if self.at_keyword("select"):
                 subquery = self.parse_select()
                 self.expect_operator(")")
-                return InSubquery(left, subquery, negated)
+                return InSubquery(left, subquery, negated, span=in_span)
             options = [self.parse_expr()]
             while self.accept_operator(","):
                 options.append(self.parse_expr())
             self.expect_operator(")")
-            test: Expr = BinOp("=", left, options[0])
+            test: Expr = BinOp("=", left, options[0], span=in_span)
             for option in options[1:]:
-                test = BinOp("or", test, BinOp("=", left, option))
-            return UnaryOp("not", test) if negated else test
+                test = BinOp("or", test, BinOp("=", left, option, span=in_span), span=in_span)
+            return UnaryOp("not", test, span=in_span) if negated else test
         op_token = self.accept_operator(*_COMPARISONS)
         if op_token:
             op = "<>" if op_token.text == "!=" else op_token.text
-            return BinOp(op, left, self.parse_additive())
+            return BinOp(op, left, self.parse_additive(), span=self.span_of(op_token))
         return left
 
     def parse_additive(self) -> Expr:
@@ -378,7 +403,8 @@ class _Parser:
             op_token = self.accept_operator("+", "-", "||")
             if not op_token:
                 return left
-            left = BinOp(op_token.text, left, self.parse_multiplicative())
+            left = BinOp(op_token.text, left, self.parse_multiplicative(),
+                         span=self.span_of(op_token))
 
     def parse_multiplicative(self) -> Expr:
         left = self.parse_unary()
@@ -386,12 +412,12 @@ class _Parser:
             op_token = self.accept_operator("*", "/")
             if not op_token:
                 return left
-            left = BinOp(op_token.text, left, self.parse_unary())
+            left = BinOp(op_token.text, left, self.parse_unary(), span=self.span_of(op_token))
 
     def parse_unary(self) -> Expr:
         if self.at_operator("-"):
-            self.advance()
-            return UnaryOp("-", self.parse_unary())
+            op = self.advance()
+            return UnaryOp("-", self.parse_unary(), span=self.span_of(op))
         if self.at_operator("+"):
             self.advance()
             return self.parse_unary()
@@ -399,15 +425,16 @@ class _Parser:
 
     def parse_primary(self) -> Expr:
         token = self.peek()
+        span = self.span_of(token)
         if token.type is TokenType.NUMBER:
             self.advance()
-            return Literal(token.value)
+            return Literal(token.value, span=span)
         if token.type is TokenType.STRING:
             self.advance()
-            return Literal(token.value)
+            return Literal(token.value, span=span)
         if token.type is TokenType.PARAM:
             self.advance()
-            param = Param(self.param_count)
+            param = Param(self.param_count, span=span)
             self.param_count += 1
             return param
         if self.at_operator("("):
@@ -415,7 +442,7 @@ class _Parser:
             if self.at_keyword("select"):
                 subquery = self.parse_select()
                 self.expect_operator(")")
-                return Subquery(subquery)
+                return Subquery(subquery, span=span)
             expr = self.parse_expr()
             self.expect_operator(")")
             return expr
@@ -426,34 +453,35 @@ class _Parser:
                 self.expect_operator("(")
                 subquery = self.parse_select()
                 self.expect_operator(")")
-                return Exists(subquery)
+                return Exists(subquery, span=span)
             if lowered == "null":
                 self.advance()
-                return Literal(None)
+                return Literal(None, span=span)
             if lowered == "true":
                 self.advance()
-                return Literal(True)
+                return Literal(True, span=span)
             if lowered == "false":
                 self.advance()
-                return Literal(False)
+                return Literal(False, span=span)
             name = self.advance().text
             if self.at_operator("("):  # function call
                 self.advance()
                 args: list[Expr] = []
                 if self.at_operator("*"):
+                    star_span = self.span_here()
                     self.advance()
-                    args.append(Star())
+                    args.append(Star(span=star_span))
                 elif not self.at_operator(")"):
                     args.append(self.parse_expr())
                     while self.accept_operator(","):
                         args.append(self.parse_expr())
                 self.expect_operator(")")
-                return FuncCall(name, tuple(args))
+                return FuncCall(name, tuple(args), span=span)
             if self.at_operator("."):
                 self.advance()
                 column = self.expect_ident("a column name")
-                return ColumnRef(name, column)
-            return ColumnRef(None, name)
+                return ColumnRef(name, column, span=span)
+            return ColumnRef(None, name, span=span)
         raise self.error("expected an expression")
 
 

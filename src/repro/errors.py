@@ -9,6 +9,9 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "ValidationError",
+    "UnknownNameError",
+    "DuplicateNameError",
     "GridMismatchError",
     "CurveMismatchError",
     "CodecError",
@@ -20,6 +23,13 @@ __all__ = [
     "SqlTypeError",
     "CatalogError",
     "ExecutionError",
+    "UnsupportedStatementError",
+    "StaticAnalysisError",
+    "ResolutionError",
+    "TypeCheckError",
+    "SpatialUsageError",
+    "AggregateUsageError",
+    "FunctionUsageError",
     "MedicalError",
     "RegistrationError",
 ]
@@ -27,6 +37,18 @@ __all__ = [
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed a library-level validation check."""
+
+
+class UnknownNameError(ReproError, KeyError):
+    """A lookup by name (structure, codec, curve) found nothing."""
+
+
+class DuplicateNameError(ReproError, KeyError):
+    """A name or key that must be unique was registered twice."""
 
 
 class GridMismatchError(ReproError, ValueError):
@@ -79,6 +101,53 @@ class CatalogError(DatabaseError, KeyError):
 
 class ExecutionError(DatabaseError, RuntimeError):
     """A query plan failed during execution."""
+
+
+class UnsupportedStatementError(DatabaseError, ValueError):
+    """A statement form is not supported in the requested context."""
+
+
+class StaticAnalysisError(DatabaseError):
+    """Base class for errors found by the semantic analyzer before execution.
+
+    Instances carry the full list of structured diagnostics on
+    ``self.diagnostics``; ``self.code`` and ``self.span`` expose the primary
+    (first) diagnostic's stable error code and source span.  Concrete
+    subclasses mix in the legacy exception type callers already catch for
+    the same class of mistake, so adding the static pass changes *when*
+    queries fail, never *what* callers must handle.
+    """
+
+    def __init__(self, diagnostics):
+        self.diagnostics = list(diagnostics)
+        primary = self.diagnostics[0]
+        self.code = primary.code
+        self.span = primary.span
+        super().__init__(primary.format())
+
+
+class ResolutionError(StaticAnalysisError, CatalogError):
+    """A name (table, alias, column, function) did not resolve (QB1xx)."""
+
+
+class TypeCheckError(StaticAnalysisError, SqlTypeError):
+    """Static type inference found an ill-typed expression (QB2xx)."""
+
+
+class SpatialUsageError(StaticAnalysisError, SqlTypeError):
+    """A LONGFIELD / spatial value was used in a scalar context (QB3xx)."""
+
+
+class AggregateUsageError(StaticAnalysisError, ExecutionError):
+    """An aggregate appeared where SQL does not allow one (QB1xx)."""
+
+
+class FunctionUsageError(StaticAnalysisError, ExecutionError):
+    """A function call cannot succeed: wrong arity or argument types (QB2xx).
+
+    Derives :class:`ExecutionError` because at run time such calls fail
+    *inside* the function and surface as wrapped execution errors.
+    """
 
 
 class MedicalError(ReproError):

@@ -17,7 +17,7 @@ import numpy as np
 from scipy import ndimage
 
 from repro.curves import GridSpec
-from repro.errors import RegistrationError
+from repro.errors import RegistrationError, ValidationError
 
 __all__ = ["AffineTransform", "resample_to_grid", "register_moments"]
 
@@ -36,9 +36,9 @@ class AffineTransform:
     def __post_init__(self) -> None:
         m = np.asarray(self.matrix, dtype=np.float64)
         if m.shape != (4, 4):
-            raise ValueError(f"affine matrix must be 4x4, got {m.shape}")
+            raise ValidationError(f"affine matrix must be 4x4, got {m.shape}")
         if not np.allclose(m[3], (0.0, 0.0, 0.0, 1.0)):
-            raise ValueError("last row of an affine matrix must be (0, 0, 0, 1)")
+            raise ValidationError("last row of an affine matrix must be (0, 0, 0, 1)")
         object.__setattr__(self, "matrix", m)
         m.setflags(write=False)
 
@@ -109,7 +109,7 @@ class AffineTransform:
         """Rebuild from the 12 stored warp parameters."""
         arr = np.asarray(params, dtype=np.float64)
         if arr.shape != (12,):
-            raise ValueError("expected 12 warp parameters")
+            raise ValidationError("expected 12 warp parameters")
         m = np.eye(4)
         m[:3, :] = arr.reshape(3, 4)
         return cls(m)

@@ -10,6 +10,8 @@ the cost model so counts stay exact and deterministic.
 
 from __future__ import annotations
 
+from repro.errors import ValidationError
+
 from dataclasses import dataclass
 
 __all__ = ["RpcChannel", "TransferRecord"]
@@ -33,7 +35,7 @@ class RpcChannel:
 
     def __init__(self, chunk_size: int = 1024, control_messages_per_call: int = 4):
         if chunk_size <= 0:
-            raise ValueError("chunk size must be positive")
+            raise ValidationError("chunk size must be positive")
         self.chunk_size = chunk_size
         self.control_messages_per_call = control_messages_per_call
         self.total_bytes = 0
@@ -44,7 +46,7 @@ class RpcChannel:
         """Ship one result payload (bytes, or just its length) to the peer."""
         nbytes = payload if isinstance(payload, int) else len(payload)
         if nbytes < 0:
-            raise ValueError("payload size must be non-negative")
+            raise ValidationError("payload size must be non-negative")
         data_messages = -(-nbytes // self.chunk_size) if nbytes else 0
         record = TransferRecord(
             payload_bytes=nbytes,

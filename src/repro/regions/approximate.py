@@ -9,6 +9,8 @@ for the ablation benchmark.
 
 from __future__ import annotations
 
+from repro.errors import ValidationError
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,7 +28,7 @@ def merge_gaps(region: Region, mingap: int) -> Region:
     ``mingap = 1`` is the identity (no gap is shorter than 1 voxel).
     """
     if mingap < 1:
-        raise ValueError("mingap must be >= 1")
+        raise ValidationError("mingap must be >= 1")
     intervals = region.intervals
     if intervals.run_count < 2 or mingap == 1:
         return region
@@ -46,7 +48,7 @@ def coarsen_octants(region: Region, g: int) -> Region:
     paper cites).
     """
     if g < 1 or g & (g - 1):
-        raise ValueError("g must be a positive power of two")
+        raise ValidationError("g must be a positive power of two")
     if g == 1 or not region.voxel_count:
         return region
     ndim = region.grid.ndim
@@ -90,7 +92,7 @@ class ApproximationStats:
 def approximation_stats(exact: Region, approx: Region) -> ApproximationStats:
     """Verify ``approx`` covers ``exact`` and report the trade-off."""
     if not approx.contains(exact):
-        raise ValueError("approximation must be a superset of the exact region")
+        raise ValidationError("approximation must be a superset of the exact region")
     return ApproximationStats(
         exact_runs=exact.run_count,
         approx_runs=approx.run_count,

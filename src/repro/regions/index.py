@@ -21,7 +21,7 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from repro.curves import GridSpec
-from repro.errors import GridMismatchError
+from repro.errors import DuplicateNameError, GridMismatchError, ValidationError
 from repro.regions.region import Region
 
 __all__ = ["RegionIndex"]
@@ -49,9 +49,9 @@ class RegionIndex:
         """Index one non-empty region under ``key`` (key must be new)."""
         self.grid.require_same(region.grid)
         if key in self._slot_of:
-            raise KeyError(f"key {key!r} already indexed")
+            raise DuplicateNameError(f"key {key!r} already indexed")
         if not region.voxel_count:
-            raise ValueError("cannot index an empty region; drop it instead")
+            raise ValidationError("cannot index an empty region; drop it instead")
         lower, upper = region.bounding_box()
         self._slot_of[key] = len(self._keys)
         self._keys.append(key)

@@ -16,6 +16,8 @@ yields intersection (depth = k), union (depth >= 1), or any
 
 from __future__ import annotations
 
+from repro.errors import ValidationError
+
 from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -33,7 +35,7 @@ def concat_ranges(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
     stops = np.asarray(stops, dtype=np.int64)
     lengths = stops - starts
     if np.any(lengths < 0):
-        raise ValueError("range stops must be >= starts")
+        raise ValidationError("range stops must be >= starts")
     keep = lengths > 0
     starts, lengths = starts[keep], lengths[keep]
     if starts.size == 0:
@@ -53,9 +55,9 @@ def _canonicalize(starts: np.ndarray, stops: np.ndarray) -> tuple[np.ndarray, np
     starts = np.asarray(starts, dtype=np.int64)
     stops = np.asarray(stops, dtype=np.int64)
     if starts.shape != stops.shape or starts.ndim != 1:
-        raise ValueError("starts and stops must be 1-D arrays of equal length")
+        raise ValidationError("starts and stops must be 1-D arrays of equal length")
     if np.any(stops < starts):
-        raise ValueError("run stops must be >= starts")
+        raise ValidationError("run stops must be >= starts")
     keep = stops > starts
     starts, stops = starts[keep], stops[keep]
     if starts.size == 0:
@@ -93,7 +95,7 @@ class IntervalSet:
         else:
             self._starts, self._stops = _canonicalize(starts, stops)
         if self._starts.size and self._starts[0] < 0:
-            raise ValueError("interval sets hold non-negative integers only")
+            raise ValidationError("interval sets hold non-negative integers only")
         self._starts.setflags(write=False)
         self._stops.setflags(write=False)
 
@@ -120,7 +122,7 @@ class IntervalSet:
         if indices.size == 0:
             return cls.empty()
         if indices[0] < 0:
-            raise ValueError("interval sets hold non-negative integers only")
+            raise ValidationError("interval sets hold non-negative integers only")
         # A run breaks wherever consecutive sorted indices differ by > 1.
         breaks = np.flatnonzero(np.diff(indices) > 1)
         starts = indices[np.concatenate(([0], breaks + 1))]
@@ -199,13 +201,13 @@ class IntervalSet:
     @property
     def min_index(self) -> int:
         if self.run_count == 0:
-            raise ValueError("empty interval set has no minimum")
+            raise ValidationError("empty interval set has no minimum")
         return int(self._starts[0])
 
     @property
     def max_index(self) -> int:
         if self.run_count == 0:
-            raise ValueError("empty interval set has no maximum")
+            raise ValidationError("empty interval set has no maximum")
         return int(self._stops[-1] - 1)
 
     def runs_inclusive(self) -> Iterator[tuple[int, int]]:
@@ -220,7 +222,7 @@ class IntervalSet:
     def to_mask(self, length: int) -> np.ndarray:
         """Render as a boolean mask of the given length."""
         if self.run_count and self.max_index >= length:
-            raise ValueError(f"set extends past mask length {length}")
+            raise ValidationError(f"set extends past mask length {length}")
         mask = np.zeros(length, dtype=bool)
         # Difference trick: +1 at starts, -1 at stops, cumulative sum > 0.
         delta = np.zeros(length + 1, dtype=np.int32)
@@ -261,7 +263,7 @@ class IntervalSet:
         values answer "in at least m of the k studies".
         """
         if min_depth < 1:
-            raise ValueError("min_depth must be >= 1")
+            raise ValidationError("min_depth must be >= 1")
         sets = [s for s in sets]
         if min_depth > len(sets):
             return IntervalSet.empty()
@@ -344,7 +346,7 @@ class IntervalSet:
         if self.run_count == 0:
             return self
         if self._starts[0] + offset < 0:
-            raise ValueError("shift would produce negative positions")
+            raise ValidationError("shift would produce negative positions")
         return IntervalSet(self._starts + offset, self._stops + offset, _trusted=True)
 
     def clip(self, lo: int, hi: int) -> "IntervalSet":
@@ -368,7 +370,7 @@ class IntervalSet:
         """
         indices = np.asarray(indices, dtype=np.int64)
         if not self.contains_indices(indices).all():
-            raise ValueError("rank_of called with non-member indices")
+            raise ValidationError("rank_of called with non-member indices")
         slot = np.searchsorted(self._starts, indices, side="right") - 1
         lengths = self._stops - self._starts
         prefix = np.concatenate(([0], np.cumsum(lengths)[:-1]))

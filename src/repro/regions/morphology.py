@@ -9,6 +9,8 @@ mask, which is fine at QBISM grid sizes (a 128^3 boolean mask is 2 MiB).
 
 from __future__ import annotations
 
+from repro.errors import ValidationError
+
 import numpy as np
 from scipy import ndimage
 
@@ -20,7 +22,7 @@ __all__ = ["dilate", "erode", "boundary_shell", "margin"]
 def _ball_structure(radius: int, ndim: int) -> np.ndarray:
     """A discrete ball structuring element of the given voxel radius."""
     if radius < 1:
-        raise ValueError("radius must be >= 1")
+        raise ValidationError("radius must be >= 1")
     axes = [np.arange(-radius, radius + 1, dtype=np.float64)] * ndim
     mesh = np.meshgrid(*axes, indexing="ij", sparse=True)
     return sum(m**2 for m in mesh) <= radius * radius

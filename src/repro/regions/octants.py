@@ -16,6 +16,8 @@ notation.
 
 from __future__ import annotations
 
+from repro.errors import ValidationError
+
 import numpy as np
 
 from repro.regions.intervals import IntervalSet
@@ -100,7 +102,7 @@ def _floor_log2(values: np.ndarray) -> np.ndarray:
 def decompose_octants(intervals: IntervalSet, ndim: int, max_rank: int = 62) -> tuple[np.ndarray, np.ndarray]:
     """Canonical regular-octant decomposition: ``(ids, ranks)``, rank % ndim == 0."""
     if ndim < 1:
-        raise ValueError("ndim must be >= 1")
+        raise ValidationError("ndim must be >= 1")
     return _decompose(intervals, ndim, max_rank)
 
 
@@ -114,9 +116,9 @@ def octants_to_intervals(ids: np.ndarray, ranks: np.ndarray) -> IntervalSet:
     ids = np.asarray(ids, dtype=np.int64)
     ranks = np.asarray(ranks, dtype=np.int64)
     if ids.shape != ranks.shape:
-        raise ValueError("ids and ranks must have the same shape")
+        raise ValidationError("ids and ranks must have the same shape")
     if np.any(ids & ((np.int64(1) << ranks) - 1)):
-        raise ValueError("octant ids must be aligned to their rank")
+        raise ValidationError("octant ids must be aligned to their rank")
     return IntervalSet(ids, ids + (np.int64(1) << ranks))
 
 

@@ -8,6 +8,8 @@ radiation beams" — cylinders and line probes — at regions of interest.
 
 from __future__ import annotations
 
+from repro.errors import ValidationError
+
 import numpy as np
 
 from repro.curves import GridSpec, SpaceFillingCurve
@@ -51,7 +53,7 @@ def sphere(grid: GridSpec, center: tuple[float, ...], radius: float,
            curve: SpaceFillingCurve | str | None = None) -> Region:
     """Ball of the given radius around ``center`` (voxel units)."""
     if radius < 0:
-        raise ValueError("radius must be non-negative")
+        raise ValidationError("radius must be non-negative")
 
     def predicate(*mesh):
         d2 = sum((m - c) ** 2 for m, c in zip(mesh, center))
@@ -69,7 +71,7 @@ def ellipsoid(grid: GridSpec, center: tuple[float, ...], radii: tuple[float, ...
     the offset from ``center`` before scaling by ``radii``.
     """
     if any(r <= 0 for r in radii):
-        raise ValueError("ellipsoid radii must be positive")
+        raise ValidationError("ellipsoid radii must be positive")
     center_arr = np.asarray(center, dtype=np.float64)
     radii_arr = np.asarray(radii, dtype=np.float64)
 
@@ -93,11 +95,11 @@ def cylinder(grid: GridSpec, point: tuple[float, ...], direction: tuple[float, .
     Models a beam / electrode track targeted at a region of interest (§2.1).
     """
     if radius < 0:
-        raise ValueError("radius must be non-negative")
+        raise ValidationError("radius must be non-negative")
     d = np.asarray(direction, dtype=np.float64)
     norm = np.linalg.norm(d)
     if norm == 0:
-        raise ValueError("direction must be non-zero")
+        raise ValidationError("direction must be non-zero")
     d = d / norm
     p = np.asarray(point, dtype=np.float64)
 
@@ -115,7 +117,7 @@ def halfspace(grid: GridSpec, normal: tuple[float, ...], offset: float,
     """Voxels with ``normal . x <= offset`` — e.g. one brain hemisphere."""
     n = np.asarray(normal, dtype=np.float64)
     if not np.any(n):
-        raise ValueError("normal must be non-zero")
+        raise ValidationError("normal must be non-zero")
 
     def predicate(*mesh):
         return sum(m * c for m, c in zip(mesh, n)) <= offset

@@ -20,7 +20,7 @@ from collections.abc import Iterable
 import numpy as np
 
 from repro.curves import GridSpec, SpaceFillingCurve, curve_for_grid
-from repro.errors import CodecError, CurveMismatchError
+from repro.errors import CodecError, CurveMismatchError, ValidationError
 from repro.regions.intervals import IntervalSet
 from repro.regions.octants import (
     decompose_oblong_octants,
@@ -54,7 +54,7 @@ class Region:
         self._grid = grid
         self._curve = _resolve_curve(grid, curve)
         if intervals.run_count and intervals.max_index >= self._curve.length:
-            raise ValueError("runs extend past the end of the curve")
+            raise ValidationError("runs extend past the end of the curve")
         self._intervals = intervals
 
     # ------------------------------------------------------------------ #
@@ -81,7 +81,7 @@ class Region:
         resolved = _resolve_curve(grid, curve)
         coords = np.asarray(coords, dtype=np.int64)
         if coords.size and not grid.contains(coords).all():
-            raise ValueError("coordinates fall outside the grid")
+            raise ValidationError("coordinates fall outside the grid")
         return cls(IntervalSet.from_indices(resolved.index(coords)), grid, resolved)
 
     @classmethod
@@ -92,7 +92,7 @@ class Region:
         if grid is None:
             grid = GridSpec(mask.shape)
         elif mask.shape != grid.shape:
-            raise ValueError(f"mask shape {mask.shape} does not match grid {grid.shape}")
+            raise ValidationError(f"mask shape {mask.shape} does not match grid {grid.shape}")
         coords = np.argwhere(mask)
         return cls.from_coords(coords, grid, curve)
 
@@ -109,7 +109,7 @@ class Region:
         lower = tuple(int(v) for v in lower)
         upper = tuple(int(v) for v in upper)
         if len(lower) != grid.ndim or len(upper) != grid.ndim:
-            raise ValueError("box corners must match the grid dimensionality")
+            raise ValidationError("box corners must match the grid dimensionality")
         clipped_lower = tuple(max(0, lo) for lo in lower)
         clipped_upper = tuple(min(int(s), up) for s, up in zip(grid.shape, upper))
         if any(lo >= up for lo, up in zip(clipped_lower, clipped_upper)):
@@ -159,14 +159,14 @@ class Region:
     def bounding_box(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
         """Tight axis-aligned bounding box as ``(lower, upper)`` (half-open)."""
         if not self.voxel_count:
-            raise ValueError("empty region has no bounding box")
+            raise ValidationError("empty region has no bounding box")
         coords = self.coords()
         return tuple(coords.min(axis=0).tolist()), tuple((coords.max(axis=0) + 1).tolist())
 
     def centroid(self) -> tuple[float, ...]:
         """Mean voxel coordinate."""
         if not self.voxel_count:
-            raise ValueError("empty region has no centroid")
+            raise ValidationError("empty region has no centroid")
         return tuple(float(v) for v in self.coords().mean(axis=0))
 
     # ------------------------------------------------------------------ #

@@ -11,7 +11,7 @@ allocation splits larger blocks, freeing merges buddies back together.
 
 from __future__ import annotations
 
-from repro.errors import AllocationError
+from repro.errors import AllocationError, ValidationError
 
 __all__ = ["BuddyAllocator"]
 
@@ -21,9 +21,9 @@ class BuddyAllocator:
 
     def __init__(self, capacity: int, min_block: int = 4096):
         if min_block <= 0 or min_block & (min_block - 1):
-            raise ValueError("min_block must be a positive power of two")
+            raise ValidationError("min_block must be a positive power of two")
         if capacity < min_block or capacity & (capacity - 1):
-            raise ValueError("capacity must be a power-of-two multiple of min_block")
+            raise ValidationError("capacity must be a power-of-two multiple of min_block")
         self.capacity = capacity
         self.min_block = min_block
         self._min_order = min_block.bit_length() - 1

@@ -9,6 +9,8 @@ it is what gives the synthetic REGIONs the same run-length statistics
 
 from __future__ import annotations
 
+from repro.errors import ValidationError
+
 import numpy as np
 from scipy import ndimage
 
@@ -22,7 +24,7 @@ def smooth_field(
 ) -> np.ndarray:
     """A zero-mean, unit-variance smooth random field of the given shape."""
     if correlation_length <= 0:
-        raise ValueError("correlation length must be positive")
+        raise ValidationError("correlation length must be positive")
     field = rng.standard_normal(shape)
     field = ndimage.gaussian_filter(field, sigma=correlation_length, mode="nearest")
     std = field.std()

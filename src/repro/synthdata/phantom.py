@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.curves import GridSpec
+from repro.errors import UnknownNameError
 from repro.regions import Region
 from repro.synthdata.noise import smooth_field
 
@@ -83,7 +84,7 @@ class BrainPhantom:
             return self.structures[name]
         except KeyError:
             known = ", ".join(sorted(self.structures))
-            raise KeyError(f"phantom has no structure {name!r}; known: {known}") from None
+            raise UnknownNameError(f"phantom has no structure {name!r}; known: {known}") from None
 
 
 def _wobbly_ellipsoid_mask(

@@ -14,6 +14,8 @@ Reproduces the pieces of DX that matter to the paper's evaluation:
 
 from __future__ import annotations
 
+from repro.errors import ValidationError
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -102,5 +104,5 @@ class DataExplorer:
         elif mode == "textured":
             image = render.render_textured_surface(obj.data.region, obj.data, axis=axis)
         else:
-            raise ValueError(f"unknown render mode {mode!r}")
+            raise ValidationError(f"unknown render mode {mode!r}")
         return image, self.cost_model.render_seconds(obj.voxel_count)

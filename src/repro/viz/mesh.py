@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import CodecError
+from repro.errors import CodecError, ValidationError
 from repro.regions import Region
 
 __all__ = ["TriangleMesh", "extract_surface_mesh"]
@@ -86,7 +86,7 @@ class TriangleMesh:
 def extract_surface_mesh(region: Region) -> TriangleMesh:
     """Boundary-face mesh of a 3-D REGION (two triangles per exposed face)."""
     if region.grid.ndim != 3:
-        raise ValueError("surface meshes are defined for 3-D regions")
+        raise ValidationError("surface meshes are defined for 3-D regions")
     mask = region.to_mask()
     padded = np.pad(mask, 1, constant_values=False)
     corner_chunks: list[np.ndarray] = []

@@ -17,6 +17,8 @@ the examples can dump actual pictures.
 
 from __future__ import annotations
 
+from repro.errors import ValidationError
+
 from pathlib import Path
 
 import numpy as np
@@ -49,7 +51,7 @@ def _dense(data: DataRegion) -> np.ndarray:
 
 def _check_axis(axis: int, ndim: int) -> None:
     if not 0 <= axis < ndim:
-        raise ValueError(f"axis {axis} out of range for {ndim}-D data")
+        raise ValidationError(f"axis {axis} out of range for {ndim}-D data")
 
 
 def render_mip(data: DataRegion, axis: int = 2) -> np.ndarray:
@@ -71,7 +73,7 @@ def render_rotated_mip(data: DataRegion, angle_deg: float, axis: int = 2) -> np.
     _check_axis(axis, data.region.grid.ndim)
     dense = _dense(data)
     if data.region.grid.ndim != 3:
-        raise ValueError("rotated MIP is defined for 3-D data")
+        raise ValidationError("rotated MIP is defined for 3-D data")
     plane_axes = tuple(i for i in range(3) if i != axis)
     rotated = ndimage.rotate(
         dense, angle_deg, axes=plane_axes, reshape=False, order=1, mode="constant"
@@ -83,7 +85,7 @@ def render_turntable(data: DataRegion, frames: int = 8, axis: int = 2) -> list[n
     """An animation: MIP frames at evenly spaced viewpoints (§5.2
     "generating an animation")."""
     if frames < 1:
-        raise ValueError("animation needs at least one frame")
+        raise ValidationError("animation needs at least one frame")
     return [
         render_rotated_mip(data, 360.0 * i / frames, axis=axis) for i in range(frames)
     ]
@@ -96,7 +98,7 @@ def render_slice(data: DataRegion, axis: int = 2, index: int | None = None) -> n
     if index is None:
         index = grid.shape[axis] // 2
     if not 0 <= index < grid.shape[axis]:
-        raise ValueError(f"slice index {index} out of range")
+        raise ValidationError(f"slice index {index} out of range")
     return _normalize(np.take(_dense(data), index, axis=axis))
 
 
@@ -143,7 +145,7 @@ def render_textured_surface(region: Region, data: DataRegion, axis: int = 2) -> 
 def to_pgm(image: np.ndarray, path: str | Path) -> Path:
     """Write a [0, 1] float image as a binary PGM file; returns the path."""
     if image.ndim != 2:
-        raise ValueError("PGM export needs a 2-D image")
+        raise ValidationError("PGM export needs a 2-D image")
     path = Path(path)
     pixels = np.clip(np.asarray(image, dtype=np.float64), 0.0, 1.0)
     data = (pixels * 255).astype(np.uint8)

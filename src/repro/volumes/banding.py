@@ -13,6 +13,8 @@ a thresholded boolean array directly — no sorting is involved.
 
 from __future__ import annotations
 
+from repro.errors import ValidationError
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -44,7 +46,7 @@ class IntensityBand:
 def band_region(volume: Volume, low: float, high: float) -> Region:
     """The REGION of voxels with intensity in the closed interval ``[low, high]``."""
     if low > high:
-        raise ValueError(f"empty intensity interval [{low}, {high}]")
+        raise ValidationError(f"empty intensity interval [{low}, {high}]")
     mask = (volume.values >= low) & (volume.values <= high)
     return Region(IntervalSet.from_mask(mask), volume.grid, volume.curve)
 
@@ -56,10 +58,10 @@ def uniform_bands(volume: Volume, width: int = 32, value_range: tuple[int, int] 
     prototype: 0-31, 32-63, ..., 224-255.
     """
     if width < 1:
-        raise ValueError("band width must be >= 1")
+        raise ValidationError("band width must be >= 1")
     lo, hi = value_range
     if lo > hi:
-        raise ValueError("invalid value range")
+        raise ValidationError("invalid value range")
     bands = []
     for start in range(lo, hi + 1, width):
         end = min(start + width - 1, hi)
@@ -89,7 +91,7 @@ def bands_covering(bands: list[IntensityBand], lo: float, hi: float) -> list[Int
 def union_of_bands(bands: list[IntensityBand]) -> Region:
     """Union the REGIONs of several stored bands (contiguous or not)."""
     if not bands:
-        raise ValueError("no bands to union")
+        raise ValidationError("no bands to union")
     first = bands[0].region
     if len(bands) == 1:
         return first

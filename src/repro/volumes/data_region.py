@@ -13,7 +13,7 @@ import struct
 
 import numpy as np
 
-from repro.errors import CodecError, CurveMismatchError
+from repro.errors import CodecError, CurveMismatchError, ValidationError
 from repro.regions import Region
 
 __all__ = ["DataRegion", "DATA_REGION_MAGIC"]
@@ -31,7 +31,7 @@ class DataRegion:
     def __init__(self, region: Region, values: np.ndarray):
         values = np.ascontiguousarray(values)
         if values.ndim != 1 or values.shape[0] != region.voxel_count:
-            raise ValueError(
+            raise ValidationError(
                 f"expected {region.voxel_count} values (one per voxel), "
                 f"got shape {values.shape}"
             )
@@ -107,7 +107,7 @@ class DataRegion:
     def mean(self) -> float:
         """Mean value; raises on an empty region."""
         if not self._values.size:
-            raise ValueError("empty data region has no mean")
+            raise ValidationError("empty data region has no mean")
         return float(self._values.mean())
 
     def histogram(self, bins: int = 256, value_range: tuple[float, float] | None = None):

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.curves import GridSpec, SpaceFillingCurve, curve_for_grid
-from repro.errors import CurveMismatchError, GridMismatchError
+from repro.errors import CurveMismatchError, GridMismatchError, ValidationError
 from repro.regions import Region, concat_ranges
 from repro.volumes.volume import Volume, _all_coords
 
@@ -31,7 +31,7 @@ class VectorField:
             curve = curve_for_grid(grid, curve or "hilbert")
         values = np.ascontiguousarray(values)
         if values.ndim != 2 or values.shape[0] != grid.size:
-            raise ValueError(
+            raise ValidationError(
                 f"expected ({grid.size}, m) curve-ordered vectors, got {values.shape}"
             )
         self._grid = grid

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.curves import GridSpec, SpaceFillingCurve, curve_for_grid
-from repro.errors import CodecError, CurveMismatchError, GridMismatchError
+from repro.errors import CodecError, CurveMismatchError, GridMismatchError, ValidationError
 from repro.regions import Region, concat_ranges
 from repro.regions.intervals import IntervalSet
 from repro.volumes.data_region import DataRegion
@@ -80,7 +80,7 @@ class Volume:
             raise CurveMismatchError(f"curve {curve!r} does not cover grid {grid.shape}")
         values = np.ascontiguousarray(values)
         if values.ndim != 1 or values.shape[0] != grid.size:
-            raise ValueError(
+            raise ValidationError(
                 f"expected {grid.size} curve-ordered values, got shape {values.shape}"
             )
         self._grid = grid
@@ -210,7 +210,7 @@ class Volume:
         data_offset = _HEADER.size
         if align is not None:
             if align <= 0:
-                raise ValueError("align must be positive")
+                raise ValidationError("align must be positive")
             data_offset = max(align, -(-_HEADER.size // align) * align)
         header = _HEADER.pack(
             VOLUME_MAGIC,

@@ -1,0 +1,262 @@
+"""Tests for qblint (repro.analysis): each rule fires on a seeded violation
+fixture, suppressions silence precisely, and the shipped tree is clean."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ALL_RULES, lint_file, lint_paths, render_json, render_text
+from repro.analysis.__main__ import main as qblint_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_TREE = REPO_ROOT / "src" / "repro"
+
+
+def write_module(tmp_path: Path, source: str, name: str = "module.py") -> Path:
+    # Fixtures sit under a fake repro/<pkg>/ so path-scoped rules apply.
+    package = tmp_path / "repro" / "fake"
+    package.mkdir(parents=True, exist_ok=True)
+    path = package / name
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+def rule_hits(path: Path, rule: str) -> list:
+    return [v for v in lint_file(path) if v.rule == rule]
+
+
+class TestSeededViolations:
+    """Every rule must fire on a minimal seeded violation."""
+
+    def test_no_raw_device_io_backing(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "__all__ = []\n"
+            "def restore(device, image):\n"
+            "    device._backing.buf[:] = image\n",
+        )
+        hits = rule_hits(path, "no-raw-device-io")
+        assert len(hits) == 1 and hits[0].line == 3
+
+    def test_no_raw_device_io_direct_call(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "__all__ = []\n"
+            "def slurp(device):\n"
+            "    return device.read(0, 4096)\n",
+        )
+        assert len(rule_hits(path, "no-raw-device-io")) == 1
+
+    def test_no_raw_device_io_allowed_inside_storage(self, tmp_path):
+        package = tmp_path / "repro" / "storage"
+        package.mkdir(parents=True)
+        path = package / "cachefake.py"
+        path.write_text(
+            "__all__ = []\n"
+            "def slurp(device):\n"
+            "    return device.read(0, 4096)\n",
+            encoding="utf-8",
+        )
+        assert rule_hits(path, "no-raw-device-io") == []
+
+    def test_repro_error_subclass(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "__all__ = []\n"
+            "def f(x):\n"
+            "    if x < 0:\n"
+            "        raise ValueError('negative')\n",
+        )
+        hits = rule_hits(path, "repro-error-subclass")
+        assert len(hits) == 1 and hits[0].line == 4
+
+    def test_repro_error_allows_not_implemented(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "__all__ = []\n"
+            "def f():\n"
+            "    raise NotImplementedError\n",
+        )
+        assert rule_hits(path, "repro-error-subclass") == []
+
+    def test_no_broad_except(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "__all__ = []\n"
+            "def f():\n"
+            "    try:\n"
+            "        pass\n"
+            "    except Exception:\n"
+            "        pass\n"
+            "    try:\n"
+            "        pass\n"
+            "    except:\n"
+            "        pass\n",
+        )
+        assert {v.line for v in rule_hits(path, "no-broad-except")} == {5, 9}
+
+    def test_no_mutable_default(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "__all__ = []\n"
+            "def f(items=[], mapping={}, *, tags=set()):\n"
+            "    return items, mapping, tags\n",
+        )
+        assert len(rule_hits(path, "no-mutable-default")) == 3
+
+    def test_consistent_all_missing(self, tmp_path):
+        path = write_module(tmp_path, "X = 1\n")
+        hits = rule_hits(path, "consistent-all")
+        assert len(hits) == 1 and "does not declare" in hits[0].message
+
+    def test_consistent_all_stale_entry(self, tmp_path):
+        path = write_module(tmp_path, "__all__ = ['X', 'gone']\nX = 1\n")
+        hits = rule_hits(path, "consistent-all")
+        assert len(hits) == 1 and "'gone'" in hits[0].message
+
+    def test_consistent_all_exempts_private_modules(self, tmp_path):
+        path = write_module(tmp_path, "X = 1\n", name="_private.py")
+        assert rule_hits(path, "consistent-all") == []
+        path = write_module(tmp_path, "X = 1\n", name="__main__.py")
+        assert rule_hits(path, "consistent-all") == []
+
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        path = write_module(tmp_path, "def broken(:\n")
+        hits = lint_file(path)
+        assert len(hits) == 1 and hits[0].rule == "syntax-error"
+
+
+class TestSuppressions:
+    def test_same_line_suppression(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "__all__ = []\n"
+            "def f():\n"
+            "    raise ValueError('x')  # qblint: disable=repro-error-subclass\n",
+        )
+        assert rule_hits(path, "repro-error-subclass") == []
+
+    def test_previous_line_suppression(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "__all__ = []\n"
+            "def f():\n"
+            "    # qblint: disable=repro-error-subclass\n"
+            "    raise ValueError('x')\n",
+        )
+        assert rule_hits(path, "repro-error-subclass") == []
+
+    def test_file_level_suppression(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "# qblint: disable-file=repro-error-subclass\n"
+            "__all__ = []\n"
+            "def f():\n"
+            "    raise ValueError('x')\n"
+            "def g():\n"
+            "    raise KeyError('y')\n",
+        )
+        assert rule_hits(path, "repro-error-subclass") == []
+
+    def test_suppression_is_rule_specific(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "__all__ = []\n"
+            "def f():\n"
+            "    raise ValueError('x')  # qblint: disable=no-broad-except\n",
+        )
+        assert len(rule_hits(path, "repro-error-subclass")) == 1
+
+    def test_unknown_suppression_is_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "__all__ = []\n"
+            "X = 1  # qblint: disable=no-such-rule\n",
+        )
+        hits = [v for v in lint_file(path) if v.rule == "unknown-suppression"]
+        assert len(hits) == 1 and "no-such-rule" in hits[0].message
+
+    def test_mention_in_string_does_not_suppress(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            '__all__ = []\n'
+            'DOC = "# qblint: disable=repro-error-subclass"\n'
+            "def f():\n"
+            "    raise ValueError('x')\n",
+        )
+        assert len(rule_hits(path, "repro-error-subclass")) == 1
+
+
+class TestReporters:
+    def test_text_report(self, tmp_path):
+        path = write_module(tmp_path, "X = 1\n")
+        text = render_text(lint_paths([path]))
+        assert "consistent-all" in text and "1 violation(s)" in text
+
+    def test_text_report_clean(self, tmp_path):
+        path = write_module(tmp_path, "__all__ = ['X']\nX = 1\n")
+        assert render_text(lint_paths([path])) == "qblint: clean"
+
+    def test_json_report(self, tmp_path):
+        path = write_module(tmp_path, "X = 1\n")
+        payload = json.loads(render_json(lint_paths([path])))
+        assert payload["count"] == 1
+        assert payload["violations"][0]["rule"] == "consistent-all"
+
+
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        path = write_module(tmp_path, "__all__ = ['X']\nX = 1\n")
+        assert qblint_main([str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_one_on_violations(self, tmp_path, capsys):
+        path = write_module(tmp_path, "X = 1\n")
+        assert qblint_main([str(path)]) == 1
+
+    def test_exit_two_on_bad_path(self, capsys):
+        assert qblint_main(["/no/such/path"]) == 2
+
+    def test_exit_two_on_unknown_rule(self, tmp_path, capsys):
+        path = write_module(tmp_path, "X = 1\n")
+        assert qblint_main(["--rule", "bogus", str(path)]) == 2
+
+    def test_rule_filter(self, tmp_path):
+        path = write_module(tmp_path, "X = 1\n")
+        assert qblint_main(["--rule", "no-broad-except", str(path)]) == 0
+
+    def test_list_rules(self, capsys):
+        assert qblint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.name in out
+
+    def test_module_entry_point(self, tmp_path):
+        path = write_module(tmp_path, "__all__ = ['X']\nX = 1\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(path)],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO_ROOT),
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+
+
+class TestSelfCheck:
+    """The shipped source tree must satisfy its own linter."""
+
+    def test_shipped_tree_is_clean(self):
+        violations = lint_paths([SRC_TREE])
+        assert violations == [], "\n" + "\n".join(v.format() for v in violations)
+
+    def test_rule_names_are_unique_and_kebab(self):
+        names = [rule.name for rule in ALL_RULES]
+        assert len(set(names)) == len(names)
+        for name in names:
+            assert name and name == name.lower() and " " not in name
