@@ -17,28 +17,8 @@ from __future__ import annotations
 from conftest import bench_grid_side, emit
 
 from repro.bench import PAPER_TABLE3, comparison_table
+from repro.bench.workloads import run_table3, table3_measured
 from repro.core import format_table3
-
-
-def scaled_box(side: int) -> tuple[tuple[int, int, int], tuple[int, int, int]]:
-    """The paper's Q2 box (30,30,30)..(100,100,100), scaled to the grid."""
-    lo = round(30 * side / 128)
-    hi = round(101 * side / 128)
-    return (lo, lo, lo), (hi, hi, hi)
-
-
-def run_table3(system):
-    sid = system.pet_study_ids[0]
-    lower, upper = scaled_box(system.atlas.resolution)
-    outcomes = {
-        "Q1": system.query_full_study(sid, label="Q1: entire study"),
-        "Q2": system.query_box(sid, lower, upper, label="Q2: rectangular solid"),
-        "Q3": system.query_structure(sid, "ntal", label="Q3: ntal"),
-        "Q4": system.query_structure(sid, "ntal1", label="Q4: ntal1"),
-        "Q5": system.query_band(sid, 224, 255, label="Q5: band 224-255"),
-        "Q6": system.query_mixed(sid, "ntal1", 224, 255, label="Q6: band in ntal1"),
-    }
-    return outcomes
 
 
 def test_table3(paper_system, results_dir, benchmark):
@@ -50,15 +30,7 @@ def test_table3(paper_system, results_dir, benchmark):
     timings = [o.timing for o in outcomes.values()]
 
     measured = {
-        key: (
-            t.runs, t.voxels, t.lfm_page_ios,
-            round(t.starburst_cpu, 2), round(t.starburst_real, 1),
-            t.net_messages, round(t.net_seconds, 1),
-            round(t.import_cpu, 2), round(t.import_real, 1),
-            round(t.render_seconds, 0), round(t.other_seconds, 1),
-            round(t.total_seconds, 0),
-        )
-        for key, t in zip(outcomes, timings)
+        key: table3_measured(t) for key, t in zip(outcomes, timings)
     }
     header = (
         "runs", "voxels", "I/Os", "SBcpu", "SBreal", "msgs", "net",

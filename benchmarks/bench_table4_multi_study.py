@@ -12,13 +12,10 @@ from __future__ import annotations
 from conftest import bench_grid_side, emit
 
 from repro.bench import PAPER_TABLE4, comparison_table
+from repro.bench.workloads import TABLE4_ENCODINGS, run_table4, table4_measured
 from repro.core import format_table4
 
-ENCODING_LABELS = {
-    "hilbert-naive": "h-runs, naive",
-    "z-naive": "z-runs, naive",
-    "octant": "octants (z order)",
-}
+ENCODING_LABELS = TABLE4_ENCODINGS
 
 
 def test_table4(paper_system, results_dir, benchmark):
@@ -27,18 +24,13 @@ def test_table4(paper_system, results_dir, benchmark):
         paper_system.server.band_consistency_region, study_ids, 128, 159, "hilbert-naive"
     )
 
-    rows = []
-    measured = {}
-    regions = {}
-    for encoding, label in ENCODING_LABELS.items():
-        region, row = paper_system.multi_study_band(study_ids, 128, 159, encoding)
-        rows.append(row)
-        regions[encoding] = region
-        measured[label] = (
-            row.lfm_page_ios,
-            round(row.starburst_cpu, 2),
-            round(row.starburst_real, 1),
-        )
+    results = run_table4(paper_system, 128, 159)
+    rows = [row for _, row in results.values()]
+    regions = {encoding: region for encoding, (region, _) in results.items()}
+    measured = {
+        ENCODING_LABELS[encoding]: table4_measured(row)
+        for encoding, (_, row) in results.items()
+    }
 
     text = (
         f"grid side: {bench_grid_side()} (paper: 128); "

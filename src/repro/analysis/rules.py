@@ -21,6 +21,7 @@ __all__ = [
     "NoBroadExcept",
     "NoMutableDefault",
     "ConsistentAll",
+    "NoDirectIOStatsMutation",
 ]
 
 
@@ -283,6 +284,53 @@ class ConsistentAll(Rule):
                 )
 
 
+class NoDirectIOStatsMutation(Rule):
+    """IOStats counters are written by the storage layer alone.
+
+    The observability layer (and every benchmark) *reads* those counters;
+    a stray ``stats.pages_read += ...`` anywhere else would silently skew
+    the Table 3/4 numbers.  Outside ``repro/storage/``, assigning or
+    augmenting an attribute named after an IOStats field is flagged.
+    """
+
+    name = "no-direct-iostats-mutation"
+    description = (
+        "no writes to IOStats counter attributes outside repro/storage/ "
+        "(observability must only read the I/O accounting)"
+    )
+
+    _FIELDS = {
+        "pages_read", "pages_written",
+        "read_extents", "write_extents",
+        "bytes_read", "bytes_written",
+        "read_calls", "write_calls",
+    }
+
+    def _target_field(self, target: ast.expr) -> str | None:
+        if isinstance(target, ast.Attribute) and target.attr in self._FIELDS:
+            return target.attr
+        return None
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[tuple[int, str]]:
+        if _in_package(path, "storage"):
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            elif isinstance(node, ast.Assign):
+                targets = node.targets
+            else:
+                continue
+            for target in targets:
+                fld = self._target_field(target)
+                if fld is not None:
+                    yield (
+                        node.lineno,
+                        f"mutation of I/O counter {fld!r} outside the "
+                        "storage layer skews the paper's accounting",
+                    )
+
+
 #: the registry the engine runs, in report order
 ALL_RULES: tuple[Rule, ...] = (
     NoRawDeviceIO(),
@@ -290,4 +338,5 @@ ALL_RULES: tuple[Rule, ...] = (
     NoBroadExcept(),
     NoMutableDefault(),
     ConsistentAll(),
+    NoDirectIOStatsMutation(),
 )

@@ -1,0 +1,12 @@
+"""Entry point: ``python -m repro.bench`` writes BENCH_table3/4.json."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.runner import main
+
+__all__ = []
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""The Table 3 / Table 4 workloads, shared by pytest benches and the runner.
+
+``benchmarks/bench_table3_single_study.py``, ``bench_table4_multi_study.py``
+and ``python -m repro.bench`` all run exactly these query sequences, so
+their measured columns are directly comparable: one definition of "Q2's
+box" or "the Table 4 band" exists, here.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE3_COLUMNS",
+    "TABLE4_COLUMNS",
+    "TABLE4_ENCODINGS",
+    "scaled_box",
+    "run_table3",
+    "table3_measured",
+    "run_table4",
+    "table4_measured",
+]
+
+#: measured Table 3 columns, in the order :func:`table3_measured` emits them
+TABLE3_COLUMNS = (
+    "runs", "voxels", "lfm_page_ios",
+    "starburst_cpu", "starburst_real",
+    "net_messages", "net_seconds",
+    "import_cpu", "import_real",
+    "render_seconds", "other_seconds", "total_seconds",
+)
+
+#: measured Table 4 columns, in the order :func:`table4_measured` emits them
+TABLE4_COLUMNS = ("lfm_page_ios", "starburst_cpu", "starburst_real")
+
+#: stored-REGION encoding -> the paper's Table 4 row label
+TABLE4_ENCODINGS = {
+    "hilbert-naive": "h-runs, naive",
+    "z-naive": "z-runs, naive",
+    "octant": "octants (z order)",
+}
+
+
+def scaled_box(side: int) -> tuple[tuple[int, int, int], tuple[int, int, int]]:
+    """The paper's Q2 box (30,30,30)..(100,100,100), scaled to the grid."""
+    lo = round(30 * side / 128)
+    hi = round(101 * side / 128)
+    return (lo, lo, lo), (hi, hi, hi)
+
+
+def run_table3(system) -> dict:
+    """Run Q1..Q6 of Table 3; returns query id -> QueryOutcome."""
+    sid = system.pet_study_ids[0]
+    lower, upper = scaled_box(system.atlas.resolution)
+    return {
+        "Q1": system.query_full_study(sid, label="Q1: entire study"),
+        "Q2": system.query_box(sid, lower, upper, label="Q2: rectangular solid"),
+        "Q3": system.query_structure(sid, "ntal", label="Q3: ntal"),
+        "Q4": system.query_structure(sid, "ntal1", label="Q4: ntal1"),
+        "Q5": system.query_band(sid, 224, 255, label="Q5: band 224-255"),
+        "Q6": system.query_mixed(sid, "ntal1", 224, 255, label="Q6: band in ntal1"),
+    }
+
+
+def table3_measured(timing) -> tuple:
+    """One measured Table 3 row (same rounding the paper's table uses)."""
+    return (
+        timing.runs, timing.voxels, timing.lfm_page_ios,
+        round(timing.starburst_cpu, 2), round(timing.starburst_real, 1),
+        timing.net_messages, round(timing.net_seconds, 1),
+        round(timing.import_cpu, 2), round(timing.import_real, 1),
+        round(timing.render_seconds, 0), round(timing.other_seconds, 1),
+        round(timing.total_seconds, 0),
+    )
+
+
+def run_table4(system, low: int = 128, high: int = 159,
+               encodings=None) -> dict:
+    """Run the Table 4 intersection per encoding; returns
+    encoding -> ``(region, Table4Row)``."""
+    encodings = list(encodings or TABLE4_ENCODINGS)
+    study_ids = system.pet_study_ids
+    return {
+        encoding: system.multi_study_band(study_ids, low, high, encoding)
+        for encoding in encodings
+    }
+
+
+def table4_measured(row) -> tuple:
+    """One measured Table 4 row (I/Os, cpu seconds, real seconds)."""
+    return (
+        row.lfm_page_ios,
+        round(row.starburst_cpu, 2),
+        round(row.starburst_real, 1),
+    )

@@ -23,6 +23,8 @@ from repro.db.functions import (
 from repro.db.semantic import check
 from repro.db.sql.parser import parse
 from repro.errors import UnsupportedStatementError
+from repro.obs import metrics
+from repro.obs.explain import PlanProfile, render_analyzed_plan
 from repro.storage.device import IOStats
 from repro.storage.lfm import LongFieldManager
 
@@ -93,13 +95,49 @@ class Database:
         Python-side values (LongField handles, large strings) enter
         statements without literal syntax.
         """
+        import time
+
+        from repro.db.sql.ast import Explain
+
         stmt = parse(sql)
         check(stmt, self.catalog, self.functions)
+        if isinstance(stmt, Explain):
+            return self._execute_explain(stmt, list(params or ()), sql)
+        metrics.counter("db.statements").inc()
+        start = time.perf_counter()
         ctx = ExecutionContext(lfm=self.lfm, analyzed=True)
         io_before = self.lfm.stats.copy() if self.lfm else None
         result = self._executor.execute(stmt, list(params or ()), ctx)
         io_delta = (self.lfm.stats - io_before) if self.lfm else None
+        metrics.histogram("db.query_seconds").observe(time.perf_counter() - start)
         return QueryResult(result=result, work=ctx.work, io=io_delta, sql=sql)
+
+    def _execute_explain(self, stmt, params: list, sql: str) -> QueryResult:
+        """Run EXPLAIN / EXPLAIN ANALYZE; the plan comes back as rows."""
+        from repro.db.planner import plan_select
+        from repro.db.sql.ast import Select
+
+        inner = stmt.statement
+        if not isinstance(inner, Select):
+            raise UnsupportedStatementError("EXPLAIN supports SELECT statements only")
+        if not stmt.analyze:
+            lines = plan_select(inner, self.catalog).describe().splitlines()
+            rows = [(line,) for line in lines]
+            return QueryResult(
+                result=ResultSet(["plan"], rows),
+                work=WorkCounters(), io=None, sql=sql,
+            )
+        metrics.counter("db.statements").inc()
+        profile = PlanProfile()
+        ctx = ExecutionContext(lfm=self.lfm, analyzed=True, profile=profile)
+        io_before = self.lfm.stats.copy() if self.lfm else None
+        self._executor.execute(inner, params, ctx)
+        io_delta = (self.lfm.stats - io_before) if self.lfm else None
+        lines = render_analyzed_plan(profile, io=io_delta, work=ctx.work)
+        return QueryResult(
+            result=ResultSet(["plan"], [(line,) for line in lines]),
+            work=ctx.work, io=io_delta, sql=sql,
+        )
 
     def executemany(self, sql: str, param_rows: list[list]) -> int:
         """Run one parameterized statement repeatedly; returns total rowcount."""
@@ -118,9 +156,11 @@ class Database:
         query reports the diagnostic rather than a plan.
         """
         from repro.db.planner import plan_select
-        from repro.db.sql.ast import Select
+        from repro.db.sql.ast import Explain, Select
 
         stmt = parse(sql)
+        if isinstance(stmt, Explain):  # accept an explicit "EXPLAIN ..." too
+            stmt = stmt.statement
         if not isinstance(stmt, Select):
             raise UnsupportedStatementError("EXPLAIN supports SELECT statements only")
         check(stmt, self.catalog, self.functions)

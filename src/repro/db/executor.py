@@ -8,6 +8,7 @@ multi-study statistical queries (§6.4) want them.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.db.catalog import Catalog
@@ -39,6 +40,7 @@ from repro.db.sql.ast import (
 )
 from repro.db.types import SqlType
 from repro.errors import CatalogError, ExecutionError, SqlTypeError
+from repro.obs import metrics, trace
 
 __all__ = ["ResultSet", "Executor"]
 
@@ -159,6 +161,11 @@ class Executor:
 
             check(stmt, self.catalog, self.functions)
             ctx.analyzed = True
+        metrics.counter("executor.statements").inc()
+        with trace.span("executor.statement", statement=type(stmt).__name__):
+            return self._dispatch(stmt, params, ctx)
+
+    def _dispatch(self, stmt: Statement, params: list, ctx: ExecutionContext) -> ResultSet:
         if isinstance(stmt, Select):
             return self.execute_select(stmt, params, ctx)
         if isinstance(stmt, Insert):
@@ -249,9 +256,26 @@ class Executor:
         ``outer_env`` supplies the enclosing block's bindings when this
         SELECT executes as a correlated subquery.
         """
+        # EXPLAIN ANALYZE profiles the outermost SELECT only: take the
+        # profile off the context so subqueries run unprofiled.
+        profile = ctx.profile
+        if profile is not None:
+            ctx.profile = None
+        with trace.span("executor.select", tables=len(select.tables)):
+            return self._execute_select(select, params, ctx, outer_env, profile)
+
+    def _execute_select(self, select: Select, params: list, ctx: ExecutionContext,
+                        outer_env: _Env | None, profile) -> ResultSet:
         outer_bindings = _visible_bindings(outer_env)
         plan = plan_select(select, self.catalog, outer_bindings)
-        raw_rows = list(self._nested_loops(plan, params, ctx, outer_env))
+        if profile is not None:
+            profile.attach(plan)
+            stmt_start = time.perf_counter()
+            stmt_pages = _lfm_pages(ctx)
+        raw_rows = list(self._nested_loops(plan, params, ctx, outer_env, profile))
+        if profile is not None:
+            out_start = time.perf_counter()
+            out_pages = _lfm_pages(ctx)
         if select.group_by or self._has_aggregate_items(select):
             columns, rows, groups = self._grouped(select, raw_rows, params, ctx)
             sort_units: list = groups
@@ -303,14 +327,30 @@ class Executor:
         if select.limit is not None:
             rows = rows[: select.limit]
         ctx.work.rows_output += len(rows)
+        metrics.counter("executor.rows_emitted").inc(len(rows))
+        if profile is not None:
+            now = time.perf_counter()
+            pages = _lfm_pages(ctx)
+            profile.output.rows_in = len(raw_rows)
+            profile.output.rows_out = len(rows)
+            profile.output.wall_seconds = now - out_start
+            profile.output.page_ios = pages - out_pages
+            profile.rowcount = len(rows)
+            profile.wall_seconds = now - stmt_start
+            profile.page_ios = pages - stmt_pages
         return ResultSet(columns, rows)
 
     def _nested_loops(self, plan: Plan, params: list, ctx: ExecutionContext,
-                      outer_env: _Env | None = None):
+                      outer_env: _Env | None = None, profile=None):
         """Yield fully bound environments passing all predicates.
 
         Levels with an index probe read only the matching hash bucket;
         probing with NULL matches nothing (SQL equality semantics).
+
+        With a ``profile`` (EXPLAIN ANALYZE), each level's
+        :class:`~repro.obs.explain.OperatorStats` accumulates the rows it
+        examined and matched plus the time and page I/Os of its own
+        scan-bind-filter work (child levels account for themselves).
         """
         tables = [self.catalog.table(ref.name) for ref in plan.table_order]
 
@@ -331,10 +371,25 @@ class Executor:
             ref = plan.table_order[level]
             table = tables[level]
             predicates = plan.level_predicates[level]
+            stats = profile.levels[level] if profile is not None else None
             for row in rows_for(level, env):
                 ctx.work.rows_scanned += 1
+                if stats is None:
+                    env.bind(ref.binding, table.schema, row)
+                    if all(bool(self._eval(p, env, params, ctx)) for p in predicates):
+                        yield from recurse(level + 1, env)
+                    continue
+                start = time.perf_counter()
+                pages = _lfm_pages(ctx)
                 env.bind(ref.binding, table.schema, row)
-                if all(bool(self._eval(p, env, params, ctx)) for p in predicates):
+                matched = all(
+                    bool(self._eval(p, env, params, ctx)) for p in predicates
+                )
+                stats.rows_in += 1
+                stats.wall_seconds += time.perf_counter() - start
+                stats.page_ios += _lfm_pages(ctx) - pages
+                if matched:
+                    stats.rows_out += 1
                     yield from recurse(level + 1, env)
             env.frames.pop(ref.binding, None)
 
@@ -621,6 +676,11 @@ class Executor:
                 f"{type(left).__name__} and {type(right).__name__}"
             ) from None
         raise ExecutionError(f"unknown operator {op!r}")
+
+
+def _lfm_pages(ctx: ExecutionContext) -> int:
+    """Total LFM pages touched so far (0 when no LFM is attached)."""
+    return ctx.lfm.stats.total_pages if ctx.lfm is not None else 0
 
 
 def _contains_aggregate(expr: Expr) -> bool:

@@ -132,6 +132,9 @@ class ExecutionContext:
     #: True once the statement has passed semantic analysis; the executor
     #: runs the analyzer itself when handed an unanalyzed statement.
     analyzed: bool = False
+    #: a :class:`~repro.obs.explain.PlanProfile` to fill for EXPLAIN
+    #: ANALYZE; the executor claims it for the outermost SELECT only.
+    profile: object | None = None
 
     def read_longfield(self, value) -> bytes:
         """Dereference a LONGFIELD cell: handles are read via the LFM,

@@ -30,6 +30,7 @@ from repro.db.sql.ast import (
     UnaryOp,
 )
 from repro.errors import CatalogError
+from repro.obs import trace
 
 __all__ = ["Plan", "plan_select", "conjuncts_of", "columns_in", "contains_subquery"]
 
@@ -159,6 +160,15 @@ def plan_select(
     ``outer_bindings`` carries the enclosing block's bindings when planning
     a correlated subquery; columns resolved there behave as constants.
     """
+    with trace.span("planner.plan_select", tables=len(select.tables)):
+        return _plan_select(select, catalog, outer_bindings)
+
+
+def _plan_select(
+    select: Select,
+    catalog: Catalog,
+    outer_bindings: dict[str, object] | None = None,
+) -> Plan:
     bindings: dict[str, str] = {}
     for ref in select.tables:
         if ref.binding in bindings:

@@ -42,6 +42,7 @@ from repro.db.sql.ast import (
     DropIndex,
     DropTable,
     Exists,
+    Explain,
     Expr,
     FuncCall,
     InSubquery,
@@ -112,6 +113,9 @@ class SemanticAnalyzer:
 
     def analyze(self, stmt: Statement) -> list[Diagnostic]:
         """Collect every diagnostic for one statement."""
+        if isinstance(stmt, Explain):
+            # EXPLAIN adds no names of its own; analyze what it wraps.
+            stmt = stmt.statement
         if isinstance(stmt, Select):
             self._select(stmt, None)
         elif isinstance(stmt, Insert):

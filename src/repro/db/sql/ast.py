@@ -41,6 +41,7 @@ __all__ = [
     "Update",
     "CreateIndex",
     "DropIndex",
+    "Explain",
     "Statement",
 ]
 
@@ -236,4 +237,21 @@ class Exists(Expr):
     span: Span | None = _span_field()
 
 
-Statement = Select | Insert | CreateTable | DropTable | Delete | Update | CreateIndex | DropIndex
+@dataclass(frozen=True)
+class Explain:
+    """``EXPLAIN [ANALYZE] <statement>``.
+
+    Plain EXPLAIN renders the planner's chosen plan without running it;
+    with ``analyze`` the statement is executed and the plan tree comes back
+    annotated with per-operator rows, time, and page I/Os.
+    """
+
+    statement: "Statement"
+    analyze: bool = False
+    span: Span | None = _span_field()
+
+
+Statement = (
+    Select | Insert | CreateTable | DropTable | Delete | Update
+    | CreateIndex | DropIndex | Explain
+)

@@ -29,6 +29,7 @@ from repro.db.sql.ast import (
     DropIndex,
     DropTable,
     Exists,
+    Explain,
     Expr,
     FuncCall,
     InSubquery,
@@ -54,6 +55,7 @@ _KEYWORDS = {
     "select", "distinct", "from", "where", "group", "having", "order", "by",
     "asc", "desc", "limit", "insert", "into", "values", "create", "drop",
     "table", "delete", "update", "set", "index", "on", "exists",
+    "explain", "analyze",
     "and", "or", "not", "as", "is", "null", "true", "false", "between", "in",
 }
 
@@ -133,6 +135,19 @@ class _Parser:
     # -------------------------------------------------------------- #
 
     def parse_statement(self) -> Statement:
+        if self.at_keyword("explain"):
+            span = self.span_here()
+            self.advance()
+            analyze = self.accept_keyword("analyze")
+            stmt = Explain(self.parse_bare_statement(), analyze, span=span)
+        else:
+            stmt = self.parse_bare_statement()
+        self.accept_operator(";")
+        if self.peek().type is not TokenType.EOF:
+            raise self.error("unexpected trailing input")
+        return stmt
+
+    def parse_bare_statement(self) -> Statement:
         if self.at_keyword("select"):
             stmt = self.parse_select()
         elif self.at_keyword("insert"):
@@ -147,9 +162,6 @@ class _Parser:
             stmt = self.parse_update()
         else:
             raise self.error("expected a SQL statement")
-        self.accept_operator(";")
-        if self.peek().type is not TokenType.EOF:
-            raise self.error("unexpected trailing input")
         return stmt
 
     def parse_select(self) -> Select:

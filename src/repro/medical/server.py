@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from repro.db.database import Database, QueryResult
 from repro.db.functions import WorkCounters
 from repro.errors import MedicalError
+from repro.obs import metrics, trace
 from repro.regions import Region
 from repro.storage.device import IOStats
 from repro.volumes import DataRegion
@@ -89,8 +90,16 @@ class MedicalServer:
 
     def execute(self, spec: QuerySpec) -> MedicalQueryResult:
         """Run the two-query pattern of §3.4 and package the result."""
+        with trace.span("server.query", query=spec.label()):
+            return self._execute(spec)
+
+    def _execute(self, spec: QuerySpec) -> MedicalQueryResult:
+        metrics.counter("server.queries").inc()
         sqls: list[str] = []
-        meta_result = self.db.execute(_METADATA_SQL, [spec.study_id, spec.atlas_name])
+        with trace.span("server.metadata_query"):
+            meta_result = self.db.execute(
+                _METADATA_SQL, [spec.study_id, spec.atlas_name]
+            )
         sqls.append(_METADATA_SQL)
         row = meta_result.first()
         if row is None:
@@ -101,7 +110,8 @@ class MedicalServer:
         atlas_id = metadata["atlasId"]
 
         data_sql, params, needs_post_filter = self._build_data_query(spec, atlas_id)
-        data_result = self.db.execute(data_sql, params)
+        with trace.span("server.data_query"):
+            data_result = self.db.execute(data_sql, params)
         sqls.append(data_sql)
         data_row = data_result.first()
         if data_row is None:
@@ -242,6 +252,7 @@ class MedicalServer:
         in the given band, via an n-way spatial intersection in the DBMS."""
         if len(study_ids) < 2:
             raise MedicalError("band consistency needs at least two studies")
+        metrics.counter("server.queries").inc()
         encoding = encoding or self.encoding
         tables = [f"intensityBand b{i}" for i in range(len(study_ids))]
         where: list[str] = []
@@ -253,7 +264,8 @@ class MedicalServer:
         for i in range(1, len(study_ids)):
             expr = f"intersection({expr}, b{i}.region)"
         sql = f"select {expr}\nfrom {', '.join(tables)}\nwhere " + " and\n      ".join(where)
-        result = self.db.execute(sql, params)
+        with trace.span("server.multi_study", studies=len(study_ids)):
+            result = self.db.execute(sql, params)
         row = result.first()
         if row is None:
             raise MedicalError("band consistency query matched no stored bands")

@@ -11,6 +11,7 @@ the cost model so counts stay exact and deterministic.
 from __future__ import annotations
 
 from repro.errors import ValidationError
+from repro.obs import metrics, trace
 
 from dataclasses import dataclass
 
@@ -56,6 +57,16 @@ class RpcChannel:
         self.total_bytes += nbytes
         self.total_messages += record.messages
         self.total_calls += 1
+        metrics.counter("rpc.calls").inc()
+        metrics.counter("rpc.messages").inc(record.messages)
+        metrics.counter("rpc.bytes").inc(nbytes)
+        sp = trace.span("rpc.send")
+        if sp.active:
+            with sp:
+                sp.note(messages=record.messages, bytes=nbytes)
+                sp.set_sim_seconds(
+                    trace.get_tracer().cost_model.network_seconds(record)
+                )
         return record
 
     def reset(self) -> None:

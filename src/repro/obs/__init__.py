@@ -1,0 +1,30 @@
+"""Observability layer: trace spans, metrics, and EXPLAIN ANALYZE profiles.
+
+Three cooperating pieces, all read-only with respect to the paper-facing
+I/O accounting:
+
+* :mod:`repro.obs.trace` — hierarchical spans (wall time, simulated
+  :class:`~repro.net.costmodel.CostModel1994` time, ``IOStats`` deltas),
+  off by default and zero-overhead while disabled;
+* :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges,
+  and histograms with text/JSON exporters;
+* :mod:`repro.obs.explain` — the per-operator profile EXPLAIN ANALYZE
+  fills and the renderer that turns it into an annotated plan tree.
+
+This package sits below every instrumented layer (storage imports it), so
+it must stay import-light: nothing here pulls in ``repro.storage`` or
+``repro.db`` at module level.
+"""
+
+from __future__ import annotations
+
+from repro.obs import metrics, trace
+from repro.obs.explain import OperatorStats, PlanProfile, render_analyzed_plan
+
+__all__ = [
+    "metrics",
+    "trace",
+    "OperatorStats",
+    "PlanProfile",
+    "render_analyzed_plan",
+]

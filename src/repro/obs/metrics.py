@@ -1,0 +1,204 @@
+"""A process-wide metrics registry: counters, gauges, and histograms.
+
+Instrumented sites across the tree feed this registry (``lfm.pages_read``,
+``cache.hit_rate``, ``executor.rows_emitted``, ``rpc.messages``...); the
+bench runner snapshots it into every ``BENCH_*.json`` so each trajectory
+point carries the full resource picture, not just the headline columns.
+
+Metrics are plain Python attribute updates on the side of the real
+counters — they never touch :class:`~repro.storage.device.IOStats`, so the
+paper-facing I/O accounting is unaffected by their presence (qblint's
+``no-direct-iostats-mutation`` rule enforces the direction of that data
+flow).  Exporters: :meth:`MetricsRegistry.render_text` (one ``name value``
+line per metric) and :meth:`MetricsRegistry.render_json`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "snapshot",
+    "reset",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValidationError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def export(self):
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value that may move in either direction."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def export(self):
+        return self.value
+
+
+#: histogram bucket upper bounds (seconds-flavored; counts land in the
+#: first bucket whose bound is >= the observation, overflow in ``inf``)
+_BUCKET_BOUNDS = (1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
+
+
+class Histogram:
+    """Distribution summary: count/sum/min/max plus coarse log buckets."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+    kind = "histogram"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self.buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for i, bound in enumerate(_BUCKET_BOUNDS):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def export(self):
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "buckets": dict(
+                zip([str(b) for b in _BUCKET_BOUNDS] + ["inf"], self.buckets)
+            ),
+        }
+
+
+class MetricsRegistry:
+    """Name -> metric map with create-on-first-use accessors."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name)
+        elif not isinstance(metric, cls):
+            raise ValidationError(
+                f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict:
+        """Every metric's exported value, grouped by kind, names sorted."""
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in self.names():
+            metric = self._metrics[name]
+            out[metric.kind + "s"][name] = metric.export()
+        return out
+
+    def render_text(self) -> str:
+        """One ``name value`` line per metric (histograms one line per stat)."""
+        lines: list[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                for stat in ("count", "sum", "mean", "min", "max"):
+                    value = metric.export()[stat]
+                    lines.append(f"{name}.{stat} {value}")
+            else:
+                lines.append(f"{name} {metric.export()}")
+        return "\n".join(lines)
+
+    def render_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def reset(self) -> None:
+        """Forget every metric (registrations included)."""
+        self._metrics.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry."""
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter:
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return _REGISTRY.histogram(name)
+
+
+def snapshot() -> dict:
+    return _REGISTRY.snapshot()
+
+
+def reset() -> None:
+    _REGISTRY.reset()

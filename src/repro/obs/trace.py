@@ -1,0 +1,239 @@
+"""Hierarchical trace spans for the whole pipeline of Figure 7.
+
+A span covers one named stage (``lfm.read_ranges``, ``executor.select``,
+``dx.render``...) and records three things when it closes:
+
+* **wall seconds** — real elapsed time of this implementation;
+* **simulated seconds** — what the calibrated
+  :class:`~repro.net.costmodel.CostModel1994` says the 1994 testbed would
+  have spent (derived from the span's I/O delta unless the instrumented
+  site supplies a better stage model);
+* **an I/O delta** — the :class:`~repro.storage.device.IOStats` movement of
+  whatever counter object the site passed as ``io=``.
+
+Tracing is **off by default** and the disabled path is a single flag check
+returning a shared no-op span, so instrumented code performs no clock
+reads, no stat snapshots, and — critically — no storage I/O of its own:
+the Table 3/4 page counts are bit-identical with the layer on or off (the
+recorder only ever *reads* counters; qblint's ``no-direct-iostats-mutation``
+rule keeps it that way).
+
+Spans nest: the tracer tracks depth, so :func:`render_text` can print the
+record list as an indented tree.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "enable",
+    "disable",
+    "is_enabled",
+    "reset",
+    "records",
+    "capture",
+    "render_text",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) span, in start order."""
+
+    name: str
+    depth: int
+    wall_seconds: float = 0.0
+    #: CostModel1994 elapsed time for the work this span covered
+    sim_seconds: float = 0.0
+    #: IOStats delta over the span, when the site passed an ``io=`` source
+    io: object | None = None
+    meta: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        parts = [f"{self.name}  wall={self.wall_seconds * 1e3:.3f} ms"]
+        if self.sim_seconds:
+            parts.append(f"sim={self.sim_seconds:.3f} s")
+        if self.io is not None:
+            parts.append(
+                f"io={self.io.pages_read}r/{self.io.pages_written}w pages"
+            )
+        parts.extend(f"{k}={v}" for k, v in self.meta.items())
+        return "  ".join(parts)
+
+
+class _NoopSpan:
+    """The shared disabled span: every operation is a no-op."""
+
+    __slots__ = ()
+    active = False
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def note(self, **meta) -> None:
+        """Ignore annotations while tracing is disabled."""
+
+    def set_sim_seconds(self, seconds: float) -> None:
+        """Ignore the simulated-time override while tracing is disabled."""
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    """A live span; created only while the tracer is enabled."""
+
+    __slots__ = ("_tracer", "_io_source", "_io_before", "_start", "_sim", "record")
+
+    active = True
+
+    def __init__(self, tracer: "Tracer", name: str, io_source, meta: dict):
+        self._tracer = tracer
+        self._io_source = io_source
+        self._io_before = None
+        self._sim: float | None = None
+        self.record = SpanRecord(name=name, depth=0, meta=meta)
+
+    def note(self, **meta) -> None:
+        """Attach extra key/value annotations to the span."""
+        self.record.meta.update(meta)
+
+    def set_sim_seconds(self, seconds: float) -> None:
+        """Override the simulated elapsed time (stage-specific cost model)."""
+        self._sim = float(seconds)
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        self.record.depth = tracer._depth
+        tracer._depth += 1
+        tracer.records.append(self.record)  # start order = tree pre-order
+        if self._io_source is not None:
+            self._io_before = self._io_source.copy()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        record = self.record
+        record.wall_seconds = time.perf_counter() - self._start
+        if self._io_source is not None:
+            record.io = self._io_source - self._io_before
+        if self._sim is not None:
+            record.sim_seconds = self._sim
+        elif record.io is not None:
+            record.sim_seconds = self._tracer.simulated_io_seconds(record.io)
+        self._tracer._depth -= 1
+        return False
+
+
+class Tracer:
+    """A span recorder; the module-level singleton serves the whole process."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.records: list[SpanRecord] = []
+        self._depth = 0
+        self._cost_model = None
+
+    @property
+    def cost_model(self):
+        """The :class:`CostModel1994` used to simulate span times (lazy)."""
+        if self._cost_model is None:
+            from repro.net.costmodel import CostModel1994
+
+            self._cost_model = CostModel1994()
+        return self._cost_model
+
+    def simulated_io_seconds(self, io) -> float:
+        """Modeled 1994 elapsed time for an I/O delta (unbuffered page I/O)."""
+        return self.cost_model.seconds_per_page_io * (
+            io.pages_read + io.pages_written
+        )
+
+    def span(self, name: str, io=None, **meta):
+        """A context manager covering one stage.
+
+        ``io`` is any object with ``copy()`` and ``__sub__`` (an
+        :class:`IOStats` or duck-compatible counter set) whose delta over
+        the span should be recorded.  When tracing is disabled this returns
+        the shared no-op span immediately.
+        """
+        if not self.enabled:
+            return _NOOP
+        return _Span(self, name, io, meta)
+
+    def reset(self) -> None:
+        """Drop every recorded span (the enabled flag is untouched)."""
+        self.records.clear()
+        self._depth = 0
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer."""
+    return _TRACER
+
+
+def span(name: str, io=None, **meta):
+    """Open a span on the process-wide tracer (no-op while disabled)."""
+    return _TRACER.span(name, io=io, **meta)
+
+
+def enable() -> Tracer:
+    """Turn tracing on; returns the tracer for convenience."""
+    _TRACER.enabled = True
+    return _TRACER
+
+
+def disable() -> None:
+    """Turn tracing off (recorded spans are kept until :func:`reset`)."""
+    _TRACER.enabled = False
+
+
+def is_enabled() -> bool:
+    return _TRACER.enabled
+
+
+def reset() -> None:
+    """Clear the recorded spans on the process-wide tracer."""
+    _TRACER.reset()
+
+
+def records() -> list[SpanRecord]:
+    """A copy of the recorded spans, in start order."""
+    return list(_TRACER.records)
+
+
+@contextmanager
+def capture():
+    """Enable tracing for a block; yields a list filled with its spans.
+
+    The previous enabled state is restored on exit, so a ``capture()``
+    inside an already-enabled session is harmless.
+    """
+    previous = _TRACER.enabled
+    mark = len(_TRACER.records)
+    _TRACER.enabled = True
+    out: list[SpanRecord] = []
+    try:
+        yield out
+    finally:
+        _TRACER.enabled = previous
+        out.extend(_TRACER.records[mark:])
+
+
+def render_text(spans: list[SpanRecord] | None = None) -> str:
+    """The span list as an indented tree (start order, depth-indented)."""
+    spans = _TRACER.records if spans is None else spans
+    return "\n".join("  " * s.depth + s.format() for s in spans)

@@ -19,6 +19,7 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.errors import StorageError
+from repro.obs import metrics, trace
 from repro.storage.device import BlockDevice, IOStats
 
 __all__ = ["PageCache"]
@@ -55,9 +56,13 @@ class PageCache:
         page = self._pages.get(number)
         if page is not None:
             self.hits += 1
+            metrics.counter("cache.hits").inc()
+            metrics.gauge("cache.hit_rate").set(self.hit_rate)
             self._pages.move_to_end(number)
             return page
         self.misses += 1
+        metrics.counter("cache.misses").inc()
+        metrics.gauge("cache.hit_rate").set(self.hit_rate)
         page = self.device.read(number * self.page_size, self.page_size)
         self._pages[number] = page
         if len(self._pages) > self.capacity_pages:
@@ -78,9 +83,14 @@ class PageCache:
         if offset < 0 or length < 0 or offset + length > self.capacity:
             raise StorageError("read outside device bounds")
         self._account_logical(np.asarray([offset]), np.asarray([offset + length]))
-        first = offset // self.page_size
-        last = (offset + length - 1) // self.page_size if length else first
-        chunks = [self._page(n) for n in range(first, last + 1)]
+        if not length:
+            # Zero-length reads touch no pages (matches BlockDevice.read,
+            # including at offset == capacity).
+            return b""
+        with trace.span("cache.read", io=self.device.stats, bytes=length):
+            first = offset // self.page_size
+            last = (offset + length - 1) // self.page_size
+            chunks = [self._page(n) for n in range(first, last + 1)]
         blob = b"".join(chunks)
         start = offset - first * self.page_size
         return blob[start:start + length]
@@ -89,23 +99,43 @@ class PageCache:
         """Scattered read through the cache; logical pages are deduplicated."""
         starts = np.asarray(starts, dtype=np.int64)
         stops = np.asarray(stops, dtype=np.int64)
+        if starts.size:
+            # Validate before accounting, mirroring BlockDevice.read_ranges:
+            # a rejected call must leave the logical counters untouched.
+            if np.any(stops < starts):
+                bad = int(np.argmax(stops < starts))
+                raise StorageError(
+                    f"inverted range [{int(starts[bad])}, {int(stops[bad])}) "
+                    "in scattered read"
+                )
+            if int(starts.min()) < 0 or int(stops.max()) > self.capacity:
+                raise StorageError("scattered read outside device bounds")
         self._account_logical(starts, stops)
         out = bytearray()
-        for start, stop in zip(starts.tolist(), stops.tolist()):
-            if stop <= start:
-                continue
-            first = start // self.page_size
-            last = (stop - 1) // self.page_size
-            blob = b"".join(self._page(n) for n in range(first, last + 1))
-            shift = start - first * self.page_size
-            out += blob[shift:shift + (stop - start)]
+        with trace.span("cache.read_ranges", io=self.device.stats,
+                        ranges=int(starts.size)):
+            for start, stop in zip(starts.tolist(), stops.tolist()):
+                if stop <= start:
+                    continue
+                first = start // self.page_size
+                last = (stop - 1) // self.page_size
+                blob = b"".join(self._page(n) for n in range(first, last + 1))
+                shift = start - first * self.page_size
+                out += blob[shift:shift + (stop - start)]
         return bytes(out)
 
     def write(self, offset: int, data: bytes) -> None:
         """Write-through: update the device; overlapping cached pages are
         invalidated (re-read on next access) so no stale data survives."""
-        self.device.write(offset, data)
-        self.stats.pages_written += -(-len(data) // self.page_size) if data else 0
+        with trace.span("cache.write", io=self.device.stats, bytes=len(data)):
+            self.device.write(offset, data)
+        from repro.storage.device import _page_intervals
+
+        pages = _page_intervals(
+            np.asarray([offset]), np.asarray([offset + len(data)])
+        )
+        self.stats.pages_written += pages.count
+        self.stats.write_extents += pages.run_count
         self.stats.write_calls += 1
         self.stats.bytes_written += len(data)
         if not data:
@@ -126,9 +156,20 @@ class PageCache:
         """Drop every cached page (the cold-start state)."""
         self._pages.clear()
 
+    def dump(self, path) -> object:
+        """Write the raw device contents to a file (write-through cache holds
+        no dirty pages, so the device image is always current)."""
+        return self.device.dump(path)
+
     def close(self) -> None:
         """Close the underlying device."""
         self.device.close()
+
+    def __enter__(self) -> "PageCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return (

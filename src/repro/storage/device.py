@@ -156,6 +156,14 @@ class BlockDevice:
         starts = np.asarray(starts, dtype=np.int64)
         stops = np.asarray(stops, dtype=np.int64)
         if starts.size:
+            # Validate everything before _account_read: a rejected call must
+            # leave the Table 3/4 counters untouched.
+            if np.any(stops < starts):
+                bad = int(np.argmax(stops < starts))
+                raise StorageError(
+                    f"inverted range [{int(starts[bad])}, {int(stops[bad])}) "
+                    "in scattered read"
+                )
             self._check_range(int(starts.min()), 0)
             self._check_range(0, int(stops.max()))
         self._account_read(starts, stops)

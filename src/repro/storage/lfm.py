@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import LongFieldError
+from repro.obs import metrics, trace
 from repro.storage.buddy import BuddyAllocator
 from repro.storage.device import BlockDevice, IOStats
 
@@ -51,7 +52,14 @@ class LongFieldManager:
         if not data:
             raise LongFieldError("long fields must be non-empty")
         offset = self._allocator.alloc(len(data))
-        self.device.write(offset, data)
+        with trace.span("lfm.create", io=self.device.stats, bytes=len(data)):
+            before = self.device.stats.pages_written
+            self.device.write(offset, data)
+        metrics.counter("lfm.writes").inc()
+        metrics.counter("lfm.pages_written").inc(
+            self.device.stats.pages_written - before
+        )
+        metrics.counter("lfm.bytes_written").inc(len(data))
         field_id = self._next_id
         self._next_id += 1
         self._fields[field_id] = (offset, len(data))
@@ -83,7 +91,13 @@ class LongFieldManager:
                 f"read [{offset}, {offset + length}) outside long field of "
                 f"{total} bytes"
             )
-        return self.device.read(base + offset, length)
+        with trace.span("lfm.read", io=self.device.stats, bytes=length):
+            before = self.device.stats.pages_read
+            data = self.device.read(base + offset, length)
+        metrics.counter("lfm.reads").inc()
+        metrics.counter("lfm.pages_read").inc(self.device.stats.pages_read - before)
+        metrics.counter("lfm.bytes_read").inc(len(data))
+        return data
 
     def read_ranges(self, field: LongField, starts: np.ndarray, stops: np.ndarray) -> bytes:
         """Scattered read of byte ranges within a long field, page-deduplicated.
@@ -95,9 +109,22 @@ class LongFieldManager:
         base, total = self._entry(field)
         starts = np.asarray(starts, dtype=np.int64)
         stops = np.asarray(stops, dtype=np.int64)
-        if starts.size and (starts.min() < 0 or stops.max() > total):
-            raise LongFieldError("scattered read outside long field bounds")
-        return self.device.read_ranges(base + starts, base + stops)
+        if starts.size:
+            if np.any(stops < starts):
+                bad = int(np.argmax(stops < starts))
+                raise LongFieldError(
+                    f"inverted range [{int(starts[bad])}, {int(stops[bad])}) "
+                    "in scattered read"
+                )
+            if starts.min() < 0 or stops.max() > total:
+                raise LongFieldError("scattered read outside long field bounds")
+        with trace.span("lfm.read_ranges", io=self.device.stats, ranges=starts.size):
+            before = self.device.stats.pages_read
+            data = self.device.read_ranges(base + starts, base + stops)
+        metrics.counter("lfm.reads").inc()
+        metrics.counter("lfm.pages_read").inc(self.device.stats.pages_read - before)
+        metrics.counter("lfm.bytes_read").inc(len(data))
+        return data
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.net.costmodel import CostModel1994
+from repro.obs import metrics, trace
 from repro.viz import render
 from repro.volumes import DataRegion
 
@@ -61,17 +62,24 @@ class DataExplorer:
         """
         if cache_key is not None and cache_key in self._cache:
             self.cache_hits += 1
+            metrics.counter("dx.cache_hits").inc()
             return self._cache[cache_key]
-        data = DataRegion.from_bytes(payload)
-        cpu = self.cost_model.import_cpu_seconds(data.voxel_count, data.region.run_count)
-        obj = DXObject(
-            data=data,
-            import_cpu_seconds=cpu,
-            import_real_seconds=self.cost_model.import_real_seconds(
+        with trace.span("dx.import", bytes=len(payload)) as sp:
+            data = DataRegion.from_bytes(payload)
+            cpu = self.cost_model.import_cpu_seconds(
                 data.voxel_count, data.region.run_count
-            ),
-        )
+            )
+            real = self.cost_model.import_real_seconds(
+                data.voxel_count, data.region.run_count
+            )
+            sp.set_sim_seconds(real)
+            obj = DXObject(
+                data=data,
+                import_cpu_seconds=cpu,
+                import_real_seconds=real,
+            )
         self.imports += 1
+        metrics.counter("dx.imports").inc()
         if cache_key is not None:
             self._cache[cache_key] = obj
         return obj
@@ -95,14 +103,20 @@ class DataExplorer:
         ``surface`` (structure only), ``textured`` (data mapped onto the
         structure surface — Figure 6c).
         """
-        if mode == "mip":
-            image = render.render_mip(obj.data, axis=axis)
-        elif mode == "slice":
-            image = render.render_slice(obj.data, axis=axis)
-        elif mode == "surface":
-            image = render.render_surface(obj.data.region, axis=axis)
-        elif mode == "textured":
-            image = render.render_textured_surface(obj.data.region, obj.data, axis=axis)
-        else:
-            raise ValidationError(f"unknown render mode {mode!r}")
-        return image, self.cost_model.render_seconds(obj.voxel_count)
+        with trace.span("dx.render", mode=mode) as sp:
+            if mode == "mip":
+                image = render.render_mip(obj.data, axis=axis)
+            elif mode == "slice":
+                image = render.render_slice(obj.data, axis=axis)
+            elif mode == "surface":
+                image = render.render_surface(obj.data.region, axis=axis)
+            elif mode == "textured":
+                image = render.render_textured_surface(
+                    obj.data.region, obj.data, axis=axis
+                )
+            else:
+                raise ValidationError(f"unknown render mode {mode!r}")
+            seconds = self.cost_model.render_seconds(obj.voxel_count)
+            sp.set_sim_seconds(seconds)
+        metrics.counter("dx.renders").inc()
+        return image, seconds

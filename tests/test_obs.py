@@ -1,0 +1,228 @@
+"""Tests for the observability layer: trace spans, metrics, EXPLAIN ANALYZE,
+and the bench runner's JSON output."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.system import QbismSystem
+from repro.errors import UnsupportedStatementError, ValidationError
+from repro.obs import metrics, trace
+from repro.storage.device import PAGE_SIZE, BlockDevice
+from repro.storage.lfm import LongFieldManager
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    trace.disable()
+    trace.reset()
+    metrics.reset()
+    yield
+    trace.disable()
+    trace.reset()
+    metrics.reset()
+
+
+@pytest.fixture(scope="module")
+def system():
+    return QbismSystem.build_demo(grid_side=16, n_pet=2, n_mri=1, seed=7)
+
+
+class TestTrace:
+    def test_disabled_spans_record_nothing(self):
+        with trace.span("lfm.read_ranges", pages=3) as sp:
+            assert not sp.active
+        assert trace.records() == []
+
+    def test_enabled_span_records_wall_time_and_meta(self):
+        trace.enable()
+        with trace.span("executor.select", tables=2) as sp:
+            assert sp.active
+            sp.note(rows=7)
+        (record,) = trace.records()
+        assert record.name == "executor.select"
+        assert record.wall_seconds > 0
+        assert record.meta == {"tables": 2, "rows": 7}
+
+    def test_nesting_depths_form_a_tree(self):
+        trace.enable()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                with trace.span("leaf"):
+                    pass
+            with trace.span("sibling"):
+                pass
+        depths = [(r.name, r.depth) for r in trace.records()]
+        assert depths == [
+            ("outer", 0), ("inner", 1), ("leaf", 2), ("sibling", 1),
+        ]
+        text = trace.render_text()
+        assert "\n    leaf" in text  # two levels of indent
+
+    def test_io_delta_and_simulated_seconds(self):
+        device = BlockDevice(16 * PAGE_SIZE)
+        trace.enable()
+        with trace.span("lfm.read", io=device.stats):
+            device.read(0, 2 * PAGE_SIZE)
+        (record,) = trace.records()
+        assert record.io.pages_read == 2
+        assert record.io.read_calls == 1
+        expected = trace.get_tracer().cost_model.seconds_per_page_io * 2
+        assert record.sim_seconds == pytest.approx(expected)
+
+    def test_capture_restores_prior_state(self):
+        assert not trace.is_enabled()
+        with trace.capture() as spans:
+            with trace.span("inside"):
+                pass
+        assert not trace.is_enabled()
+        assert [s.name for s in spans] == ["inside"]
+
+    def test_lfm_emits_spans_when_enabled(self):
+        lfm = LongFieldManager(BlockDevice(16 * PAGE_SIZE))
+        handle = lfm.create(b"x" * 100)
+        with trace.capture() as spans:
+            lfm.read(handle)
+        names = [s.name for s in spans]
+        assert "lfm.read" in names
+
+    def test_tracing_does_not_change_io_accounting(self):
+        ops = lambda lfm, handle: (  # noqa: E731
+            lfm.read(handle), lfm.read(handle, 10, 50),
+        )
+        plain = LongFieldManager(BlockDevice(16 * PAGE_SIZE))
+        h1 = plain.create(b"y" * 5000)
+        ops(plain, h1)
+        traced = LongFieldManager(BlockDevice(16 * PAGE_SIZE))
+        trace.enable()
+        h2 = traced.create(b"y" * 5000)
+        ops(traced, h2)
+        assert vars(plain.stats) == vars(traced.stats)
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        metrics.counter("t.count").inc()
+        metrics.counter("t.count").inc(4)
+        metrics.gauge("t.level").set(0.25)
+        metrics.histogram("t.seconds").observe(0.005)
+        metrics.histogram("t.seconds").observe(2.0)
+        snap = metrics.snapshot()
+        assert snap["counters"]["t.count"] == 5
+        assert snap["gauges"]["t.level"] == 0.25
+        hist = snap["histograms"]["t.seconds"]
+        assert hist["count"] == 2
+        assert hist["min"] == 0.005 and hist["max"] == 2.0
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValidationError):
+            metrics.counter("t.count").inc(-1)
+
+    def test_kind_mismatch_rejected(self):
+        metrics.counter("t.thing")
+        with pytest.raises(ValidationError):
+            metrics.gauge("t.thing")
+
+    def test_text_and_json_exporters(self):
+        metrics.counter("a.calls").inc(3)
+        metrics.histogram("a.seconds").observe(0.5)
+        text = metrics.registry().render_text()
+        assert "a.calls 3" in text
+        assert "a.seconds.count 1" in text
+        doc = json.loads(metrics.registry().render_json())
+        assert doc["counters"]["a.calls"] == 3
+
+    def test_storage_feeds_registry(self):
+        lfm = LongFieldManager(BlockDevice(16 * PAGE_SIZE))
+        handle = lfm.create(b"z" * 9000)
+        lfm.read(handle)
+        snap = metrics.snapshot()["counters"]
+        assert snap["lfm.pages_read"] == 3
+        assert snap["lfm.pages_written"] == 3
+        assert snap["lfm.reads"] == 1
+
+
+class TestExplainAnalyze:
+    def test_plain_explain_returns_plan_rows(self, system):
+        res = system.db.execute(
+            "EXPLAIN SELECT p.name FROM patient p WHERE p.age > 40"
+        )
+        assert res.columns == ["plan"]
+        assert "scan patient p" in res.rows[0][0]
+
+    def test_explain_analyze_annotates_operators(self, system):
+        # A Q6-style shape: metadata joins gating a spatial band lookup.
+        res = system.db.execute(
+            "EXPLAIN ANALYZE "
+            "SELECT p.name, b.low, b.high "
+            "FROM patient p, rawVolume r, intensityBand b "
+            "WHERE r.patientId = p.patientId AND b.studyId = r.studyId "
+            "AND r.modality = 'PET' AND b.low = 128"
+        )
+        lines = [row[0] for row in res.rows]
+        operator_lines = lines[:-2]
+        assert len(operator_lines) == 3  # one per FROM table
+        for line in operator_lines:
+            assert "rows examined=" in line and "matched=" in line
+            assert "time=" in line and "page I/Os=" in line
+        assert lines[-2].startswith("output:")
+        assert "simulated 1994 Starburst real time" in lines[-1]
+        # the statement really ran: the accounting came back too
+        assert res.work.rows_scanned > 0
+
+    def test_explain_analyze_reports_page_ios(self, system):
+        sid = system.pet_study_ids[0]
+        res = system.db.execute(
+            "EXPLAIN ANALYZE "
+            "SELECT readPiece(r.data, 0, 100) FROM rawVolume r "
+            "WHERE r.studyId = ?",
+            [sid],
+        )
+        total_line = res.rows[-1][0]
+        assert res.io is not None and res.io.pages_read > 0
+        assert f"statement I/O: {res.io.pages_read} pages" in total_line
+
+    def test_explain_non_select_rejected(self, system):
+        with pytest.raises(UnsupportedStatementError):
+            system.db.execute("EXPLAIN ANALYZE DROP TABLE patient")
+
+    def test_explain_analyze_row_counts_match_plain_run(self, system):
+        sql = ("SELECT p.name FROM patient p, rawVolume r "
+               "WHERE r.patientId = p.patientId AND r.modality = 'MRI'")
+        plain = system.db.execute(sql)
+        analyzed = system.db.execute("EXPLAIN ANALYZE " + sql)
+        total_line = analyzed.rows[-1][0]
+        assert total_line.startswith(f"total: {len(plain.rows)} row(s)")
+
+
+class TestBenchRunner:
+    def test_run_benches_writes_schema_valid_json(self, tmp_path):
+        from repro.bench.runner import run_benches, validate_bench_json
+
+        written = run_benches(
+            grid_side=16, n_pet=2, n_mri=1, seed=7, out_dir=tmp_path
+        )
+        assert [p.name for p in written] == [
+            "BENCH_table3.json", "BENCH_table4.json",
+        ]
+        for path in written:
+            doc = json.loads(path.read_text())
+            validate_bench_json(doc)
+        table3 = json.loads((tmp_path / "BENCH_table3.json").read_text())
+        assert set(table3["rows"]) == {"Q1", "Q2", "Q3", "Q4", "Q5", "Q6"}
+        assert table3["generated"]["grid_side"] == 16
+        # the metrics snapshot is populated by the run itself
+        assert table3["metrics"]["counters"]["lfm.reads"] > 0
+
+    def test_validator_rejects_malformed_documents(self):
+        from repro.bench.runner import validate_bench_json
+
+        with pytest.raises(ValidationError):
+            validate_bench_json({"workload": "table3"})
+        with pytest.raises(ValidationError):
+            validate_bench_json({
+                "schema_version": 99, "workload": "table3",
+                "generated": {}, "columns": [], "rows": {}, "metrics": {},
+            })

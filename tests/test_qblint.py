@@ -125,6 +125,47 @@ class TestSeededViolations:
         path = write_module(tmp_path, "X = 1\n", name="__main__.py")
         assert rule_hits(path, "consistent-all") == []
 
+    def test_no_direct_iostats_mutation_augassign(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "__all__ = []\n"
+            "def f(stats):\n"
+            "    stats.pages_read += 1\n",
+        )
+        hits = rule_hits(path, "no-direct-iostats-mutation")
+        assert len(hits) == 1 and hits[0].line == 3
+        assert "pages_read" in hits[0].message
+
+    def test_no_direct_iostats_mutation_plain_assign(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "__all__ = []\n"
+            "def reset_everything(io):\n"
+            "    io.bytes_written = 0\n",
+        )
+        assert len(rule_hits(path, "no-direct-iostats-mutation")) == 1
+
+    def test_no_direct_iostats_mutation_allowed_inside_storage(self, tmp_path):
+        package = tmp_path / "repro" / "storage"
+        package.mkdir(parents=True)
+        path = package / "statsfake.py"
+        path.write_text(
+            "__all__ = []\n"
+            "def account(stats):\n"
+            "    stats.pages_read += 1\n",
+            encoding="utf-8",
+        )
+        assert rule_hits(path, "no-direct-iostats-mutation") == []
+
+    def test_no_direct_iostats_mutation_reads_are_fine(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "__all__ = []\n"
+            "def snapshot(stats):\n"
+            "    return stats.pages_read + stats.pages_written\n",
+        )
+        assert rule_hits(path, "no-direct-iostats-mutation") == []
+
     def test_syntax_error_is_reported_not_raised(self, tmp_path):
         path = write_module(tmp_path, "def broken(:\n")
         hits = lint_file(path)

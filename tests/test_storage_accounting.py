@@ -1,0 +1,186 @@
+"""Differential I/O accounting: PageCache logical stats vs BlockDevice.
+
+The PageCache documents its ``stats`` as *logical* I/O — what the workload
+asked for.  With a capacity large enough that nothing ever evicts, driving
+the identical read/write/read_ranges sequence against a bare device and a
+cache-wrapped one must therefore produce field-by-field equal counters,
+including the edge cases that used to disagree: zero-length reads,
+offset-misaligned page-straddling writes, and rejected scattered reads
+(which must leave the counters untouched on both sides).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import LongFieldError, StorageError
+from repro.storage.cache import PageCache
+from repro.storage.device import PAGE_SIZE, BlockDevice
+from repro.storage.lfm import LongFieldManager
+
+CAPACITY = 64 * PAGE_SIZE
+
+
+@pytest.fixture()
+def pair():
+    device = BlockDevice(CAPACITY)
+    cached = PageCache(BlockDevice(CAPACITY), capacity_pages=1024)  # never evicts
+    return device, cached
+
+
+def assert_stats_equal(device: BlockDevice, cached: PageCache) -> None:
+    assert vars(cached.stats) == vars(device.stats)
+
+
+def drive(target, ops) -> None:
+    for op, *args in ops:
+        getattr(target, op)(*args)
+
+
+class TestDifferentialAccounting:
+    def test_misaligned_write_counts_both_touched_pages(self, pair):
+        device, cached = pair
+        # 200 bytes at offset 4000 straddle pages 0 and 1: pages_written
+        # must be 2 on both sides (the cache used to log ceil(200/4096)=1).
+        ops = [("write", 4000, b"x" * 200)]
+        drive(device, ops)
+        drive(cached, ops)
+        assert device.stats.pages_written == 2
+        assert_stats_equal(device, cached)
+
+    def test_zero_length_reads_are_page_free(self, pair):
+        device, cached = pair
+        ops = [
+            ("read", 0, 0),
+            ("read", 1234, 0),
+            ("read", CAPACITY, 0),  # at capacity: legal on both sides
+        ]
+        drive(device, ops)
+        drive(cached, ops)
+        assert device.stats.pages_read == 0
+        assert device.stats.read_calls == 3
+        assert_stats_equal(device, cached)
+        assert cached.misses == 0  # no page was ever faulted in
+
+    def test_mixed_sequence_matches_field_by_field(self, pair):
+        device, cached = pair
+        ops = [
+            ("write", 0, b"a" * PAGE_SIZE),
+            ("write", 4000, b"b" * 200),          # page-straddling
+            ("write", 3 * PAGE_SIZE, b"c" * 10),
+            ("write", 10 * PAGE_SIZE - 1, b""),   # empty write
+            ("read", 0, PAGE_SIZE),
+            ("read", 4000, 200),
+            ("read", 100, 0),                     # zero-length
+            ("read", 2 * PAGE_SIZE + 7, 3 * PAGE_SIZE),
+            ("read_ranges",
+             np.array([0, PAGE_SIZE + 5, 3 * PAGE_SIZE]),
+             np.array([10, PAGE_SIZE + 300, 3 * PAGE_SIZE + 10])),
+            ("read_ranges", np.array([50, 50]), np.array([60, 50])),  # empty range
+            ("read_ranges", np.array([], dtype=np.int64),
+             np.array([], dtype=np.int64)),
+        ]
+        drive(device, ops)
+        drive(cached, ops)
+        assert_stats_equal(device, cached)
+
+    def test_overlapping_ranges_dedup_identically(self, pair):
+        device, cached = pair
+        starts = np.array([0, 100, PAGE_SIZE // 2])
+        stops = np.array([200, 300, PAGE_SIZE // 2 + 100])
+        a = device.read_ranges(starts, stops)
+        b = cached.read_ranges(starts, stops)
+        assert a == b
+        assert device.stats.pages_read == 1  # all runs on page 0
+        assert_stats_equal(device, cached)
+
+    def test_repeated_reads_logical_vs_physical_split(self, pair):
+        device, cached = pair
+        for target in (device, cached):
+            for _ in range(4):
+                target.read(0, 100)
+        # Logical counters agree; the cache's *physical* reads collapse to 1.
+        assert_stats_equal(device, cached)
+        assert device.stats.pages_read == 4
+        assert cached.physical.pages_read == 1
+
+
+class TestRejectedReadsLeaveStatsUntouched:
+    def test_device_inverted_range(self):
+        device = BlockDevice(CAPACITY)
+        device.read(0, 10)
+        before = vars(device.stats.copy())
+        with pytest.raises(StorageError):
+            device.read_ranges(np.array([100, 500]), np.array([200, 400]))
+        assert vars(device.stats) == before
+
+    def test_device_out_of_bounds_range(self):
+        device = BlockDevice(CAPACITY)
+        before = vars(device.stats.copy())
+        with pytest.raises(StorageError):
+            device.read_ranges(np.array([0]), np.array([CAPACITY + 1]))
+        assert vars(device.stats) == before
+
+    def test_cache_inverted_range(self):
+        cached = PageCache(BlockDevice(CAPACITY), capacity_pages=8)
+        before = vars(cached.stats.copy())
+        physical_before = vars(cached.physical.copy())
+        with pytest.raises(StorageError):
+            cached.read_ranges(np.array([500]), np.array([400]))
+        assert vars(cached.stats) == before
+        assert vars(cached.physical) == physical_before
+
+    def test_cache_out_of_bounds_range(self):
+        cached = PageCache(BlockDevice(CAPACITY), capacity_pages=8)
+        before = vars(cached.stats.copy())
+        with pytest.raises(StorageError):
+            cached.read_ranges(np.array([0]), np.array([CAPACITY + 1]))
+        assert vars(cached.stats) == before
+
+    def test_lfm_inverted_range(self):
+        lfm = LongFieldManager(BlockDevice(CAPACITY))
+        handle = lfm.create(b"z" * 1000)
+        before = vars(lfm.stats.copy())
+        with pytest.raises(LongFieldError):
+            lfm.read_ranges(handle, np.array([10, 800]), np.array([20, 700]))
+        assert vars(lfm.stats) == before
+
+    def test_lfm_error_type_is_longfielderror(self):
+        # The API boundary promises LongFieldError, not the ValidationError
+        # that used to leak out of the interval machinery.
+        lfm = LongFieldManager(BlockDevice(CAPACITY))
+        handle = lfm.create(b"z" * 1000)
+        with pytest.raises(LongFieldError):
+            lfm.read_ranges(handle, np.array([500]), np.array([100]))
+
+
+class TestPageCacheDuckInterface:
+    def test_context_manager(self, tmp_path):
+        with PageCache(BlockDevice(CAPACITY), capacity_pages=4) as cached:
+            cached.write(0, b"hello")
+            assert cached.read(0, 5) == b"hello"
+
+    def test_dump_matches_device(self, tmp_path):
+        cached = PageCache(BlockDevice(CAPACITY), capacity_pages=4)
+        cached.write(123, b"payload")
+        path = cached.dump(tmp_path / "image.bin")
+        blob = path.read_bytes()
+        assert len(blob) == CAPACITY
+        assert blob[123:130] == b"payload"
+
+    def test_save_database_over_cached_lfm(self, tmp_path):
+        from repro.db.database import Database
+        from repro.db.persist import load_database, save_database
+
+        cached = PageCache(BlockDevice(CAPACITY), capacity_pages=64)
+        lfm = LongFieldManager(cached)
+        db = Database(lfm=lfm)
+        db.execute("create table t (name string, data longfield)")
+        handle = lfm.create(b"voxels" * 100)
+        db.execute("insert into t values (?, ?)", ["study", handle])
+        save_database(db, tmp_path / "saved")
+        reopened = load_database(tmp_path / "saved", in_memory=True)
+        (name, cell), = reopened.execute("select name, data from t").rows
+        assert name == "study"
+        assert reopened.lfm.read(reopened.lfm.handle(cell.field_id)) == b"voxels" * 100
