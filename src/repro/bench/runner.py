@@ -109,8 +109,14 @@ def validate_bench_json(doc: dict) -> None:
 
 
 def run_benches(grid_side: int = 32, n_pet: int = 5, n_mri: int = 3,
-                seed: int = 1994, out_dir: str | Path = ".") -> list[Path]:
-    """Build the system, run both workloads, write the BENCH JSONs."""
+                seed: int = 1994, out_dir: str | Path = ".",
+                wal: bool = False) -> list[Path]:
+    """Build the system, run both workloads, write the BENCH JSONs.
+
+    With ``wal`` the demo system runs through the write-ahead log — the
+    measured LFM page counts must not move (journal I/O is accounted
+    separately), which makes this flag a cheap durability regression probe.
+    """
     from repro.core.system import QbismSystem
     from repro.obs import metrics
 
@@ -119,7 +125,7 @@ def run_benches(grid_side: int = 32, n_pet: int = 5, n_mri: int = 3,
     metrics.reset()  # each run's snapshot covers exactly its own workloads
     system = QbismSystem.build_demo(
         seed=seed, grid_side=grid_side, n_pet=n_pet, n_mri=n_mri,
-        band_encodings=tuple(TABLE4_ENCODINGS),
+        band_encodings=tuple(TABLE4_ENCODINGS), wal=wal,
     )
     generated = {
         "git_rev": _git_rev(),
@@ -128,6 +134,7 @@ def run_benches(grid_side: int = 32, n_pet: int = 5, n_mri: int = 3,
         "seed": seed,
         "n_pet": n_pet,
         "n_mri": n_mri,
+        "wal": wal,
     }
 
     outcomes = run_table3(system)
@@ -177,10 +184,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="phantom seed (default: 1994)")
     parser.add_argument("--out", default=".",
                         help="output directory for BENCH_*.json (default: .)")
+    parser.add_argument("--wal", action="store_true",
+                        help="run the workloads through the write-ahead log "
+                             "(LFM page counts must be unchanged)")
     args = parser.parse_args(argv)
     written = run_benches(
         grid_side=args.grid, n_pet=args.pet, n_mri=args.mri,
-        seed=args.seed, out_dir=args.out,
+        seed=args.seed, out_dir=args.out, wal=args.wal,
     )
     for path in written:
         print(f"wrote {path}")

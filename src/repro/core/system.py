@@ -84,6 +84,7 @@ class QbismSystem:
         device_capacity: int | None = None,
         device_path=None,
         use_ground_truth_warp: bool = True,
+        wal: bool = False,
     ) -> "QbismSystem":
         """Build and populate a complete system from synthetic data.
 
@@ -92,6 +93,11 @@ class QbismSystem:
         ``use_ground_truth_warp`` the loader uses each study's known
         misalignment (the "semi-automatic" path); otherwise it runs
         moment-based registration.
+
+        With ``wal=True`` the block device is wrapped in a write-ahead log
+        over an in-memory journal, so every load and query runs through
+        crash-safe transactions; journal I/O is accounted separately and
+        the Table 3/4 LFM page counts are unchanged.
         """
         if grid_side < 8 or grid_side & (grid_side - 1):
             raise ValidationError(
@@ -105,6 +111,11 @@ class QbismSystem:
         if device_capacity is None:
             device_capacity = _estimate_capacity(grid_side, pet, mri, band_encodings)
         device = BlockDevice(device_capacity, path=device_path)
+        if wal:
+            from repro.storage.wal import WriteAheadLog
+
+            journal = BlockDevice(min(device_capacity, 64 << 20))
+            device = WriteAheadLog(device, journal, recover=False)
         lfm = LongFieldManager(device)
         db = Database(lfm=lfm)
         register_spatial_functions(db)

@@ -172,6 +172,20 @@ class Database:
 
         return _analyze(parse(sql), self.catalog, self.functions)
 
+    def transaction(self):
+        """Scope several statements into one storage transaction.
+
+        Delegates to the device stack: under a write-ahead log every page
+        dirtied inside the scope commits atomically with the LFM's field
+        table; on a raw device the scope is a no-op.  Databases without an
+        LFM have no storage to protect, so the scope is trivially empty.
+        """
+        from contextlib import nullcontext
+
+        if self.lfm is None:
+            return nullcontext(self)
+        return self.lfm.device.transaction(meta_provider=self.lfm.export_state)
+
     def register_function(self, name: str, fn,
                           signature: FunctionSignature | None = None,
                           replace: bool = False) -> None:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import base64
 import json
+import os
 from pathlib import Path
 
 from repro.db.database import Database
@@ -29,10 +30,24 @@ from repro.db.types import SqlType
 from repro.errors import DatabaseError
 from repro.storage.device import BlockDevice
 from repro.storage.lfm import LongField, LongFieldManager
+from repro.storage.wal import WriteAheadLog
 
 __all__ = ["save_database", "load_database"]
 
 _FORMAT_VERSION = 1
+_JOURNAL_FILE = "wal.log"
+DEFAULT_JOURNAL_CAPACITY = 4 << 20
+
+
+def _find_wal(device) -> WriteAheadLog | None:
+    """The WriteAheadLog in a device stack (cache → wal → raw), if any."""
+    seen = 0
+    while device is not None and seen < 8:
+        if isinstance(device, WriteAheadLog):
+            return device
+        device = getattr(device, "device", None) or getattr(device, "inner", None)
+        seen += 1
+    return None
 
 
 def _encode_cell(value):
@@ -55,9 +70,19 @@ def _decode_cell(value):
 
 
 def save_database(db: Database, path: str | Path) -> Path:
-    """Persist a database (catalog + device) into a directory."""
+    """Persist a database (catalog + device) into a directory.
+
+    Both files land atomically (temp file + rename), image first and
+    ``catalog.json`` last — the catalog rename is the commit point.  A
+    crash between the two leaves a new image beside an old catalog; that
+    window is covered when the store is opened with ``wal=True``, because
+    the journal's committed metadata (which matches the image) overrides
+    the catalog's field table.
+    """
     if db.lfm is None:
         raise DatabaseError("only databases with a Long Field Manager can be saved")
+    if getattr(db.lfm.device, "in_transaction", False):
+        raise DatabaseError("cannot save a database inside an open transaction")
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
     db.lfm.device.dump(path / "device.img")
@@ -80,16 +105,34 @@ def save_database(db: Database, path: str | Path) -> Path:
         "lfm": db.lfm.export_state(),
         "tables": tables,
     }
-    (path / "catalog.json").write_text(json.dumps(meta))
+    tmp = path / "catalog.json.tmp"
+    tmp.write_text(json.dumps(meta))
+    os.replace(tmp, path / "catalog.json")
+    wal = _find_wal(db.lfm.device)
+    if wal is not None:
+        # The catalog now checkpoints everything the journal guaranteed.
+        wal.reset_journal()
     return path
 
 
-def load_database(path: str | Path, in_memory: bool = False) -> Database:
+def load_database(
+    path: str | Path,
+    in_memory: bool = False,
+    wal: bool = False,
+    journal_capacity: int = DEFAULT_JOURNAL_CAPACITY,
+) -> Database:
     """Reopen a saved database.
 
     With ``in_memory`` the device image is copied into memory (the original
     files stay untouched); otherwise the device maps the image file
     directly and writes persist.
+
+    With ``wal=True`` the device is wrapped in a
+    :class:`~repro.storage.wal.WriteAheadLog` over a ``wal.log`` journal in
+    the same directory.  Opening runs recovery: committed transactions the
+    last process journaled but never checkpointed are replayed, and their
+    metadata — which matches the replayed pages — takes precedence over
+    the (possibly older) catalog's field table.
     """
     path = Path(path)
     try:
@@ -110,7 +153,31 @@ def load_database(path: str | Path, in_memory: bool = False) -> Database:
             capacity, path=path / "device.img", page_size=page_size,
             preserve_contents=True,
         )
-    lfm = LongFieldManager.restore(device, meta["lfm"])
+    lfm_state = meta["lfm"]
+    if wal:
+        journal_path = path / _JOURNAL_FILE
+        if in_memory:
+            journal = BlockDevice(journal_capacity, page_size=page_size)
+            if journal_path.exists():
+                image = journal_path.read_bytes()[:journal_capacity]
+                # qblint: disable=no-raw-device-io
+                journal._backing.buf[: len(image)] = image
+        elif journal_path.exists():
+            # An existing journal may hold unreplayed transactions: open it
+            # at its own size, never truncate it.
+            journal = BlockDevice(
+                journal_path.stat().st_size, path=journal_path,
+                page_size=page_size, preserve_contents=True,
+            )
+        else:
+            journal = BlockDevice(
+                journal_capacity, path=journal_path, page_size=page_size,
+            )
+        waldev = WriteAheadLog(device, journal, recover=True)
+        if waldev.last_committed_meta is not None:
+            lfm_state = waldev.last_committed_meta
+        device = waldev
+    lfm = LongFieldManager.restore(device, lfm_state)
     db = Database(lfm=lfm)
     for spec in meta["tables"]:
         columns = [Column(name, SqlType(type_name)) for name, type_name in spec["columns"]]

@@ -6,5 +6,16 @@ from repro.db.sql import ast
 from repro.db.sql.ast import Span
 from repro.db.sql.lexer import Token, TokenType, tokenize
 from repro.db.sql.parser import parse, parse_expression
+from repro.db.sql.unparse import unparse, unparse_expression
 
-__all__ = ["ast", "Span", "tokenize", "Token", "TokenType", "parse", "parse_expression"]
+__all__ = [
+    "ast",
+    "Span",
+    "tokenize",
+    "Token",
+    "TokenType",
+    "parse",
+    "parse_expression",
+    "unparse",
+    "unparse_expression",
+]

@@ -18,6 +18,8 @@ __all__ = [
     "StorageError",
     "AllocationError",
     "LongFieldError",
+    "WalError",
+    "SimulatedCrash",
     "DatabaseError",
     "SqlSyntaxError",
     "SqlTypeError",
@@ -73,6 +75,20 @@ class AllocationError(StorageError):
 
 class LongFieldError(StorageError):
     """An operation referenced a missing or invalid long field."""
+
+
+class WalError(StorageError):
+    """A write-ahead-log operation could not be performed safely."""
+
+
+class SimulatedCrash(StorageError):
+    """A fault-injection schedule cut the power mid-operation.
+
+    Raised by :class:`repro.storage.faults.FaultyDevice` at its scheduled
+    crash point, and by every later operation on the same (now offline)
+    device.  Test harnesses catch it, harvest the surviving device image,
+    and reopen to exercise recovery.
+    """
 
 
 class DatabaseError(ReproError):

@@ -1,11 +1,14 @@
-"""Storage engine: block device, buddy allocator, Long Field Manager."""
+"""Storage engine: block device, buddy allocator, Long Field Manager,
+write-ahead log, and deterministic fault injection."""
 
 from __future__ import annotations
 
 from repro.storage.buddy import BuddyAllocator
 from repro.storage.cache import PageCache
 from repro.storage.device import PAGE_SIZE, BlockDevice, IOStats
+from repro.storage.faults import FaultSchedule, FaultyDevice
 from repro.storage.lfm import LongField, LongFieldManager
+from repro.storage.wal import RecoveryReport, WriteAheadLog, recover_journal
 
 __all__ = [
     "PAGE_SIZE",
@@ -15,4 +18,9 @@ __all__ = [
     "PageCache",
     "LongField",
     "LongFieldManager",
+    "FaultSchedule",
+    "FaultyDevice",
+    "WriteAheadLog",
+    "RecoveryReport",
+    "recover_journal",
 ]

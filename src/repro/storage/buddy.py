@@ -116,6 +116,77 @@ class BuddyAllocator:
             return
         raise AllocationError(f"no free block covers offset {offset}")
 
+    def realloc(self, offset: int, new_size: int) -> int:
+        """Resize the block at ``offset``; returns the (possibly new) offset.
+
+        Same order: the block is untouched.  Shrinking splits in place —
+        the upper halves join the free lists, the offset is stable.
+        Growing allocates a fresh block *first* (so an exhausted arena
+        raises :class:`~repro.errors.AllocationError` leaving the original
+        allocation intact), then frees the old one; the caller must copy
+        the payload to the returned offset.
+        """
+        try:
+            order = self._allocated[offset]
+        except KeyError:
+            raise AllocationError(f"offset {offset} is not an allocated block") from None
+        new_order = self._order_for(new_size)
+        if new_order == order:
+            return offset
+        if new_order < order:
+            for k in range(order - 1, new_order - 1, -1):
+                self._free_lists[k].add(offset + (1 << k))
+            self._allocated[offset] = new_order
+            return offset
+        new_offset = self.alloc(new_size)
+        self.free(offset)
+        return new_offset
+
+    def validate(self) -> None:
+        """Check every structural invariant; raises :class:`AllocationError`.
+
+        Verified: all blocks aligned to their order and inside the arena,
+        allocated blocks disjoint from each other and from free blocks,
+        free + allocated bytes sum to the arena capacity, and no two free
+        buddies left uncoalesced.  The torture tests call this after every
+        random operation.
+        """
+        covered = 0
+        seen: list[tuple[int, int, bool]] = []  # (offset, size, is_free)
+        for offset, order in self._allocated.items():
+            seen.append((offset, 1 << order, False))
+        for order, offsets in self._free_lists.items():
+            for offset in offsets:
+                seen.append((offset, 1 << order, True))
+        seen.sort()
+        prev_end = 0
+        for offset, size, _ in seen:
+            if offset % size:
+                raise AllocationError(
+                    f"block at {offset} is misaligned for its size {size}"
+                )
+            if offset < prev_end:
+                raise AllocationError(
+                    f"block at {offset} overlaps the block ending at {prev_end}"
+                )
+            if offset + size > self.capacity:
+                raise AllocationError(
+                    f"block [{offset}, {offset + size}) exceeds arena capacity"
+                )
+            prev_end = offset + size
+            covered += size
+        if covered != self.capacity:
+            raise AllocationError(
+                f"blocks cover {covered} of {self.capacity} arena bytes"
+            )
+        for order in range(self._min_order, self._max_order):
+            for offset in self._free_lists[order]:
+                if (offset ^ (1 << order)) in self._free_lists[order]:
+                    raise AllocationError(
+                        f"free buddies at order {order} left uncoalesced "
+                        f"({offset} and {offset ^ (1 << order)})"
+                    )
+
     def allocations(self) -> dict[int, int]:
         """Snapshot of allocated blocks: offset -> block size in bytes."""
         return {offset: 1 << order for offset, order in self._allocated.items()}

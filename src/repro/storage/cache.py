@@ -15,6 +15,7 @@ semantics match the raw device.
 from __future__ import annotations
 
 from collections import OrderedDict
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -144,6 +145,31 @@ class PageCache:
         last = (offset + len(data) - 1) // self.page_size
         for number in range(first, last + 1):
             self._pages.pop(number, None)
+
+    # ------------------------------------------------------------------ #
+    # transactions
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def transaction(self, meta_provider=None):
+        """Delegate transaction scoping to the wrapped device.
+
+        An aborted transaction drops every cached page: reads inside the
+        scope may have filled the cache with uncommitted data (the WAL's
+        read-your-writes overlay), which must not survive the rollback.
+        """
+        completed = False
+        try:
+            with self.device.transaction(meta_provider=meta_provider):
+                yield self
+                completed = True
+        finally:
+            if not completed:
+                self._pages.clear()
+
+    @property
+    def in_transaction(self) -> bool:
+        return getattr(self.device, "in_transaction", False)
 
     # ------------------------------------------------------------------ #
 

@@ -14,7 +14,9 @@ Long Field Manager performs no buffering").
 from __future__ import annotations
 
 import mmap
-from dataclasses import dataclass, field
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -114,10 +116,38 @@ class BlockDevice:
             self._backing = _Backing(mmap.mmap(f.fileno(), self.capacity), f)
 
     def dump(self, path: str | Path) -> Path:
-        """Write the raw device contents to a file (no I/O accounting)."""
+        """Write the raw device contents to a file (no I/O accounting).
+
+        The image lands atomically — written to a sibling temp file and
+        renamed into place — so a crash mid-dump never leaves a truncated
+        image where a good one used to be.
+        """
         path = Path(path)
-        path.write_bytes(bytes(self._backing.buf))
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(bytes(self._backing.buf))
+        os.replace(tmp, path)
         return path
+
+    # ------------------------------------------------------------------ #
+    # transactions (no-op at this layer)
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def transaction(self, meta_provider=None):
+        """A zero-cost transaction scope: the raw device has no atomicity.
+
+        This exists so clients (:class:`~repro.storage.lfm.LongFieldManager`)
+        can scope mutations unconditionally; wrapping the device in a
+        :class:`~repro.storage.wal.WriteAheadLog` upgrades the same scopes
+        to real crash-safe transactions.  Performs no I/O, so Table 3/4
+        accounting is untouched when the WAL is disabled.
+        """
+        yield self
+
+    @property
+    def in_transaction(self) -> bool:
+        """Raw devices never hold an open transaction."""
+        return False
 
     # ------------------------------------------------------------------ #
     # raw byte access

@@ -48,28 +48,57 @@ class LongFieldManager:
     # ------------------------------------------------------------------ #
 
     def create(self, data: bytes) -> LongField:
-        """Store ``data`` as a new long field in one contiguous extent."""
+        """Store ``data`` as a new long field in one contiguous extent.
+
+        The extent write and the field-table update are one transaction on
+        the device: under a write-ahead log either both are durable or
+        neither is.  On a raw device the scope is a no-op and behaviour
+        (including Table 3/4 I/O accounting) is unchanged.
+        """
         if not data:
             raise LongFieldError("long fields must be non-empty")
         offset = self._allocator.alloc(len(data))
-        with trace.span("lfm.create", io=self.device.stats, bytes=len(data)):
-            before = self.device.stats.pages_written
-            self.device.write(offset, data)
+        field_id = self._next_id
+        completed = False
+        try:
+            with self.device.transaction(meta_provider=self.export_state):
+                # Register the field before commit so the metadata snapshot
+                # journaled with the commit record already includes it.
+                self._next_id = field_id + 1
+                self._fields[field_id] = (offset, len(data))
+                with trace.span("lfm.create", io=self.device.stats, bytes=len(data)):
+                    before = self.device.stats.pages_written
+                    self.device.write(offset, data)
+            completed = True
+        finally:
+            if not completed:
+                self._fields.pop(field_id, None)
+                self._next_id = field_id
+                self._allocator.free(offset)
         metrics.counter("lfm.writes").inc()
         metrics.counter("lfm.pages_written").inc(
             self.device.stats.pages_written - before
         )
         metrics.counter("lfm.bytes_written").inc(len(data))
-        field_id = self._next_id
-        self._next_id += 1
-        self._fields[field_id] = (offset, len(data))
         return LongField(field_id, len(data))
 
     def delete(self, field: LongField) -> None:
-        """Free a long field's extent; the handle becomes invalid."""
-        offset, _ = self._entry(field)
-        self._allocator.free(offset)
-        del self._fields[field.field_id]
+        """Free a long field's extent; the handle becomes invalid.
+
+        A metadata-only transaction: under a WAL the new field table is
+        journaled with the commit record so the deletion is durable.
+        """
+        offset, length = self._entry(field)
+        completed = False
+        try:
+            with self.device.transaction(meta_provider=self.export_state):
+                del self._fields[field.field_id]
+                self._allocator.free(offset)
+            completed = True
+        finally:
+            if not completed:
+                self._allocator.carve(offset, length)
+                self._fields[field.field_id] = (offset, length)
 
     def _entry(self, field: LongField) -> tuple[int, int]:
         try:

@@ -3,9 +3,20 @@
 The expensive fixture is ``demo_system``: a fully loaded QBISM instance at
 32^3 scale (3 PET + 1 MRI studies, three band encodings), built once per
 session and reused by the integration tests.
+
+Every test also gets a deterministic RNG seed derived from its node id
+(the autouse ``_deterministic_rng`` fixture): the global ``random`` and
+``numpy.random`` states are seeded per test, so randomized suites are
+reproducible and order-independent.  When a test fails, the report grows
+an ``rng`` section printing the seed needed to replay it; fault-injection
+tests additionally take the ``test_seed`` fixture to key their
+:class:`~repro.storage.faults.FaultSchedule`.
 """
 
 from __future__ import annotations
+
+import random
+import zlib
 
 import numpy as np
 import pytest
@@ -13,6 +24,43 @@ import pytest
 from repro.core import QbismSystem
 from repro.curves import GridSpec
 from repro.regions import Region, rasterize
+
+
+def _seed_for(nodeid: str) -> int:
+    """A stable per-test seed: a CRC of the pytest node id."""
+    return zlib.crc32(nodeid.encode("utf-8")) & 0xFFFFFFFF
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_rng(request):
+    """Pin the global RNG state per test for reproducible randomness."""
+    seed = _seed_for(request.node.nodeid)
+    request.node._repro_seed = seed
+    random.seed(seed)
+    np.random.seed(seed & 0xFFFFFFFF)
+    return seed
+
+
+@pytest.fixture
+def test_seed(_deterministic_rng) -> int:
+    """The test's pinned seed, for keying explicit fault schedules."""
+    return _deterministic_rng
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    seed = getattr(item, "_repro_seed", None)
+    if report.when == "call" and report.failed and seed is not None:
+        report.sections.append(
+            (
+                "rng",
+                f"per-test seed {seed} (derived from node id {item.nodeid!r}); "
+                f"fault schedules built from the test_seed fixture replay with "
+                f"this value",
+            )
+        )
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,405 @@
+"""Crash-consistency suite: enumerate every crash point, recover, verify.
+
+The headline harness runs a fixed LFM workload — create A, create B,
+delete A, create C, each its own transaction — over a data device and a
+WAL journal that share one :class:`FaultSchedule`.  A fault-free dry run
+counts the workload's total write calls; the suite then replays the
+workload once per write index, crashing there, harvesting the surviving
+device images, rebooting into recovery, and asserting the recovered store
+equals one of the canonical between-transaction states — *old or new,
+never in between* — with every surviving field's bytes exact.
+
+Also covered: checksum detection of silent bit flips, idempotent recovery
+(a crash *during* recovery heals on the next attempt), journal exhaustion
+failing cleanly, atomic save/load with the journal-meta-wins rule, and
+the Table 3/4 bit-identity guarantee with the WAL disabled and enabled.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.workloads import run_table3, run_table4
+from repro.core import QbismSystem
+from repro.db.database import Database
+from repro.db.persist import load_database, save_database
+from repro.errors import DatabaseError, SimulatedCrash, WalError
+from repro.storage import (
+    BlockDevice,
+    FaultSchedule,
+    FaultyDevice,
+    LongFieldManager,
+    WriteAheadLog,
+)
+
+CAPACITY = 1 << 20
+JOURNAL_CAPACITY = 1 << 20
+
+PAYLOAD_A = bytes(range(256)) * 20          # 5120 bytes, 2 pages
+PAYLOAD_B = b"\xa5\x5a" * 4500              # 9000 bytes, 3 pages
+PAYLOAD_C = b"qbism1994" * 600              # 5400 bytes, 2 pages
+
+
+def build_stack(schedule: FaultSchedule | None = None,
+                data_image: bytes | None = None,
+                journal_image: bytes | None = None,
+                recover: bool = True):
+    """A WAL + LFM stack, optionally fault-injected and/or pre-imaged."""
+    data = BlockDevice(CAPACITY)
+    journal = BlockDevice(JOURNAL_CAPACITY)
+    if data_image is not None:
+        data.write(0, data_image)
+    if journal_image is not None:
+        journal.write(0, journal_image)
+    fdata, fjournal = data, journal
+    if schedule is not None:
+        fdata = FaultyDevice(data, schedule, name="data")
+        fjournal = FaultyDevice(journal, schedule, name="journal")
+    wal = WriteAheadLog(fdata, fjournal, recover=recover)
+    return wal, fdata, fjournal
+
+
+def run_workload(lfm: LongFieldManager) -> int:
+    """The canonical four-transaction workload; returns steps completed."""
+    a = lfm.create(PAYLOAD_A)
+    lfm.create(PAYLOAD_B)
+    lfm.delete(a)
+    lfm.create(PAYLOAD_C)
+    return 4
+
+
+def state_key(lfm: LongFieldManager) -> str:
+    """A canonical fingerprint of the LFM: field table + every field's bytes."""
+    state = lfm.export_state()
+    contents = {
+        field_id: lfm.read(lfm.handle(int(field_id))).hex()
+        for field_id in state["fields"]
+    }
+    return json.dumps({"state": state, "contents": contents}, sort_keys=True)
+
+
+def canonical_states() -> list[str]:
+    """Fingerprints S0..S4 of the store between the workload's transactions."""
+    wal, _, _ = build_stack(recover=False)
+    lfm = LongFieldManager(wal)
+    states = [state_key(lfm)]
+    a = lfm.create(PAYLOAD_A)
+    states.append(state_key(lfm))
+    lfm.create(PAYLOAD_B)
+    states.append(state_key(lfm))
+    lfm.delete(a)
+    states.append(state_key(lfm))
+    lfm.create(PAYLOAD_C)
+    states.append(state_key(lfm))
+    assert len(set(states)) == 5, "workload states must be distinguishable"
+    return states
+
+
+def count_workload_writes() -> int:
+    """Fault-free dry run counting every write call the workload issues."""
+    schedule = FaultSchedule(seed=0, crash_after_writes=None)
+    wal, _, _ = build_stack(schedule, recover=False)
+    run_workload(LongFieldManager(wal))
+    return schedule.writes_seen
+
+
+def recover_from_wreck(fdata: FaultyDevice, fjournal: FaultyDevice) -> tuple:
+    """Harvest the crashed devices, reboot, recover; returns (wal, lfm)."""
+    wal, _, _ = build_stack(
+        data_image=fdata.snapshot(), journal_image=fjournal.snapshot()
+    )
+    meta = wal.last_committed_meta or {"next_id": 1, "fields": {}}
+    return wal, LongFieldManager.restore(wal, meta)
+
+
+TOTAL_WRITES = count_workload_writes()
+STATES = canonical_states()
+
+
+class TestCrashPointEnumeration:
+    """Every crash point must recover to an adjacent canonical state."""
+
+    @pytest.mark.parametrize("torn", ["prefix", "pages", "none"])
+    @pytest.mark.parametrize("crash_at", range(1, TOTAL_WRITES + 1))
+    def test_crash_point_recovers_to_old_or_new_state(
+        self, crash_at, torn, test_seed
+    ):
+        schedule = FaultSchedule(
+            seed=test_seed, crash_after_writes=crash_at, torn=torn
+        )
+        wal, fdata, fjournal = build_stack(schedule, recover=False)
+        lfm = LongFieldManager(wal)
+        completed = 0
+        try:
+            lfm_a = lfm.create(PAYLOAD_A)
+            completed = 1
+            lfm.create(PAYLOAD_B)
+            completed = 2
+            lfm.delete(lfm_a)
+            completed = 3
+            lfm.create(PAYLOAD_C)
+            completed = 4
+        except SimulatedCrash:
+            pass
+        assert completed < 4, "the schedule must actually crash the workload"
+        _, recovered = recover_from_wreck(fdata, fjournal)
+        key = state_key(recovered)
+        allowed = {STATES[completed], STATES[completed + 1]}
+        assert key in allowed, (
+            f"crash at write {crash_at} (torn={torn}) recovered to a state "
+            f"that is neither S{completed} nor S{completed + 1}; replay with "
+            f"{schedule.describe()}"
+        )
+
+    def test_workload_without_faults_reaches_final_state(self):
+        wal, _, _ = build_stack(recover=False)
+        lfm = LongFieldManager(wal)
+        assert run_workload(lfm) == 4
+        assert state_key(lfm) == STATES[4]
+
+    def test_crash_point_enumeration_is_exhaustive(self):
+        # The dry run's write count covers journal AND data writes: the
+        # parametrized sweep above therefore hits every journaling point
+        # and every apply point of all four transactions.
+        assert TOTAL_WRITES >= 16, (
+            f"expected a rich crash surface, got {TOTAL_WRITES} writes"
+        )
+
+
+class TestChecksums:
+    def test_bit_flip_in_journal_is_detected_on_recovery(self, test_seed):
+        # Corrupt the first page record (write #2), crash during apply
+        # (write #5, after the commit record is durable).  Recovery must
+        # reject the corrupt transaction and fall back to the old state,
+        # not replay garbled bytes.
+        schedule = FaultSchedule(
+            seed=test_seed, crash_after_writes=5, torn="none",
+            bitflip_writes=(2,),
+        )
+        wal, fdata, fjournal = build_stack(schedule, recover=False)
+        lfm = LongFieldManager(wal)
+        with pytest.raises(SimulatedCrash):
+            lfm.create(PAYLOAD_A)
+        recovered_wal, recovered = recover_from_wreck(fdata, fjournal)
+        assert recovered_wal.last_committed_meta is None
+        assert recovered_wal.recovery.discarded == 1
+        assert state_key(recovered) == STATES[0]
+
+    def test_clean_journal_replays_after_commit_record(self, test_seed):
+        # Same crash point, no bit flip: the commit record is durable, so
+        # recovery must replay to the NEW state (durability).
+        schedule = FaultSchedule(seed=test_seed, crash_after_writes=5, torn="none")
+        wal, fdata, fjournal = build_stack(schedule, recover=False)
+        lfm = LongFieldManager(wal)
+        with pytest.raises(SimulatedCrash):
+            lfm.create(PAYLOAD_A)
+        _, recovered = recover_from_wreck(fdata, fjournal)
+        assert state_key(recovered) == STATES[1]
+
+
+class TestRecoveryIdempotence:
+    def test_crash_during_recovery_heals_on_retry(self, test_seed):
+        # Commit txn 1 fully into the journal, crash before apply finishes.
+        schedule = FaultSchedule(seed=test_seed, crash_after_writes=5, torn="pages")
+        wal, fdata, fjournal = build_stack(schedule, recover=False)
+        with pytest.raises(SimulatedCrash):
+            LongFieldManager(wal).create(PAYLOAD_A)
+        data_image, journal_image = fdata.snapshot(), fjournal.snapshot()
+
+        # First recovery attempt crashes mid-replay.
+        retry = FaultSchedule(seed=test_seed + 1, crash_after_writes=1, torn="prefix")
+        data = BlockDevice(CAPACITY)
+        data.write(0, data_image)
+        journal = BlockDevice(JOURNAL_CAPACITY)
+        journal.write(0, journal_image)
+        fdata2 = FaultyDevice(data, retry, name="data")
+        with pytest.raises(SimulatedCrash):
+            WriteAheadLog(fdata2, journal, recover=True)
+
+        # Second attempt over the twice-wrecked image must still land on S1.
+        wal2, _, _ = build_stack(
+            data_image=fdata2.snapshot(), journal_image=journal_image
+        )
+        recovered = LongFieldManager.restore(wal2, wal2.last_committed_meta)
+        assert state_key(recovered) == STATES[1]
+        assert wal2.recovery.replayed == 1
+
+    def test_recovering_the_recovered_store_changes_nothing(self, test_seed):
+        schedule = FaultSchedule(seed=test_seed, crash_after_writes=7, torn="prefix")
+        wal, fdata, fjournal = build_stack(schedule, recover=False)
+        with pytest.raises(SimulatedCrash):
+            run_workload(LongFieldManager(wal))
+        wreck = (fdata.snapshot(), fjournal.snapshot())
+
+        # First recovery — run behind a benign FaultyDevice so the healed
+        # images can be harvested for the second pass.
+        benign = FaultSchedule(seed=0)
+        wal1, fd1, fj1 = build_stack(
+            benign, data_image=wreck[0], journal_image=wreck[1]
+        )
+        meta1 = wal1.last_committed_meta or {"next_id": 1, "fields": {}}
+        first = state_key(LongFieldManager.restore(wal1, meta1))
+
+        # Second recovery over the already-recovered images: idempotent.
+        wal2, _, _ = build_stack(
+            data_image=fd1.snapshot(), journal_image=fj1.snapshot()
+        )
+        meta2 = wal2.last_committed_meta or {"next_id": 1, "fields": {}}
+        assert meta2 == meta1
+        assert state_key(LongFieldManager.restore(wal2, meta2)) == first
+
+
+class TestJournalLimits:
+    def test_oversized_transaction_fails_cleanly(self):
+        data = BlockDevice(CAPACITY)
+        journal = BlockDevice(8192)  # room for roughly one page record
+        wal = WriteAheadLog(data, journal, recover=False)
+        lfm = LongFieldManager(wal)
+        before = state_key(lfm)
+        with pytest.raises(WalError):
+            lfm.create(b"\x01" * 40000)  # 10 pages never fit in 8 KiB
+        assert state_key(lfm) == before
+        assert wal.data_stats.pages_written == 0
+        # The store keeps working: a transaction that fits still commits.
+        small = lfm.create(b"tiny payload")
+        assert lfm.read(small) == b"tiny payload"
+
+    def test_page_size_mismatch_rejected(self):
+        data = BlockDevice(CAPACITY)
+        journal = BlockDevice(1 << 16, page_size=1 << 16)
+        with pytest.raises(WalError):
+            WriteAheadLog(data, journal)
+
+
+class TestTransactions:
+    def test_read_your_writes_inside_transaction(self):
+        wal, _, _ = build_stack(recover=False)
+        with wal.transaction():
+            wal.write(100, b"uncommitted")
+            assert wal.read(100, 11) == b"uncommitted"
+            assert wal.data_stats.pages_written == 0  # nothing applied yet
+        assert wal.read(100, 11) == b"uncommitted"
+        assert wal.data_stats.pages_written == 1
+
+    def test_rollback_discards_buffered_pages(self):
+        wal, _, _ = build_stack(recover=False)
+
+        class Boom(WalError):
+            pass
+
+        with pytest.raises(Boom):
+            with wal.transaction():
+                wal.write(0, b"doomed")
+                raise Boom("abort")
+        assert wal.read(0, 6) == b"\x00" * 6
+        assert wal.data_stats.pages_written == 0
+
+    def test_nested_transactions_commit_once(self):
+        wal, _, _ = build_stack(recover=False)
+        with wal.transaction():
+            wal.write(0, b"outer")
+            with wal.transaction():
+                wal.write(4096, b"inner")
+            # Inner exit must not commit: still one open transaction.
+            assert wal.in_transaction
+            assert wal.data_stats.pages_written == 0
+        assert wal.read(0, 5) == b"outer"
+        assert wal.read(4096, 5) == b"inner"
+
+    def test_lfm_rolls_back_memory_state_on_crash(self, test_seed):
+        schedule = FaultSchedule(seed=test_seed, crash_after_writes=2, torn="none")
+        wal, _, _ = build_stack(schedule, recover=False)
+        lfm = LongFieldManager(wal)
+        with pytest.raises(SimulatedCrash):
+            lfm.create(PAYLOAD_A)
+        # The failed create must leave no trace in the in-memory tables.
+        assert lfm.field_count == 0
+        assert lfm.allocated_bytes == 0
+        assert lfm.export_state() == {"next_id": 1, "fields": {}}
+
+
+class TestPersistence:
+    def _database_with_wal(self):
+        data = BlockDevice(CAPACITY)
+        journal = BlockDevice(JOURNAL_CAPACITY)
+        wal = WriteAheadLog(data, journal, recover=False)
+        return Database(lfm=LongFieldManager(wal)), wal
+
+    def test_save_is_atomic_and_resets_journal(self, tmp_path):
+        db, wal = self._database_with_wal()
+        db.lfm.create(PAYLOAD_A)
+        save_database(db, tmp_path)
+        assert (tmp_path / "device.img").exists()
+        assert (tmp_path / "catalog.json").exists()
+        assert not (tmp_path / "device.img.tmp").exists()
+        assert not (tmp_path / "catalog.json.tmp").exists()
+        # The catalog checkpointed the journal: a fresh scan replays nothing.
+        assert wal._journal_head == 0
+
+    def test_save_refused_inside_transaction(self, tmp_path):
+        db, wal = self._database_with_wal()
+        db.lfm.create(PAYLOAD_A)
+        with wal.transaction():
+            with pytest.raises(DatabaseError):
+                save_database(db, tmp_path)
+
+    def test_journal_meta_wins_over_stale_catalog(self, tmp_path):
+        # Simulate a crash in save_database's window: the image was
+        # replaced but the catalog was not.  The journal's committed
+        # metadata matches the image and must override the catalog.
+        db, wal = self._database_with_wal()
+        db.lfm.create(PAYLOAD_A)
+        save_database(db, tmp_path)            # catalog @ state 1
+        field_b = db.lfm.create(PAYLOAD_B)     # journaled txn -> state 2
+        wal.dump(tmp_path / "device.img")      # image @ state 2
+        wal.journal.dump(tmp_path / "wal.log")  # journal survives the crash
+        reopened = load_database(tmp_path, in_memory=True, wal=True)
+        assert reopened.lfm.field_count == 2
+        assert reopened.lfm.read(reopened.lfm.handle(field_b.field_id)) == PAYLOAD_B
+
+    def test_plain_catalog_load_without_journal(self, tmp_path):
+        db, _ = self._database_with_wal()
+        field_a = db.lfm.create(PAYLOAD_A)
+        save_database(db, tmp_path)
+        reopened = load_database(tmp_path, in_memory=True, wal=True)
+        assert reopened.lfm.field_count == 1
+        assert reopened.lfm.read(reopened.lfm.handle(field_a.field_id)) == PAYLOAD_A
+        # And the reopened store accepts new crash-safe transactions.
+        extra = reopened.lfm.create(PAYLOAD_C)
+        assert reopened.lfm.read(extra) == PAYLOAD_C
+
+
+class TestBitIdentity:
+    """The WAL must not move a single Table 3/4 LFM page count."""
+
+    def test_table3_counts_pinned_wal_disabled(self, demo_system):
+        outcomes = run_table3(demo_system)
+        counts = {key: o.timing.lfm_page_ios for key, o in outcomes.items()}
+        assert counts == {"Q1": 9, "Q2": 9, "Q3": 10, "Q4": 6, "Q5": 6, "Q6": 5}
+
+    def test_wal_system_matches_plain_system(self, demo_system):
+        wal_system = QbismSystem.build_demo(
+            seed=1994, grid_side=32, n_pet=3, n_mri=1,
+            band_encodings=("hilbert-naive", "z-naive", "octant"),
+            wal=True,
+        )
+        assert isinstance(wal_system.lfm.device, WriteAheadLog)
+        plain3 = {k: o.timing.lfm_page_ios for k, o in run_table3(demo_system).items()}
+        wal3 = {k: o.timing.lfm_page_ios for k, o in run_table3(wal_system).items()}
+        assert wal3 == plain3
+        plain4 = {e: row.lfm_page_ios for e, (_, row) in run_table4(demo_system).items()}
+        wal4 = {e: row.lfm_page_ios for e, (_, row) in run_table4(wal_system).items()}
+        assert wal4 == plain4
+        # Journal traffic exists but is accounted on its own device.
+        assert wal_system.lfm.device.journal_stats.write_calls > 0
+
+    def test_table4_counts_pinned_bench_config(self):
+        system = QbismSystem.build_demo(
+            seed=1994, grid_side=32, n_pet=5, n_mri=3,
+            band_encodings=("hilbert-naive", "z-naive", "octant"),
+            wal=True,
+        )
+        counts = {e: row.lfm_page_ios for e, (_, row) in run_table4(system).items()}
+        assert counts == {"hilbert-naive": 5, "z-naive": 5, "octant": 5}
