@@ -85,6 +85,7 @@ def save_database(db: Database, path: str | Path) -> Path:
         raise DatabaseError("cannot save a database inside an open transaction")
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
+    wal = _find_wal(db.lfm.device)
     db.lfm.device.dump(path / "device.img")
     tables = []
     for name in db.table_names():
@@ -105,10 +106,14 @@ def save_database(db: Database, path: str | Path) -> Path:
         "lfm": db.lfm.export_state(),
         "tables": tables,
     }
+    if wal is not None:
+        # Persist the txn-id floor: on reload, recovery rejects any journal
+        # record older than this even if the journal's own checkpoint
+        # record was lost to a crash during reset_journal() below.
+        meta["wal"] = {"next_txn_id": wal.next_txn_id}
     tmp = path / "catalog.json.tmp"
     tmp.write_text(json.dumps(meta))
     os.replace(tmp, path / "catalog.json")
-    wal = _find_wal(db.lfm.device)
     if wal is not None:
         # The catalog now checkpoints everything the journal guaranteed.
         wal.reset_journal()
@@ -157,11 +162,17 @@ def load_database(
     if wal:
         journal_path = path / _JOURNAL_FILE
         if in_memory:
-            journal = BlockDevice(journal_capacity, page_size=page_size)
-            if journal_path.exists():
-                image = journal_path.read_bytes()[:journal_capacity]
-                # qblint: disable=no-raw-device-io
-                journal._backing.buf[: len(image)] = image
+            image = journal_path.read_bytes() if journal_path.exists() else b""
+            # Never truncate an existing journal: its tail may hold committed
+            # transactions (mirrors the never-truncate rule of the
+            # file-backed branch below).
+            size = max(
+                journal_capacity,
+                -(-len(image) // page_size) * page_size,
+            )
+            journal = BlockDevice(size, page_size=page_size)
+            # qblint: disable=no-raw-device-io
+            journal._backing.buf[: len(image)] = image
         elif journal_path.exists():
             # An existing journal may hold unreplayed transactions: open it
             # at its own size, never truncate it.
@@ -173,7 +184,10 @@ def load_database(
             journal = BlockDevice(
                 journal_capacity, path=journal_path, page_size=page_size,
             )
-        waldev = WriteAheadLog(device, journal, recover=True)
+        waldev = WriteAheadLog(
+            device, journal, recover=True,
+            next_txn_id=int(meta.get("wal", {}).get("next_txn_id", 1)),
+        )
         if waldev.last_committed_meta is not None:
             lfm_state = waldev.last_committed_meta
         device = waldev

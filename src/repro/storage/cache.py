@@ -171,6 +171,14 @@ class PageCache:
     def in_transaction(self) -> bool:
         return getattr(self.device, "in_transaction", False)
 
+    @property
+    def supports_rollback(self) -> bool:
+        return getattr(self.device, "supports_rollback", False)
+
+    def on_rollback(self, undo) -> None:
+        """Forward an undo action to the transactional device below."""
+        self.device.on_rollback(undo)
+
     # ------------------------------------------------------------------ #
 
     @property

@@ -171,6 +171,14 @@ class FaultyDevice:
     def in_transaction(self) -> bool:
         return getattr(self.inner, "in_transaction", False)
 
+    @property
+    def supports_rollback(self) -> bool:
+        return getattr(self.inner, "supports_rollback", False)
+
+    def on_rollback(self, undo) -> None:
+        """Forward an undo action to the transactional device below."""
+        self.inner.on_rollback(undo)
+
     def dump(self, path):
         """Write the device image to a file — refused once crashed."""
         self._check_up()

@@ -47,21 +47,44 @@ class LongFieldManager:
     # lifecycle
     # ------------------------------------------------------------------ #
 
+    def _register_undo(self, undo) -> bool:
+        """Hand ``undo`` to a transactional device, if there is one.
+
+        Under a write-ahead log the device runs it when the *outermost*
+        transaction rolls back — which may be an enclosing
+        ``Database.transaction()`` scope that aborts long after this
+        mutation's own method returned.  Returns whether the device took
+        ownership; on a raw device the caller must unwind by hand.
+        """
+        if getattr(self.device, "supports_rollback", False):
+            self.device.on_rollback(undo)
+            return True
+        return False
+
     def create(self, data: bytes) -> LongField:
         """Store ``data`` as a new long field in one contiguous extent.
 
         The extent write and the field-table update are one transaction on
         the device: under a write-ahead log either both are durable or
-        neither is.  On a raw device the scope is a no-op and behaviour
-        (including Table 3/4 I/O accounting) is unchanged.
+        neither is, and a rollback (of this scope or an enclosing one)
+        also unwinds the in-memory field table and allocation.  On a raw
+        device the scope is a no-op and behaviour (including Table 3/4 I/O
+        accounting) is unchanged.
         """
         if not data:
             raise LongFieldError("long fields must be non-empty")
         offset = self._allocator.alloc(len(data))
         field_id = self._next_id
-        completed = False
+
+        def undo() -> None:
+            self._fields.pop(field_id, None)
+            self._next_id = field_id
+            self._allocator.free(offset)
+
+        deferred = False
         try:
             with self.device.transaction(meta_provider=self.export_state):
+                deferred = self._register_undo(undo)
                 # Register the field before commit so the metadata snapshot
                 # journaled with the commit record already includes it.
                 self._next_id = field_id + 1
@@ -69,12 +92,12 @@ class LongFieldManager:
                 with trace.span("lfm.create", io=self.device.stats, bytes=len(data)):
                     before = self.device.stats.pages_written
                     self.device.write(offset, data)
-            completed = True
-        finally:
-            if not completed:
-                self._fields.pop(field_id, None)
-                self._next_id = field_id
-                self._allocator.free(offset)
+        # Cleanup-and-reraise: even SimulatedCrash must unwind the
+        # in-memory state.
+        except BaseException:  # qblint: disable=no-broad-except
+            if not deferred:
+                undo()
+            raise
         metrics.counter("lfm.writes").inc()
         metrics.counter("lfm.pages_written").inc(
             self.device.stats.pages_written - before
@@ -86,19 +109,27 @@ class LongFieldManager:
         """Free a long field's extent; the handle becomes invalid.
 
         A metadata-only transaction: under a WAL the new field table is
-        journaled with the commit record so the deletion is durable.
+        journaled with the commit record so the deletion is durable, and a
+        rollback of the enclosing scope restores the field.
         """
         offset, length = self._entry(field)
-        completed = False
+
+        def undo() -> None:
+            self._allocator.carve(offset, length)
+            self._fields[field.field_id] = (offset, length)
+
+        deferred = False
         try:
             with self.device.transaction(meta_provider=self.export_state):
+                deferred = self._register_undo(undo)
                 del self._fields[field.field_id]
                 self._allocator.free(offset)
-            completed = True
-        finally:
-            if not completed:
-                self._allocator.carve(offset, length)
-                self._fields[field.field_id] = (offset, length)
+        # Cleanup-and-reraise: even SimulatedCrash must unwind the
+        # in-memory state.
+        except BaseException:  # qblint: disable=no-broad-except
+            if not deferred:
+                undo()
+            raise
 
     def _entry(self, field: LongField) -> tuple[int, int]:
         try:

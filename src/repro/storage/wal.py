@@ -19,6 +19,7 @@ stays recoverable until its metadata is checkpointed elsewhere):
 
 .. code-block:: text
 
+    checkpoint   "QCKP" | last_txn_id u64 | ckpt_crc u32
     TXN header   "QWAL" | version u16 | reserved u16 | txn_id u64 |
                  n_pages u32 | meta_len u32 | header_crc u32 | meta bytes
     page record  page_no u64 | payload_crc u32 | page_size payload bytes
@@ -30,6 +31,16 @@ matching the replayed pages.  Recovery scans from offset 0, accepting
 transactions only while every checksum verifies and txn ids strictly
 increase; the first torn or corrupt record stops the scan and discards
 the tail.
+
+The checkpoint record is what ``reset_journal()`` writes at offset 0: it
+carries the newest txn id ever committed, so the epoch survives a
+restart.  Without it, a reopened process would restart txn ids at 1 and
+a later scan could walk off the end of the new (shorter) epoch onto an
+intact stale record whose old id still reads as "monotonically larger" —
+replaying pre-checkpoint pages over post-checkpoint data.  Recovery
+seeds its monotonicity floor from the checkpoint record (and, belt and
+braces, from the ``next_txn_id`` the catalog persists) and rejects any
+record at or below it.
 
 Transactions buffer dirty pages in memory (reads see them — the log is
 the DBMS-side redo buffer), append to the journal at commit, then apply
@@ -66,10 +77,12 @@ WAL_VERSION = 1
 
 _TXN_MAGIC = b"QWAL"
 _COMMIT_MAGIC = b"QCMT"
+_CKPT_MAGIC = b"QCKP"
 _HEADER = struct.Struct("<4sHHQII")   # magic, version, reserved, txn_id, n_pages, meta_len
 _CRC = struct.Struct("<I")
 _PAGE = struct.Struct("<QI")          # page_no, payload_crc
 _COMMIT = struct.Struct("<4sQI")      # magic, txn_id, commit_crc
+_CKPT = struct.Struct("<4sQI")        # magic, last_txn_id, ckpt_crc
 
 
 @dataclass
@@ -81,6 +94,7 @@ class RecoveryReport:
     discarded: int = 0             #: torn/corrupt transactions dropped
     meta: dict | None = None       #: metadata of the newest committed txn
     end_offset: int = 0            #: journal byte just past the last valid record
+    last_txn_id: int = 0           #: newest id seen (checkpoint or replayed txn)
 
     @property
     def replayed(self) -> int:
@@ -93,38 +107,50 @@ class RecoveryReport:
         )
 
 
-def _scan_journal(journal) -> tuple[list, int, int]:
+def _scan_journal(journal, last_id: int = 0) -> tuple[list, int, int, int]:
     """Parse the journal into committed transactions plus a discard count.
 
-    Returns ``(txns, discarded, end_offset)`` where each txn is
-    ``(txn_id, meta, [(page_no, payload), ...])`` and ``end_offset`` is the
-    byte just past the last valid commit record.  The scan stops at the
-    first record that fails a magic, bounds, checksum, or txn-id-monotonic
-    check; if that point lies inside a started transaction it counts as
-    one discarded (torn) transaction.
+    Returns ``(txns, discarded, end_offset, last_id)`` where each txn is
+    ``(txn_id, meta, [(page_no, payload), ...])``, ``end_offset`` is the
+    byte just past the last valid record, and ``last_id`` the newest txn
+    id accepted (seeded by a checkpoint record or the caller's floor).
+    The scan stops at the first record that fails a magic, bounds,
+    checksum, or txn-id-monotonic check; if that point lies inside a
+    started transaction it counts as one discarded (torn) transaction.
     """
     page_size = journal.page_size
     capacity = journal.capacity
     txns: list[tuple[int, dict | None, list[tuple[int, bytes]]]] = []
     pos = 0
-    last_id = 0
     while True:
+        if pos + _CKPT.size > capacity:
+            return txns, 0, pos, last_id
+        probe = journal.read(pos, _CKPT.size)
+        if probe[:4] == _CKPT_MAGIC:
+            _, ckpt_id, ckpt_crc = _CKPT.unpack(probe)
+            if ckpt_crc != zlib.crc32(probe[:_CKPT.size - _CRC.size]):
+                return txns, 0, pos, last_id
+            if ckpt_id < last_id:
+                return txns, 0, pos, last_id
+            last_id = ckpt_id
+            pos += _CKPT.size
+            continue
         head_len = _HEADER.size + _CRC.size
         if pos + head_len > capacity:
-            return txns, 0, pos
+            return txns, 0, pos, last_id
         blob = journal.read(pos, head_len)
         magic, version, _, txn_id, n_pages, meta_len = _HEADER.unpack(blob[:_HEADER.size])
         if magic != _TXN_MAGIC or version != WAL_VERSION:
-            return txns, 0, pos
+            return txns, 0, pos, last_id
         (header_crc,) = _CRC.unpack(blob[_HEADER.size:])
         if pos + head_len + meta_len > capacity:
-            return txns, 1, pos
+            return txns, 1, pos, last_id
         meta_bytes = journal.read(pos + head_len, meta_len) if meta_len else b""
         if header_crc != zlib.crc32(blob[:_HEADER.size] + meta_bytes):
-            return txns, 1, pos
+            return txns, 1, pos, last_id
         if txn_id <= last_id:
             # A stale record from an earlier, already-checkpointed epoch.
-            return txns, 0, pos
+            return txns, 0, pos, last_id
         running = zlib.crc32(blob + meta_bytes)
         cursor = pos + head_len + meta_len
         pages: list[tuple[int, bytes]] = []
@@ -144,31 +170,35 @@ def _scan_journal(journal) -> tuple[list, int, int]:
             pages.append((page_no, payload))
             cursor += record_len
         if not ok:
-            return txns, 1, pos
+            return txns, 1, pos, last_id
         if cursor + _COMMIT.size > capacity:
-            return txns, 1, pos
+            return txns, 1, pos, last_id
         commit = journal.read(cursor, _COMMIT.size)
         commit_magic, commit_id, commit_crc = _COMMIT.unpack(commit)
         if commit_magic != _COMMIT_MAGIC or commit_id != txn_id or commit_crc != running:
-            return txns, 1, pos
+            return txns, 1, pos, last_id
         try:
             meta = json.loads(meta_bytes) if meta_len else None
         except ValueError:
-            return txns, 1, pos
+            return txns, 1, pos, last_id
         txns.append((txn_id, meta, pages))
         last_id = txn_id
         pos = cursor + _COMMIT.size
 
 
-def recover_journal(device, journal) -> RecoveryReport:
+def recover_journal(device, journal, next_txn_id: int = 1) -> RecoveryReport:
     """Replay committed journal transactions into ``device``; discard torn ones.
 
+    ``next_txn_id`` is an externally persisted id floor (the catalog's,
+    if any): records with ids below it predate the last checkpoint and
+    are rejected even if the checkpoint record itself was torn.
     Idempotent: replaying a transaction writes the same committed page
     images, so a crash *during* recovery is healed by recovering again.
     """
     report = RecoveryReport()
     with trace.span("wal.recover", io=journal.stats):
-        txns, report.discarded, report.end_offset = _scan_journal(journal)
+        txns, report.discarded, report.end_offset, report.last_txn_id = \
+            _scan_journal(journal, last_id=max(0, next_txn_id - 1))
         page_size = device.page_size
         for txn_id, meta, pages in txns:
             for page_no, payload in pages:
@@ -197,7 +227,8 @@ class WriteAheadLog:
     single-write transaction, so *every* write is journaled.
     """
 
-    def __init__(self, device, journal, recover: bool = True):
+    def __init__(self, device, journal, recover: bool = True,
+                 next_txn_id: int = 1):
         if journal.page_size != device.page_size:
             raise WalError(
                 f"journal page size {journal.page_size} does not match "
@@ -210,15 +241,22 @@ class WriteAheadLog:
         self.stats = IOStats()  # logical accounting (what the client asked)
         self._depth = 0
         self._dirty: dict[int, bytearray] = {}
+        self._undo: list = []
         self._meta_provider = None
-        self._next_txn_id = 1
+        self._next_txn_id = max(1, int(next_txn_id))
         self._journal_head = 0  # append point; rewound only by reset_journal
         self.last_committed_meta: dict | None = None
         self.recovery: RecoveryReport | None = None
         if recover:
-            self.recovery = recover_journal(device, journal)
-            if self.recovery.replayed_txn_ids:
-                self._next_txn_id = self.recovery.replayed_txn_ids[-1] + 1
+            self.recovery = recover_journal(
+                device, journal, next_txn_id=self._next_txn_id
+            )
+            # Ids continue across restarts: the checkpoint record (or the
+            # caller's persisted floor) keeps monotonicity over the stale
+            # epoch still readable beyond the journal head.
+            self._next_txn_id = max(
+                self._next_txn_id, self.recovery.last_txn_id + 1
+            )
             # Append after the valid records (a torn tail gets overwritten).
             self._journal_head = self.recovery.end_offset
             self.last_committed_meta = self.recovery.meta
@@ -241,6 +279,16 @@ class WriteAheadLog:
     def in_transaction(self) -> bool:
         return self._depth > 0
 
+    @property
+    def next_txn_id(self) -> int:
+        """The id the next commit will use (persisted by ``save_database``)."""
+        return self._next_txn_id
+
+    @property
+    def supports_rollback(self) -> bool:
+        """Transactions here really roll back; :meth:`on_rollback` works."""
+        return True
+
     # ------------------------------------------------------------------ #
     # transactions
     # ------------------------------------------------------------------ #
@@ -257,6 +305,7 @@ class WriteAheadLog:
         """
         if self._depth == 0:
             self._dirty = {}
+            self._undo = []
             self._meta_provider = meta_provider
         elif meta_provider is not None and self._meta_provider is None:
             self._meta_provider = meta_provider
@@ -268,13 +317,46 @@ class WriteAheadLog:
             completed = True
         finally:
             self._depth -= 1
-            if not completed:
-                if self._depth == 0:
-                    self._dirty = {}
-                    self._meta_provider = None
-                    metrics.counter("wal.rollbacks").inc()
-            elif self._depth == 0:
-                self._commit()
+            if self._depth == 0:
+                if not completed:
+                    self._rollback()
+                else:
+                    try:
+                        self._commit()
+                    # Cleanup-and-reraise: even SimulatedCrash must unwind
+                    # the in-memory state.
+                    except BaseException:  # qblint: disable=no-broad-except
+                        # Commit never reached the data device (journal
+                        # full, crash mid-journal/apply): the caller must
+                        # see the old in-memory state too.
+                        self._rollback()
+                        raise
+                    self._undo = []
+
+    def on_rollback(self, undo) -> None:
+        """Register a callable run if the enclosing transaction rolls back.
+
+        Clients mutating in-memory metadata inside a transaction (the LFM
+        registering a field, the allocator carving an extent) register the
+        inverse action here; if the *outermost* scope aborts — including a
+        join via :meth:`~repro.db.database.Database.transaction` where the
+        failure happens long after the mutating call returned — the
+        callbacks run in reverse registration order, so memory state rolls
+        back together with the discarded pages.  On commit they are
+        dropped.
+        """
+        if self._depth == 0:
+            raise WalError("on_rollback requires an open transaction")
+        self._undo.append(undo)
+
+    def _rollback(self) -> None:
+        """Discard buffered pages and unwind registered undo actions."""
+        self._dirty = {}
+        self._meta_provider = None
+        undo, self._undo = self._undo, []
+        for action in reversed(undo):
+            action()
+        metrics.counter("wal.rollbacks").inc()
 
     def _commit(self) -> None:
         """Journal the buffered pages + metadata, then apply to the device."""
@@ -328,12 +410,22 @@ class WriteAheadLog:
         self._next_txn_id = txn_id + 1
 
     def reset_journal(self) -> None:
-        """Invalidate the journal (after the catalog checkpointed elsewhere)."""
+        """Invalidate the journal (after the catalog checkpointed elsewhere).
+
+        Writes a checkpoint record at offset 0 carrying the newest
+        committed txn id.  Stale transaction records beyond it stay on the
+        device, but recovery seeds its monotonicity floor from the
+        checkpoint, so they can never be replayed — even after a restart
+        that would otherwise restart txn ids at 1 and make an old id look
+        monotonically fresh again.
+        """
         if self.in_transaction:
             raise WalError("cannot reset the journal inside a transaction")
-        self.journal.write(0, b"\x00" * (_HEADER.size + _CRC.size))
-        self._journal_head = 0
-        metrics.gauge("wal.journal_bytes").set(0)
+        last_id = self._next_txn_id - 1
+        body = _CKPT_MAGIC + struct.pack("<Q", last_id)
+        self.journal.write(0, body + _CRC.pack(zlib.crc32(body)))
+        self._journal_head = _CKPT.size
+        metrics.gauge("wal.journal_bytes").set(self._journal_head)
 
     # ------------------------------------------------------------------ #
     # device duck interface

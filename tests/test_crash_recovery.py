@@ -32,6 +32,7 @@ from repro.storage import (
     FaultyDevice,
     LongFieldManager,
     WriteAheadLog,
+    recover_journal,
 )
 
 CAPACITY = 1 << 20
@@ -320,6 +321,122 @@ class TestTransactions:
         assert lfm.export_state() == {"next_id": 1, "fields": {}}
 
 
+class TestCheckpointEpochs:
+    """reset_journal() must not let stale epochs masquerade as fresh ones."""
+
+    def test_txn_ids_continue_across_checkpoint_and_restart(self):
+        data = BlockDevice(CAPACITY)
+        journal = BlockDevice(JOURNAL_CAPACITY)
+        wal = WriteAheadLog(data, journal, recover=False)
+        for page in range(3):
+            with wal.transaction():
+                wal.write(page * 4096, bytes([page + 1]) * 4096)
+        assert wal.next_txn_id == 4
+        wal.reset_journal()
+        # "Restart": a fresh process over the same devices knows nothing
+        # in memory; the checkpoint record must carry the epoch across.
+        wal2 = WriteAheadLog(data, journal, recover=True)
+        assert wal2.recovery.replayed == 0
+        assert wal2.next_txn_id == 4  # continues — does not restart at 1
+
+    def test_stale_epoch_records_never_replayed_after_restart(self):
+        # The dangerous shape: same-length commits, so a post-restart
+        # epoch's records can end exactly on a stale record boundary.  A
+        # scan walking onto the intact stale record must reject it by the
+        # txn-id floor, not replay pre-checkpoint pages over newer data.
+        data = BlockDevice(CAPACITY)
+        journal = BlockDevice(JOURNAL_CAPACITY)
+        wal = WriteAheadLog(data, journal, recover=False)
+        with wal.transaction():
+            wal.write(0, b"A" * 4096)          # txn 1
+        with wal.transaction():
+            wal.write(4096, b"B" * 4096)       # txn 2
+        with wal.transaction():
+            wal.write(8192, b"X" * 4096)       # txn 3
+        with wal.transaction():
+            wal.write(8192, b"Y" * 4096)       # txn 4: page 2 now holds "Y"
+        wal.reset_journal()
+        wal2 = WriteAheadLog(data, journal, recover=True)
+        with wal2.transaction():
+            wal2.write(0, b"C" * 4096)         # same byte shape as stale txn 1
+        with wal2.transaction():
+            wal2.write(4096, b"D" * 4096)      # same byte shape as stale txn 2
+        # Crash + reboot: recovery must replay only the new epoch; the
+        # intact stale txn-3 record ("X" onto page 2) must stay dead.
+        wal3 = WriteAheadLog(data, journal, recover=True)
+        assert wal3.recovery.replayed_txn_ids == [5, 6]
+        assert wal3.read(0, 4096) == b"C" * 4096
+        assert wal3.read(4096, 4096) == b"D" * 4096
+        assert wal3.read(8192, 4096) == b"Y" * 4096  # not clobbered by "X"
+
+
+class TestOuterScopeRollback:
+    """Aborting an enclosing Database.transaction() must unwind the LFM."""
+
+    def test_outer_abort_rolls_back_create(self):
+        wal, _, _ = build_stack(recover=False)
+        lfm = LongFieldManager(wal)
+        keep = lfm.create(PAYLOAD_A)
+        db = Database(lfm=lfm)
+        before = state_key(lfm)
+        alloc_before = lfm.allocated_bytes
+
+        class Boom(Exception):
+            pass
+
+        with pytest.raises(Boom):
+            with db.transaction():
+                lfm.create(PAYLOAD_B)
+                lfm.create(PAYLOAD_C)
+                raise Boom("abort after the creates returned")
+        # Field table, id counter, and allocator all back to the old state:
+        # a save_database here must not persist phantom extents.
+        assert state_key(lfm) == before
+        assert lfm.allocated_bytes == alloc_before
+        assert lfm.export_state()["next_id"] == keep.field_id + 1
+        # The store keeps working after the rollback.
+        extra = lfm.create(PAYLOAD_C)
+        assert lfm.read(extra) == PAYLOAD_C
+
+    def test_outer_abort_rolls_back_delete(self):
+        wal, _, _ = build_stack(recover=False)
+        lfm = LongFieldManager(wal)
+        keep = lfm.create(PAYLOAD_A)
+        db = Database(lfm=lfm)
+        before = state_key(lfm)
+
+        class Boom(Exception):
+            pass
+
+        with pytest.raises(Boom):
+            with db.transaction():
+                lfm.delete(keep)
+                raise Boom("abort after the delete returned")
+        assert state_key(lfm) == before
+        assert lfm.read(keep) == PAYLOAD_A
+
+    def test_outer_abort_rolls_back_interleaved_create_delete(self):
+        wal, _, _ = build_stack(recover=False)
+        lfm = LongFieldManager(wal)
+        a = lfm.create(PAYLOAD_A)
+        db = Database(lfm=lfm)
+        before = state_key(lfm)
+
+        class Boom(Exception):
+            pass
+
+        with pytest.raises(Boom):
+            with db.transaction():
+                # Delete frees A's extent; the create may reuse it.  Undo
+                # actions run in reverse order, so the free precedes the
+                # re-carve and the allocator never sees an overlap.
+                lfm.delete(a)
+                lfm.create(PAYLOAD_B)
+                raise Boom("abort")
+        assert state_key(lfm) == before
+        assert lfm.read(a) == PAYLOAD_A
+
+
 class TestPersistence:
     def _database_with_wal(self):
         data = BlockDevice(CAPACITY)
@@ -335,8 +452,13 @@ class TestPersistence:
         assert (tmp_path / "catalog.json").exists()
         assert not (tmp_path / "device.img.tmp").exists()
         assert not (tmp_path / "catalog.json.tmp").exists()
-        # The catalog checkpointed the journal: a fresh scan replays nothing.
-        assert wal._journal_head == 0
+        # The catalog checkpointed the journal: the head rewound to just
+        # past a checkpoint record, and a fresh scan replays nothing but
+        # still learns the txn-id epoch.
+        report = recover_journal(BlockDevice(CAPACITY), wal.journal)
+        assert report.replayed == 0
+        assert report.last_txn_id == wal.next_txn_id - 1
+        assert wal._journal_head == report.end_offset
 
     def test_save_refused_inside_transaction(self, tmp_path):
         db, wal = self._database_with_wal()
@@ -358,6 +480,40 @@ class TestPersistence:
         reopened = load_database(tmp_path, in_memory=True, wal=True)
         assert reopened.lfm.field_count == 2
         assert reopened.lfm.read(reopened.lfm.handle(field_b.field_id)) == PAYLOAD_B
+
+    def test_in_memory_load_does_not_truncate_journal_tail(self, tmp_path):
+        # A wal.log larger than the requested journal_capacity must be
+        # loaded whole: committed transactions in the tail are part of the
+        # durable state, not overflow to drop.
+        db, wal = self._database_with_wal()
+        save_database(db, tmp_path)
+        fields = [db.lfm.create(bytes([i]) * 5000) for i in range(1, 9)]
+        small = 16 * 4096
+        assert wal._journal_head > small, "workload must outgrow the capacity"
+        wal.dump(tmp_path / "device.img")
+        wal.journal.dump(tmp_path / "wal.log")
+        reopened = load_database(
+            tmp_path, in_memory=True, wal=True, journal_capacity=small
+        )
+        assert reopened.lfm.field_count == len(fields)
+        for i, f in enumerate(fields, start=1):
+            assert reopened.lfm.read(
+                reopened.lfm.handle(f.field_id)
+            ) == bytes([i]) * 5000
+
+    def test_catalog_persists_txn_id_floor(self, tmp_path):
+        # The saved catalog carries next_txn_id, and a reload — even one
+        # that finds no journal file — seeds the WAL from it so ids never
+        # restart inside an old epoch.
+        db, wal = self._database_with_wal()
+        db.lfm.create(PAYLOAD_A)
+        db.lfm.create(PAYLOAD_B)
+        next_id = wal.next_txn_id
+        save_database(db, tmp_path)
+        meta = json.loads((tmp_path / "catalog.json").read_text())
+        assert meta["wal"]["next_txn_id"] == next_id
+        reopened = load_database(tmp_path, in_memory=True, wal=True)
+        assert reopened.lfm.device.next_txn_id >= next_id
 
     def test_plain_catalog_load_without_journal(self, tmp_path):
         db, _ = self._database_with_wal()
