@@ -16,6 +16,7 @@ from repro.errors import ValidationError
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: lint the given paths and print violations."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="qblint: static analysis for the QBISM reproduction",

@@ -39,6 +39,7 @@ class Violation:
     message: str
 
     def format(self) -> str:
+        """Render as ``path:line: [rule] message``."""
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
@@ -70,6 +71,7 @@ class Suppressions:
                     self.by_line.setdefault(number + 1, set()).update(rules)
 
     def active(self, line: int, rule: str) -> bool:
+        """Is ``rule`` suppressed on ``line``?"""
         if rule in self.whole_file:
             return True
         return rule in self.by_line.get(line, set())

@@ -22,6 +22,7 @@ __all__ = [
     "NoMutableDefault",
     "ConsistentAll",
     "NoDirectIOStatsMutation",
+    "PublicDocstring",
 ]
 
 
@@ -77,6 +78,7 @@ class NoRawDeviceIO(Rule):
         return False
 
     def check(self, tree: ast.Module, path: str) -> Iterator[tuple[int, str]]:
+        """Yield this rule's violations for one parsed module."""
         if _in_package(path, "storage"):
             return
         for node in ast.walk(tree):
@@ -133,6 +135,7 @@ class ReproErrorSubclass(Rule):
     }
 
     def check(self, tree: ast.Module, path: str) -> Iterator[tuple[int, str]]:
+        """Yield this rule's violations for one parsed module."""
         for node in ast.walk(tree):
             if not isinstance(node, ast.Raise) or node.exc is None:
                 continue
@@ -159,6 +162,7 @@ class NoBroadExcept(Rule):
     description = "no bare 'except:' or 'except Exception:' handlers"
 
     def check(self, tree: ast.Module, path: str) -> Iterator[tuple[int, str]]:
+        """Yield this rule's violations for one parsed module."""
         for node in ast.walk(tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue
@@ -192,6 +196,7 @@ class NoMutableDefault(Rule):
         return False
 
     def check(self, tree: ast.Module, path: str) -> Iterator[tuple[int, str]]:
+        """Yield this rule's violations for one parsed module."""
         for node in ast.walk(tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
@@ -254,6 +259,7 @@ class ConsistentAll(Rule):
         return names
 
     def check(self, tree: ast.Module, path: str) -> Iterator[tuple[int, str]]:
+        """Yield this rule's violations for one parsed module."""
         basename = _module_parts(path)[-1]
         if basename.startswith("_") and basename != "__init__.py":
             return
@@ -312,6 +318,7 @@ class NoDirectIOStatsMutation(Rule):
         return None
 
     def check(self, tree: ast.Module, path: str) -> Iterator[tuple[int, str]]:
+        """Yield this rule's violations for one parsed module."""
         if _in_package(path, "storage"):
             return
         for node in ast.walk(tree):
@@ -331,6 +338,64 @@ class NoDirectIOStatsMutation(Rule):
                     )
 
 
+class PublicDocstring(Rule):
+    """Docstring coverage for the public API surface.
+
+    Every public (non-underscore) class, and every public function or
+    method — module-level, or in the body of a public class — inside the
+    ``repro`` package must carry a docstring.  The rule is what keeps
+    ARCHITECTURE.md honest: a newcomer walking the module map can read
+    what each entry point does without leaving the source.
+
+    Property ``setter``/``deleter`` bodies are exempt (the getter's
+    docstring covers the attribute), as are nested functions (not API
+    surface).  One-off exceptions use the standard suppression comment:
+    ``# qblint: disable=public-docstring``.
+    """
+
+    name = "public-docstring"
+    description = (
+        "public classes, functions, and methods in the repro package "
+        "need a docstring"
+    )
+
+    _EXEMPT_DECORATOR_ATTRS = {"setter", "deleter", "getter"}
+
+    def _is_exempt(self, node: ast.AST) -> bool:
+        for decorator in getattr(node, "decorator_list", ()):
+            if (isinstance(decorator, ast.Attribute)
+                    and decorator.attr in self._EXEMPT_DECORATOR_ATTRS):
+                return True
+        return False
+
+    def _missing(self, body, kind_prefix: str):
+        """Yield violations for one scope's statements (no recursion into
+        function bodies: nested defs are not public API)."""
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                public = not node.name.startswith("_")
+                if public and ast.get_docstring(node) is None:
+                    yield node.lineno, f"public class {node.name!r} has no docstring"
+                if public:
+                    yield from self._missing(node.body, f"{node.name}.")
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.startswith("_") or self._is_exempt(node):
+                    continue
+                if ast.get_docstring(node) is None:
+                    yield (
+                        node.lineno,
+                        f"public {'method' if kind_prefix else 'function'} "
+                        f"{kind_prefix}{node.name}() has no docstring",
+                    )
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[tuple[int, str]]:
+        """Flag public defs without docstrings in ``repro`` package files."""
+        parts = _module_parts(path)
+        if "repro" not in parts[:-1]:
+            return
+        yield from self._missing(tree.body, "")
+
+
 #: the registry the engine runs, in report order
 ALL_RULES: tuple[Rule, ...] = (
     NoRawDeviceIO(),
@@ -339,4 +404,5 @@ ALL_RULES: tuple[Rule, ...] = (
     NoMutableDefault(),
     ConsistentAll(),
     NoDirectIOStatsMutation(),
+    PublicDocstring(),
 )

@@ -1,0 +1,181 @@
+"""The concurrent-serving workload behind ``BENCH_concurrency.json``.
+
+The 1994 prototype was measured one query at a time; this workload
+measures the serving layer instead: aggregate statement throughput at 1,
+4, and 16 sessions over one shared demo database.  Every session replays
+the same seeded, shuffled pool of read statements (plus a sprinkling of
+INSERTs — a read-mostly mix), so the trials are comparable: the work per
+statement is identical, only the concurrency changes.
+
+What the ratios measure is the serving stack, not the simulator: the
+reader-writer lock admits SELECTs in parallel, and the shared result
+cache (keyed on canonical SQL) amortizes each distinct statement's
+execution over every session that asks for it.  A 16-session trial
+therefore executes each distinct query roughly once and serves the rest
+from cache — which is exactly the production argument for the cache.
+
+Timing here is *wall-clock* (the one place in the tree where that is the
+point), so absolute numbers vary by host; the ``speedup_vs_1`` column is
+the stable, machine-portable signal and the one CI checks.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+__all__ = [
+    "CONCURRENCY_COLUMNS",
+    "SESSION_COUNTS",
+    "build_query_pool",
+    "run_concurrency",
+]
+
+#: measured columns of each BENCH_concurrency.json row
+CONCURRENCY_COLUMNS = (
+    "sessions",
+    "statements",
+    "wall_seconds",
+    "statements_per_second",
+    "speedup_vs_1",
+)
+
+#: default trial sizes (the acceptance gate compares 16 against 1)
+SESSION_COUNTS = (1, 4, 16)
+
+#: one INSERT is mixed in after this many reads (the "mostly" in
+#: read-mostly); writes land in ``patient``, which no pooled read
+#: references, so they exercise the exclusive path and the cache
+#: invalidation machinery without serializing the reads.
+WRITE_EVERY = 25
+
+
+def build_query_pool(db) -> list[str]:
+    """Distinct read statements over the demo schema, LFM-heavy.
+
+    Every statement is distinct (different literals), so a single session
+    replaying the pool misses the result cache once per statement — the
+    honest baseline — while N sessions share one miss per statement.
+    """
+    pool: list[str] = []
+    structure_ids = db.execute(
+        "select structureId from atlasStructure"
+    ).column("structureId")
+    for sid in structure_ids:
+        pool.append(
+            f"select voxelCount(region) from atlasStructure "
+            f"where structureId = {sid}"
+        )
+        pool.append(
+            f"select runCount(region) from atlasStructure "
+            f"where structureId = {sid}"
+        )
+    for study_id, low, encoding in db.execute(
+        "select studyId, low, encoding from intensityBand"
+    ).rows:
+        pool.append(
+            f"select voxelCount(region) from intensityBand "
+            f"where studyId = {study_id} and low = {low} "
+            f"and encoding = '{encoding}'"
+        )
+    # §6's early-filtering workhorse: read exactly one structure's voxels
+    # out of a warped study and reduce them.  Each miss costs real LFM
+    # byte-range reads, which is what makes a cache hit worth having.
+    study_ids = db.execute(
+        "select studyId from warpedVolume"
+    ).column("studyId")
+    for study_id in study_ids:
+        for sid in structure_ids[:3]:
+            pool.append(
+                f"select dataMean(extractVoxels(v.data, s.region)) "
+                f"from warpedVolume v, atlasStructure s "
+                f"where v.studyId = {study_id} and s.structureId = {sid}"
+            )
+    for left, right in zip(structure_ids, structure_ids[1:]):
+        pool.append(
+            f"select voxelCount(intersection(a.region, b.region)) "
+            f"from atlasStructure a, atlasStructure b "
+            f"where a.structureId = {left} and b.structureId = {right}"
+        )
+    pool.append("select count(*) from rawVolume where modality = 'PET'")
+    pool.append("select count(*) from rawVolume where modality = 'MRI'")
+    pool.append("select count(*) from neuralStructure")
+    return pool
+
+
+def _client(server, pool: list[str], session_index: int, trial_tag: int,
+            seed: int) -> None:
+    """One session's statement stream: seeded shuffle, write every Nth."""
+    rng = random.Random(seed * 7919 + session_index)
+    statements = list(pool)
+    rng.shuffle(statements)
+    with server.connect(name=f"bench-{trial_tag}-{session_index}") as session:
+        for j, sql in enumerate(statements):
+            session.execute(sql)
+            if j % WRITE_EVERY == WRITE_EVERY - 1:
+                # unique patientId per (trial, session, position): the
+                # INSERT always appends, never conflicts
+                pid = 100_000 + trial_tag * 10_000 + session_index * 500 + j
+                session.execute(
+                    f"insert into patient values "
+                    f"({pid}, 'bench', '1990-01-01', 'F', 33)"
+                )
+
+
+def _statements_per_session(pool_size: int) -> int:
+    return pool_size + pool_size // WRITE_EVERY
+
+
+def run_concurrency(system, session_counts=SESSION_COUNTS,
+                    seed: int = 1994) -> dict:
+    """Run the trials; rows keyed by session count (as strings).
+
+    Each trial gets a fresh :class:`~repro.server.QueryServer` (empty
+    result cache) over the shared database.  The page cache is warmed
+    with one serial pass first so every trial pays the same per-miss
+    cost, and trials run smallest-first so the single-session baseline
+    is never advantaged by earlier trials' side effects.
+    """
+    from repro.server import QueryServer
+
+    db = system.db
+    pool = build_query_pool(db)
+    for sql in pool:  # warm the page cache once, outside all timings
+        db.execute(sql)
+
+    rows: dict[str, dict] = {}
+    base_throughput: float | None = None
+    for trial_tag, nsessions in enumerate(sorted(session_counts)):
+        server = QueryServer(db, workers=min(16, max(4, nsessions)))
+        threads = [
+            threading.Thread(
+                target=_client, args=(server, pool, k, trial_tag, seed),
+                name=f"bench-client-{k}",
+            )
+            for k in range(nsessions)
+        ]
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - t0
+        server.close()
+        total = nsessions * _statements_per_session(len(pool))
+        throughput = total / wall if wall > 0 else 0.0
+        if base_throughput is None:
+            base_throughput = throughput
+        speedup = throughput / base_throughput if base_throughput else 0.0
+        rows[str(nsessions)] = {
+            "label": f"{nsessions} session(s)",
+            "measured": [
+                nsessions,
+                total,
+                round(wall, 4),
+                round(throughput, 1),
+                round(speedup, 2),
+            ],
+            "paper": [],  # the 1994 testbed served one user at a time
+        }
+    return rows

@@ -86,7 +86,7 @@ def validate_bench_json(doc: dict) -> None:
         raise ValidationError(
             f"unsupported BENCH schema version {doc['schema_version']!r}"
         )
-    if doc["workload"] not in ("table3", "table4"):
+    if doc["workload"] not in ("table3", "table4", "concurrency"):
         raise ValidationError(f"unknown workload {doc['workload']!r}")
     for key in ("grid_side", "paper_grid_side", "seed", "n_pet", "n_mri"):
         if key not in doc["generated"]:
@@ -110,12 +110,18 @@ def validate_bench_json(doc: dict) -> None:
 
 def run_benches(grid_side: int = 32, n_pet: int = 5, n_mri: int = 3,
                 seed: int = 1994, out_dir: str | Path = ".",
-                wal: bool = False) -> list[Path]:
+                wal: bool = False, concurrency: bool = False,
+                session_counts=(1, 4, 16)) -> list[Path]:
     """Build the system, run both workloads, write the BENCH JSONs.
 
     With ``wal`` the demo system runs through the write-ahead log — the
     measured LFM page counts must not move (journal I/O is accounted
     separately), which makes this flag a cheap durability regression probe.
+
+    With ``concurrency`` the multi-session serving workload
+    (:mod:`repro.bench.concurrency`) also runs, after the tables, and
+    writes ``BENCH_concurrency.json`` with throughput at each session
+    count in ``session_counts``.
     """
     from repro.core.system import QbismSystem
     from repro.obs import metrics
@@ -159,9 +165,26 @@ def run_benches(grid_side: int = 32, n_pet: int = 5, n_mri: int = 3,
     }
     table4_doc = _document("table4", generated, TABLE4_COLUMNS, table4_rows)
 
+    documents = [("BENCH_table3.json", table3_doc),
+                 ("BENCH_table4.json", table4_doc)]
+
+    if concurrency:
+        from repro.bench.concurrency import CONCURRENCY_COLUMNS, run_concurrency
+
+        # The serving trials get their own metrics window so the
+        # table3/table4 snapshots (already captured above) stay scoped
+        # to the paper workloads and this document scopes to serving.
+        metrics.reset()
+        conc_rows = run_concurrency(
+            system, session_counts=session_counts, seed=seed,
+        )
+        documents.append((
+            "BENCH_concurrency.json",
+            _document("concurrency", generated, CONCURRENCY_COLUMNS, conc_rows),
+        ))
+
     written = []
-    for name, doc in (("BENCH_table3.json", table3_doc),
-                      ("BENCH_table4.json", table4_doc)):
+    for name, doc in documents:
         validate_bench_json(doc)
         path = out_dir / name
         path.write_text(json.dumps(doc, indent=2) + "\n")
@@ -170,6 +193,7 @@ def run_benches(grid_side: int = 32, n_pet: int = 5, n_mri: int = 3,
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point for ``python -m repro.bench``."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Run the Table 3/4 workloads and write BENCH_*.json",
@@ -187,10 +211,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--wal", action="store_true",
                         help="run the workloads through the write-ahead log "
                              "(LFM page counts must be unchanged)")
+    parser.add_argument("--concurrency", action="store_true",
+                        help="also run the multi-session serving workload "
+                             "and write BENCH_concurrency.json")
+    parser.add_argument("--sessions", default="1,4,16",
+                        help="comma-separated session counts for "
+                             "--concurrency (default: 1,4,16)")
     args = parser.parse_args(argv)
+    try:
+        session_counts = tuple(
+            int(part) for part in args.sessions.split(",") if part.strip()
+        )
+    except ValueError:
+        parser.error(f"--sessions must be comma-separated ints, "
+                     f"got {args.sessions!r}")
+    if not session_counts or any(n < 1 for n in session_counts):
+        parser.error("--sessions needs at least one positive count")
     written = run_benches(
         grid_side=args.grid, n_pet=args.pet, n_mri=args.mri,
         seed=args.seed, out_dir=args.out, wal=args.wal,
+        concurrency=args.concurrency, session_counts=session_counts,
     )
     for path in written:
         print(f"wrote {path}")

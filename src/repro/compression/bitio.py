@@ -96,6 +96,7 @@ class BitReader:
 
     @property
     def remaining(self) -> int:
+        """Bits left to read."""
         return int(self._bits.size - self.pos)
 
     def read(self, nbits: int) -> int:

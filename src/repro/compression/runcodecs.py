@@ -76,6 +76,7 @@ class NaiveRunCodec(RegionCodec):
     name = "naive"
 
     def encode(self, intervals: IntervalSet, ndim: int = 3) -> bytes:
+        """Encode ``runs`` into bytes."""
         del ndim
         if intervals.run_count and intervals.max_index >= 1 << 32:
             raise CodecError("naive codec stores 32-bit ids; curve position too large")
@@ -85,12 +86,14 @@ class NaiveRunCodec(RegionCodec):
         return pairs.tobytes()
 
     def decode(self, data: bytes) -> IntervalSet:
+        """Decode runs from ``data``."""
         if len(data) % 8:
             raise CodecError("naive run payload must be a multiple of 8 bytes")
         pairs = np.frombuffer(data, dtype="<u4").reshape(-1, 2).astype(np.int64)
         return IntervalSet(pairs[:, 0], pairs[:, 1] + 1)
 
     def encoded_size(self, intervals: IntervalSet, ndim: int = 3) -> int:
+        """Size in bytes of the encoding of ``runs``, without encoding."""
         del ndim
         return 8 * intervals.run_count
 
@@ -106,6 +109,7 @@ class EliasRunCodec(RegionCodec):
     name = "elias"
 
     def encode(self, intervals: IntervalSet, ndim: int = 3) -> bytes:
+        """Encode ``runs`` into bytes."""
         del ndim
         n = intervals.run_count
         header = _COUNT.pack(n)
@@ -121,6 +125,7 @@ class EliasRunCodec(RegionCodec):
         return header + writer.getvalue()
 
     def decode(self, data: bytes) -> IntervalSet:
+        """Decode runs from ``data``."""
         if len(data) < _COUNT.size:
             raise CodecError("elias run payload too short")
         (n,) = _COUNT.unpack_from(data)
@@ -140,6 +145,7 @@ class EliasRunCodec(RegionCodec):
         return IntervalSet(starts, stops)
 
     def encoded_size(self, intervals: IntervalSet, ndim: int = 3) -> int:
+        """Size in bytes of the encoding of ``runs``, without encoding."""
         del ndim
         from repro.compression.elias import gamma_code_length
 

@@ -48,6 +48,7 @@ class QueryOutcome:
 
     @property
     def data(self):
+        """The query's result payload."""
         return self.result.data
 
 
@@ -335,6 +336,7 @@ class QbismSystem:
 
     @property
     def study_ids(self) -> list[int]:
+        """Every loaded study id (PET first, then MRI)."""
         return self.pet_study_ids + self.mri_study_ids
 
     def structure_names(self) -> list[str]:

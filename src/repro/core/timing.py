@@ -79,6 +79,7 @@ class Table4Row:
     result_voxels: int
 
     def as_row(self) -> tuple:
+        """The Table 4 report columns as a tuple."""
         return (
             self.encoding,
             self.lfm_page_ios,

@@ -56,6 +56,7 @@ class HilbertCurve(SpaceFillingCurve):
     name = "hilbert"
 
     def index(self, coords: np.ndarray) -> np.ndarray:
+        """Map ``(x, y, z)`` coordinates to a curve index."""
         coords = self._validate_coords(coords)
         if coords.shape[0] == 0:
             return np.empty(0, dtype=np.int64)
@@ -86,6 +87,7 @@ class HilbertCurve(SpaceFillingCurve):
         return _interleave_transpose(x, b, n)
 
     def coords(self, index: np.ndarray) -> np.ndarray:
+        """Map a curve index back to ``(x, y, z)`` coordinates."""
         index = self._validate_index(index)
         if index.shape[0] == 0:
             return np.empty((0, self.ndim), dtype=np.int64)

@@ -8,8 +8,10 @@ statistics — the raw material for the paper's Tables 3 and 4.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.concurrency import RWLock
 from repro.db.catalog import Catalog
 from repro.db.executor import Executor, ResultSet
 from repro.db.functions import (
@@ -43,14 +45,17 @@ class QueryResult:
     # Convenience passthroughs so callers can treat this like a ResultSet.
     @property
     def rows(self) -> list[tuple]:
+        """Result rows as tuples."""
         return self.result.rows
 
     @property
     def columns(self) -> list[str]:
+        """Output column names."""
         return self.result.columns
 
     @property
     def rowcount(self) -> int:
+        """Number of rows returned or affected."""
         return self.result.rowcount
 
     def __iter__(self):
@@ -60,15 +65,19 @@ class QueryResult:
         return len(self.result.rows)
 
     def first(self):
+        """The first row, or ``None`` when the result is empty."""
         return self.result.first()
 
     def scalar(self):
+        """The single value of a one-row, one-column result."""
         return self.result.scalar()
 
     def to_dicts(self) -> list[dict]:
+        """Rows as a list of column-name -> value dicts."""
         return self.result.to_dicts()
 
     def column(self, name: str) -> list:
+        """Every value of one named output column."""
         return self.result.column(name)
 
 
@@ -83,8 +92,28 @@ class Database:
     def __post_init__(self) -> None:
         self.functions.register_all(builtin_functions(), builtin_signatures())
         self._executor = Executor(self.catalog, self.functions)
+        self._rwlock = RWLock()
 
-    def execute(self, sql: str, params: list | None = None) -> QueryResult:
+    @property
+    def rwlock(self) -> RWLock:
+        """The statement-level reader-writer lock (see ARCHITECTURE.md).
+
+        SELECT / EXPLAIN run under the shared side; every mutating
+        statement (and :meth:`transaction`) takes the exclusive side.  The
+        lock is re-entrant for its holder, so code running inside an
+        exclusive transaction scope may keep issuing statements.
+        """
+        return self._rwlock
+
+    @staticmethod
+    def statement_is_read(stmt) -> bool:
+        """Does this parsed statement only read (SELECT / EXPLAIN)?"""
+        from repro.db.sql.ast import Explain, Select
+
+        return isinstance(stmt, (Select, Explain))
+
+    def execute(self, sql: str, params: list | None = None,
+                functions: FunctionRegistry | None = None) -> QueryResult:
         """Parse, analyze, and run one SQL statement.
 
         The semantic analyzer runs unconditionally between parse and
@@ -94,29 +123,52 @@ class Database:
         ``params`` binds ``?`` placeholders positionally; this is how
         Python-side values (LongField handles, large strings) enter
         statements without literal syntax.
+
+        ``functions`` substitutes a different registry for this statement
+        — the session layer passes a per-session registry that chains to
+        the shared one, so session-local UDFs resolve without touching
+        other sessions.
+
+        Statements are classified read/write and run under the matching
+        side of :attr:`rwlock`: concurrent SELECTs share the database,
+        mutating statements get it exclusively.
         """
         import time
 
         from repro.db.sql.ast import Explain
 
         stmt = parse(sql)
-        check(stmt, self.catalog, self.functions)
-        if isinstance(stmt, Explain):
-            return self._execute_explain(stmt, list(params or ()), sql)
-        metrics.counter("db.statements").inc()
-        start = time.perf_counter()
-        ctx = ExecutionContext(lfm=self.lfm, analyzed=True)
-        io_before = self.lfm.stats.copy() if self.lfm else None
-        result = self._executor.execute(stmt, list(params or ()), ctx)
-        io_delta = (self.lfm.stats - io_before) if self.lfm else None
+        registry = functions if functions is not None else self.functions
+        lock = (self._rwlock.read() if self.statement_is_read(stmt)
+                else self._rwlock.write())
+        with lock:
+            check(stmt, self.catalog, registry)
+            if isinstance(stmt, Explain):
+                return self._execute_explain(stmt, list(params or ()), sql,
+                                             registry)
+            metrics.counter("db.statements").inc()
+            start = time.perf_counter()
+            ctx = ExecutionContext(lfm=self.lfm, analyzed=True)
+            io_before = self.lfm.stats.copy() if self.lfm else None
+            result = self._run(stmt, list(params or ()), ctx, registry)
+            io_delta = (self.lfm.stats - io_before) if self.lfm else None
         metrics.histogram("db.query_seconds").observe(time.perf_counter() - start)
         return QueryResult(result=result, work=ctx.work, io=io_delta, sql=sql)
 
-    def _execute_explain(self, stmt, params: list, sql: str) -> QueryResult:
+    def _run(self, stmt, params: list, ctx: ExecutionContext,
+             registry: FunctionRegistry) -> ResultSet:
+        """Dispatch to the shared executor (or a session-scoped clone)."""
+        if registry is self.functions:
+            return self._executor.execute(stmt, params, ctx)
+        return Executor(self.catalog, registry).execute(stmt, params, ctx)
+
+    def _execute_explain(self, stmt, params: list, sql: str,
+                         registry: FunctionRegistry | None = None) -> QueryResult:
         """Run EXPLAIN / EXPLAIN ANALYZE; the plan comes back as rows."""
         from repro.db.planner import plan_select
         from repro.db.sql.ast import Select
 
+        registry = registry if registry is not None else self.functions
         inner = stmt.statement
         if not isinstance(inner, Select):
             raise UnsupportedStatementError("EXPLAIN supports SELECT statements only")
@@ -131,7 +183,7 @@ class Database:
         profile = PlanProfile()
         ctx = ExecutionContext(lfm=self.lfm, analyzed=True, profile=profile)
         io_before = self.lfm.stats.copy() if self.lfm else None
-        self._executor.execute(inner, params, ctx)
+        self._run(inner, params, ctx, registry)
         io_delta = (self.lfm.stats - io_before) if self.lfm else None
         lines = render_analyzed_plan(profile, io=io_delta, work=ctx.work)
         return QueryResult(
@@ -142,11 +194,14 @@ class Database:
     def executemany(self, sql: str, param_rows: list[list]) -> int:
         """Run one parameterized statement repeatedly; returns total rowcount."""
         stmt = parse(sql)
-        check(stmt, self.catalog, self.functions)
-        total = 0
-        for params in param_rows:
-            ctx = ExecutionContext(lfm=self.lfm, analyzed=True)
-            total += self._executor.execute(stmt, list(params), ctx).rowcount
+        lock = (self._rwlock.read() if self.statement_is_read(stmt)
+                else self._rwlock.write())
+        with lock:
+            check(stmt, self.catalog, self.functions)
+            total = 0
+            for params in param_rows:
+                ctx = ExecutionContext(lfm=self.lfm, analyzed=True)
+                total += self._executor.execute(stmt, list(params), ctx).rowcount
         return total
 
     def explain(self, sql: str) -> str:
@@ -163,14 +218,16 @@ class Database:
             stmt = stmt.statement
         if not isinstance(stmt, Select):
             raise UnsupportedStatementError("EXPLAIN supports SELECT statements only")
-        check(stmt, self.catalog, self.functions)
-        return plan_select(stmt, self.catalog).describe()
+        with self._rwlock.read():
+            check(stmt, self.catalog, self.functions)
+            return plan_select(stmt, self.catalog).describe()
 
     def analyze(self, sql: str) -> list:
         """Run only the static pass; returns the list of diagnostics."""
         from repro.db.semantic import analyze as _analyze
 
-        return _analyze(parse(sql), self.catalog, self.functions)
+        with self._rwlock.read():
+            return _analyze(parse(sql), self.catalog, self.functions)
 
     def transaction(self):
         """Scope several statements into one storage transaction.
@@ -179,12 +236,25 @@ class Database:
         dirtied inside the scope commits atomically with the LFM's field
         table; on a raw device the scope is a no-op.  Databases without an
         LFM have no storage to protect, so the scope is trivially empty.
-        """
-        from contextlib import nullcontext
 
-        if self.lfm is None:
-            return nullcontext(self)
-        return self.lfm.device.transaction(meta_provider=self.lfm.export_state)
+        The scope holds the exclusive side of :attr:`rwlock` end to end:
+        concurrent readers never observe a half-applied transaction, and
+        two writers' storage transactions cannot interleave (the WAL
+        additionally serializes commits below this layer).  Statements
+        issued inside the scope re-enter the lock without blocking.
+        """
+        return self._locked_transaction()
+
+    @contextmanager
+    def _locked_transaction(self):
+        with self._rwlock.write():
+            if self.lfm is None:
+                yield self
+            else:
+                with self.lfm.device.transaction(
+                    meta_provider=self.lfm.export_state
+                ):
+                    yield self
 
     def register_function(self, name: str, fn,
                           signature: FunctionSignature | None = None,

@@ -53,11 +53,13 @@ class FunctionSignature:
     returns: SqlType | None = None
 
     def arity_ok(self, count: int) -> bool:
+        """Does a call with ``n`` arguments satisfy this signature?"""
         if count < self.min_args:
             return False
         return self.max_args is None or count <= self.max_args
 
     def arity_description(self) -> str:
+        """Human-readable arity, for error messages."""
         if self.max_args is None:
             return f"at least {self.min_args}"
         if self.min_args == self.max_args:

@@ -70,6 +70,7 @@ class Expr:
 
 @dataclass(frozen=True)
 class Literal(Expr):
+    """A literal constant (number, string, NULL, or boolean)."""
     value: object
     span: Span | None = _span_field()
 
@@ -84,6 +85,7 @@ class Param(Expr):
 
 @dataclass(frozen=True)
 class ColumnRef(Expr):
+    """A column reference, optionally qualified by a table name."""
     qualifier: str | None
     name: str
     span: Span | None = _span_field()
@@ -94,6 +96,7 @@ class ColumnRef(Expr):
 
 @dataclass(frozen=True)
 class FuncCall(Expr):
+    """A function call expression."""
     name: str
     args: tuple[Expr, ...]
     span: Span | None = _span_field()
@@ -101,6 +104,7 @@ class FuncCall(Expr):
 
 @dataclass(frozen=True)
 class BinOp(Expr):
+    """A binary operation (arithmetic, comparison, or logical)."""
     op: str  # one of = <> < <= > >= + - * / and or ||
     left: Expr
     right: Expr
@@ -109,6 +113,7 @@ class BinOp(Expr):
 
 @dataclass(frozen=True)
 class UnaryOp(Expr):
+    """A unary operation (``-expr`` or ``NOT expr``)."""
     op: str  # '-' or 'not'
     operand: Expr
     span: Span | None = _span_field()
@@ -123,6 +128,7 @@ class Star(Expr):
 
 @dataclass(frozen=True)
 class SelectItem:
+    """One item of a SELECT list: an expression plus optional alias."""
     expr: Expr
     alias: str | None = None
     span: Span | None = _span_field()
@@ -130,6 +136,7 @@ class SelectItem:
 
 @dataclass(frozen=True)
 class TableRef:
+    """A table named in FROM, with an optional alias."""
     name: str
     alias: str | None = None
     span: Span | None = _span_field()
@@ -142,6 +149,7 @@ class TableRef:
 
 @dataclass(frozen=True)
 class OrderItem:
+    """One ORDER BY key: an expression plus sort direction."""
     expr: Expr
     ascending: bool = True
     span: Span | None = _span_field()
@@ -149,6 +157,7 @@ class OrderItem:
 
 @dataclass(frozen=True)
 class Select:
+    """A SELECT statement."""
     items: tuple[SelectItem, ...]
     tables: tuple[TableRef, ...]
     where: Expr | None = None
@@ -162,6 +171,7 @@ class Select:
 
 @dataclass(frozen=True)
 class Insert:
+    """An INSERT statement."""
     table: str
     columns: tuple[str, ...] | None
     rows: tuple[tuple[Expr, ...], ...]
@@ -170,6 +180,7 @@ class Insert:
 
 @dataclass(frozen=True)
 class CreateTable:
+    """A CREATE TABLE statement."""
     table: str
     columns: tuple[tuple[str, str], ...]  # (name, type name)
     span: Span | None = _span_field()
@@ -177,12 +188,14 @@ class CreateTable:
 
 @dataclass(frozen=True)
 class DropTable:
+    """A DROP TABLE statement."""
     table: str
     span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
 class Delete:
+    """A DELETE statement."""
     table: str
     where: Expr | None = None
     span: Span | None = _span_field()
@@ -190,6 +203,7 @@ class Delete:
 
 @dataclass(frozen=True)
 class Update:
+    """An UPDATE statement."""
     table: str
     assignments: tuple[tuple[str, Expr], ...]
     where: Expr | None = None
@@ -198,6 +212,7 @@ class Update:
 
 @dataclass(frozen=True)
 class CreateIndex:
+    """A CREATE INDEX statement."""
     name: str
     table: str
     column: str
@@ -206,6 +221,7 @@ class CreateIndex:
 
 @dataclass(frozen=True)
 class DropIndex:
+    """A DROP INDEX statement."""
     name: str
     span: Span | None = _span_field()
 

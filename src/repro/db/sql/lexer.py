@@ -16,6 +16,7 @@ __all__ = ["TokenType", "Token", "tokenize"]
 
 
 class TokenType(Enum):
+    """Kinds of lexical tokens."""
     IDENT = auto()
     NUMBER = auto()
     STRING = auto()
@@ -26,6 +27,7 @@ class TokenType(Enum):
 
 @dataclass(frozen=True)
 class Token:
+    """One lexical token: its kind, text, and source position."""
     type: TokenType
     text: str
     value: object

@@ -46,10 +46,12 @@ class Table:
 
     @property
     def name(self) -> str:
+        """The table's name."""
         return self.schema.table_name
 
     @property
     def row_count(self) -> int:
+        """Number of stored rows."""
         return len(self._rows)
 
     # ------------------------------------------------------------------ #

@@ -34,6 +34,10 @@ __all__ = [
     "FunctionUsageError",
     "MedicalError",
     "RegistrationError",
+    "ConcurrencyError",
+    "ServerError",
+    "ServerBusyError",
+    "SessionClosedError",
 ]
 
 
@@ -164,6 +168,26 @@ class FunctionUsageError(StaticAnalysisError, ExecutionError):
     Derives :class:`ExecutionError` because at run time such calls fail
     *inside* the function and surface as wrapped execution errors.
     """
+
+
+class ConcurrencyError(ReproError, RuntimeError):
+    """A lock was used outside its protocol (bad nesting, upgrade attempt)."""
+
+
+class ServerError(ReproError):
+    """Base class for query-serving failures (sessions, worker pool)."""
+
+
+class ServerBusyError(ServerError):
+    """The server's admission queue is full and the policy is ``reject``.
+
+    Clients should back off and retry; the statement was never enqueued,
+    so nothing was executed.
+    """
+
+
+class SessionClosedError(ServerError):
+    """A statement was submitted on a session that has been closed."""
 
 
 class MedicalError(ReproError):

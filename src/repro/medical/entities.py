@@ -25,6 +25,7 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Patient:
+    """One row of the patient registry."""
     patient_id: int
     name: str
     birth_date: str
@@ -46,6 +47,7 @@ class Atlas:
 
 @dataclass(frozen=True)
 class NeuralSystem:
+    """A named functional grouping of neural structures."""
     system_id: int
     name: str
     structure_ids: tuple[int, ...] = field(default=())
@@ -53,6 +55,7 @@ class NeuralSystem:
 
 @dataclass(frozen=True)
 class NeuralStructure:
+    """One anatomical structure and the system it belongs to."""
     structure_id: int
     name: str
 

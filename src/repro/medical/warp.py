@@ -78,10 +78,12 @@ class AffineTransform:
 
     @property
     def linear(self) -> np.ndarray:
+        """The 3x3 linear part of the transform."""
         return self.matrix[:3, :3]
 
     @property
     def translation(self) -> np.ndarray:
+        """The translation vector of the transform."""
         return self.matrix[:3, 3]
 
     def apply(self, points: np.ndarray) -> np.ndarray:

@@ -10,10 +10,11 @@ the cost model so counts stay exact and deterministic.
 
 from __future__ import annotations
 
+import threading
+from dataclasses import dataclass
+
 from repro.errors import ValidationError
 from repro.obs import metrics, trace
-
-from dataclasses import dataclass
 
 __all__ = ["RpcChannel", "TransferRecord"]
 
@@ -28,6 +29,7 @@ class TransferRecord:
 
     @property
     def messages(self) -> int:
+        """Total messages exchanged (data plus control)."""
         return self.data_messages + self.control_messages
 
 
@@ -42,6 +44,9 @@ class RpcChannel:
         self.total_bytes = 0
         self.total_messages = 0
         self.total_calls = 0
+        # Sessions served concurrently share one channel; the traffic
+        # counters stay exact under threads.
+        self._lock = threading.Lock()
 
     def send(self, payload: bytes | int) -> TransferRecord:
         """Ship one result payload (bytes, or just its length) to the peer."""
@@ -54,9 +59,10 @@ class RpcChannel:
             data_messages=data_messages,
             control_messages=self.control_messages_per_call,
         )
-        self.total_bytes += nbytes
-        self.total_messages += record.messages
-        self.total_calls += 1
+        with self._lock:
+            self.total_bytes += nbytes
+            self.total_messages += record.messages
+            self.total_calls += 1
         metrics.counter("rpc.calls").inc()
         metrics.counter("rpc.messages").inc(record.messages)
         metrics.counter("rpc.bytes").inc(nbytes)
@@ -71,9 +77,10 @@ class RpcChannel:
 
     def reset(self) -> None:
         """Zero the cumulative traffic counters."""
-        self.total_bytes = 0
-        self.total_messages = 0
-        self.total_calls = 0
+        with self._lock:
+            self.total_bytes = 0
+            self.total_messages = 0
+            self.total_calls = 0
 
     def __repr__(self) -> str:
         return (

@@ -33,6 +33,7 @@ class OperatorStats:
     page_ios: int = 0
 
     def annotate(self) -> str:
+        """The stats suffix appended to the operator's plan line."""
         return (
             f"(rows examined={self.rows_in}, matched={self.rows_out}, "
             f"time={self.wall_seconds * 1e3:.2f} ms, page I/Os={self.page_ios})"

@@ -16,6 +16,7 @@ line per metric) and :meth:`MetricsRegistry.render_json`.
 from __future__ import annotations
 
 import json
+import threading
 
 from repro.errors import ValidationError
 
@@ -34,21 +35,25 @@ __all__ = [
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count (updates are thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
     kind = "counter"
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (non-negative) to the count."""
         if amount < 0:
             raise ValidationError(f"counter {self.name!r} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def export(self):
+        """The current count."""
         return self.value
 
 
@@ -63,9 +68,11 @@ class Gauge:
         self.value = 0.0
 
     def set(self, value: float) -> None:
+        """Replace the current value (a single atomic store)."""
         self.value = value
 
     def export(self):
+        """The current value."""
         return self.value
 
 
@@ -77,7 +84,7 @@ _BUCKET_BOUNDS = (1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
 class Histogram:
     """Distribution summary: count/sum/min/max plus coarse log buckets."""
 
-    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+    __slots__ = ("name", "count", "total", "min", "max", "buckets", "_lock")
     kind = "histogram"
 
     def __init__(self, name: str):
@@ -87,23 +94,28 @@ class Histogram:
         self.min: float | None = None
         self.max: float | None = None
         self.buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
-        for i, bound in enumerate(_BUCKET_BOUNDS):
-            if value <= bound:
-                self.buckets[i] += 1
-                return
-        self.buckets[-1] += 1
+        """Record one observation (thread-safe)."""
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            for i, bound in enumerate(_BUCKET_BOUNDS):
+                if value <= bound:
+                    self.buckets[i] += 1
+                    return
+            self.buckets[-1] += 1
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
     def export(self):
+        """Summary dict: count, sum, mean, min, max, and buckets."""
         return {
             "count": self.count,
             "sum": self.total,
@@ -117,42 +129,54 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Name -> metric map with create-on-first-use accessors."""
+    """Name -> metric map with create-on-first-use accessors.
+
+    Registration is thread-safe: two threads touching the same name for
+    the first time get the same metric object.
+    """
 
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, cls):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = self._metrics[name] = cls(name)
-        elif not isinstance(metric, cls):
-            raise ValidationError(
-                f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
-            )
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name)
+            elif not isinstance(metric, cls):
+                raise ValidationError(
+                    f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+                )
+            return metric
 
     def counter(self, name: str) -> Counter:
+        """Get or create the counter named ``name``."""
         return self._get(name, Counter)
 
     def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge named ``name``."""
         return self._get(name, Gauge)
 
     def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram named ``name``."""
         return self._get(name, Histogram)
 
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 
     def names(self) -> list[str]:
-        return sorted(self._metrics)
+        """All registered metric names, sorted."""
+        with self._lock:
+            return sorted(self._metrics)
 
     def snapshot(self) -> dict:
         """Every metric's exported value, grouped by kind, names sorted."""
         out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
         for name in self.names():
-            metric = self._metrics[name]
-            out[metric.kind + "s"][name] = metric.export()
+            metric = self._metrics.get(name)
+            if metric is not None:
+                out[metric.kind + "s"][name] = metric.export()
         return out
 
     def render_text(self) -> str:
@@ -169,11 +193,13 @@ class MetricsRegistry:
         return "\n".join(lines)
 
     def render_json(self, indent: int | None = None) -> str:
+        """The snapshot as a JSON document."""
         return json.dumps(self.snapshot(), indent=indent)
 
     def reset(self) -> None:
         """Forget every metric (registrations included)."""
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
 
 
 _REGISTRY = MetricsRegistry()
@@ -185,20 +211,25 @@ def registry() -> MetricsRegistry:
 
 
 def counter(name: str) -> Counter:
+    """Get or create a counter in the process-wide registry."""
     return _REGISTRY.counter(name)
 
 
 def gauge(name: str) -> Gauge:
+    """Get or create a gauge in the process-wide registry."""
     return _REGISTRY.gauge(name)
 
 
 def histogram(name: str) -> Histogram:
+    """Get or create a histogram in the process-wide registry."""
     return _REGISTRY.histogram(name)
 
 
 def snapshot() -> dict:
+    """Snapshot of every metric in the process-wide registry."""
     return _REGISTRY.snapshot()
 
 
 def reset() -> None:
+    """Reset the process-wide registry."""
     _REGISTRY.reset()

@@ -57,6 +57,7 @@ class SpanRecord:
     meta: dict = field(default_factory=dict)
 
     def format(self) -> str:
+        """Render the span as an indented text line."""
         parts = [f"{self.name}  wall={self.wall_seconds * 1e3:.3f} ms"]
         if self.sim_seconds:
             parts.append(f"sim={self.sim_seconds:.3f} s")
@@ -202,6 +203,7 @@ def disable() -> None:
 
 
 def is_enabled() -> bool:
+    """Is tracing currently enabled?"""
     return _TRACER.enabled
 
 

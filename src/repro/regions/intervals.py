@@ -200,12 +200,14 @@ class IntervalSet:
 
     @property
     def min_index(self) -> int:
+        """The smallest covered index (raises on an empty set)."""
         if self.run_count == 0:
             raise ValidationError("empty interval set has no minimum")
         return int(self._starts[0])
 
     @property
     def max_index(self) -> int:
+        """The largest covered index (raises on an empty set)."""
         if self.run_count == 0:
             raise ValidationError("empty interval set has no maximum")
         return int(self._stops[-1] - 1)

@@ -130,18 +130,22 @@ class Region:
 
     @property
     def grid(self) -> GridSpec:
+        """The grid the region lives on."""
         return self._grid
 
     @property
     def curve(self) -> SpaceFillingCurve:
+        """The linearization curve."""
         return self._curve
 
     @property
     def voxel_count(self) -> int:
+        """Number of voxels in the region."""
         return self._intervals.count
 
     @property
     def run_count(self) -> int:
+        """Number of runs in the interval representation."""
         return self._intervals.run_count
 
     def coords(self) -> np.ndarray:

@@ -1,0 +1,27 @@
+"""Concurrent query serving: sessions, worker pool, result cache.
+
+The 1994 prototype served one user at a time; this package is the
+serving layer the ROADMAP's "heavy traffic" goal needs.  A
+:class:`QueryServer` wraps one :class:`~repro.db.database.Database` and
+hands out :class:`Session` objects; statements flow through a bounded
+admission queue into a worker pool and run under the database's
+reader-writer lock — many concurrent SELECTs, exclusive writes — with a
+shared, write-invalidated result cache in front.  See ARCHITECTURE.md
+for the full data flow.
+"""
+
+from repro.server.pool import REJECTION_POLICIES, WorkerPool
+from repro.server.resultcache import CachedResult, ResultCache, referenced_tables
+from repro.server.server import QueryServer
+from repro.server.session import Session, SessionFunctions
+
+__all__ = [
+    "QueryServer",
+    "Session",
+    "SessionFunctions",
+    "WorkerPool",
+    "ResultCache",
+    "CachedResult",
+    "referenced_tables",
+    "REJECTION_POLICIES",
+]

@@ -1,0 +1,144 @@
+"""A bounded worker pool with backpressure for the serving layer.
+
+Statements admitted by :class:`~repro.server.server.QueryServer` land on a
+bounded queue; a fixed set of worker threads drains it.  The queue depth
+is the server's *admission control*: when it is full, the configured
+:class:`RejectionPolicy` decides whether the submitting client blocks
+(``"block"``, the default — natural backpressure for cooperating clients)
+or fails fast with :class:`~repro.errors.ServerBusyError` (``"reject"``,
+the load-shedding posture a front end wants under overload).
+
+Queueing behavior is measured: ``server.queue_depth`` (gauge),
+``server.wait_seconds`` (histogram of enqueue → dequeue latency),
+``server.tasks`` / ``server.rejected`` (counters).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+
+from repro.errors import ServerBusyError, ValidationError
+from repro.obs import metrics
+
+__all__ = ["WorkerPool", "REJECTION_POLICIES"]
+
+#: admission behaviors when the queue is full
+REJECTION_POLICIES = ("block", "reject")
+
+
+class _Task:
+    """One queued unit of work: a thunk plus its future and enqueue time."""
+
+    __slots__ = ("fn", "args", "future", "enqueued")
+
+    def __init__(self, fn, args):
+        self.fn = fn
+        self.args = args
+        self.future: Future = Future()
+        self.enqueued = time.perf_counter()
+
+
+class WorkerPool:
+    """Fixed worker threads over a bounded queue with a rejection policy."""
+
+    def __init__(self, workers: int = 4, queue_depth: int = 64,
+                 policy: str = "block", name: str = "repro-server"):
+        if workers < 1:
+            raise ValidationError("worker pool needs at least one worker")
+        if queue_depth < 1:
+            raise ValidationError("queue depth must be positive")
+        if policy not in REJECTION_POLICIES:
+            raise ValidationError(
+                f"unknown rejection policy {policy!r}; use one of "
+                f"{REJECTION_POLICIES}"
+            )
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.policy = policy
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self._shutdown = False
+        self._lock = threading.Lock()
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"{name}-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------ #
+
+    def submit(self, fn, *args) -> Future:
+        """Enqueue ``fn(*args)``; returns a future for its result.
+
+        With the ``reject`` policy a full queue raises
+        :class:`ServerBusyError` immediately and nothing is enqueued;
+        with ``block`` the caller waits for a slot.
+        """
+        with self._lock:
+            if self._shutdown:
+                raise ServerBusyError("worker pool is shut down")
+        task = _Task(fn, args)
+        if self.policy == "reject":
+            try:
+                self._queue.put_nowait(task)
+            except queue.Full:
+                metrics.counter("server.rejected").inc()
+                raise ServerBusyError(
+                    f"admission queue full ({self.queue_depth} statements "
+                    f"pending); retry later"
+                ) from None
+        else:
+            self._queue.put(task)
+        metrics.counter("server.tasks").inc()
+        metrics.gauge("server.queue_depth").set(self._queue.qsize())
+        return task.future
+
+    def _worker(self) -> None:
+        while True:
+            task = self._queue.get()
+            if task is None:  # shutdown sentinel
+                self._queue.task_done()
+                return
+            metrics.gauge("server.queue_depth").set(self._queue.qsize())
+            metrics.histogram("server.wait_seconds").observe(
+                time.perf_counter() - task.enqueued
+            )
+            if not task.future.set_running_or_notify_cancel():
+                self._queue.task_done()
+                continue
+            try:
+                task.future.set_result(task.fn(*task.args))
+            # The pool boundary: a worker must survive any task failure
+            # and hand the exception to the waiting client instead.
+            except BaseException as exc:  # qblint: disable=no-broad-except
+                task.future.set_exception(exc)
+            finally:
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------ #
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; workers exit after draining the queue."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    @property
+    def pending(self) -> int:
+        """Statements admitted but not yet picked up by a worker."""
+        return self._queue.qsize()
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerPool({self.workers} workers, {self.pending}/"
+            f"{self.queue_depth} queued, policy={self.policy!r})"
+        )

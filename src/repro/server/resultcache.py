@@ -1,0 +1,198 @@
+"""A shared, invalidating query-result cache for the serving layer.
+
+The paper pushed result caching up into the DX front end ("DX caches the
+results of previous queries"); a serving layer can do better by sharing
+one cache across every session.  Entries are keyed on the *canonical*
+statement text — :func:`repro.db.sql.unparse.unparse` of the parsed tree,
+so formatting differences (`select  *` vs `SELECT *`) hit the same slot —
+plus the bound parameters.  Every entry remembers the tables the SELECT
+referenced; any write to one of those tables drops the entry.
+
+Thread safety: a single mutex guards the LRU map.  The serving protocol
+makes that sound end to end — readers fill the cache while holding the
+database's shared lock, writers invalidate while holding the exclusive
+lock, so a stale fill can never be published after the write that
+outdated it (see ARCHITECTURE.md).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.db.sql.ast import (
+    Exists,
+    Explain,
+    Expr,
+    InSubquery,
+    Insert,
+    Select,
+    Subquery,
+)
+from repro.errors import ValidationError
+from repro.obs import metrics
+
+__all__ = ["CachedResult", "ResultCache", "referenced_tables", "cache_key"]
+
+
+def referenced_tables(stmt) -> frozenset[str]:
+    """Every table name a statement touches, lowercased.
+
+    Covers FROM lists, subqueries (scalar, ``IN``, ``EXISTS``), and the
+    target tables of DML/DDL — the set a cached SELECT must be dropped
+    for when any of them is written.
+    """
+    names: set[str] = set()
+    _collect_tables(stmt, names)
+    return frozenset(names)
+
+
+def _collect_tables(node, names: set[str]) -> None:
+    if node is None:
+        return
+    if isinstance(node, Explain):
+        _collect_tables(node.statement, names)
+        return
+    if isinstance(node, Select):
+        for ref in node.tables:
+            names.add(ref.name.lower())
+        for item in node.items:
+            _collect_expr(item.expr, names)
+        _collect_expr(node.where, names)
+        for expr in node.group_by:
+            _collect_expr(expr, names)
+        _collect_expr(node.having, names)
+        for item in node.order_by:
+            _collect_expr(item.expr, names)
+        return
+    table = getattr(node, "table", None)
+    if isinstance(table, str):
+        names.add(table.lower())
+    if isinstance(node, Insert):
+        for row in node.rows:
+            for expr in row:
+                _collect_expr(expr, names)
+    where = getattr(node, "where", None)
+    if where is not None:
+        _collect_expr(where, names)
+
+
+def _collect_expr(expr, names: set[str]) -> None:
+    if expr is None or not isinstance(expr, Expr):
+        return
+    if isinstance(expr, (Subquery,)):
+        _collect_tables(expr.select, names)
+        return
+    if isinstance(expr, (InSubquery, Exists)):
+        _collect_tables(expr.subquery, names)
+        if isinstance(expr, InSubquery):
+            _collect_expr(expr.value, names)
+        return
+    for child in vars(expr).values():
+        if isinstance(child, Expr):
+            _collect_expr(child, names)
+        elif isinstance(child, tuple):
+            for element in child:
+                _collect_expr(element, names)
+
+
+def cache_key(canonical_sql: str, params) -> tuple:
+    """The cache key for one statement + bound parameters.
+
+    Parameters are folded in by ``repr`` so unhashable values (and
+    LongField handles, whose repr carries the stable field id) key
+    correctly.
+    """
+    return (canonical_sql, tuple(repr(p) for p in (params or ())))
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """One cached SELECT: the rows plus the tables they depend on."""
+
+    columns: tuple[str, ...]
+    rows: tuple[tuple, ...]
+    tables: frozenset[str]
+
+
+class ResultCache:
+    """LRU map of canonical SQL -> result rows, invalidated by writes."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValidationError("result cache needs capacity for one entry")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, CachedResult] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def get(self, key: tuple) -> CachedResult | None:
+        """The cached entry for ``key``, refreshing its LRU position."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                metrics.counter("server.result_cache.misses").inc()
+                metrics.gauge("server.result_cache.hit_rate").set(
+                    self._hit_rate_locked()
+                )
+                return None
+            self.hits += 1
+            metrics.counter("server.result_cache.hits").inc()
+            metrics.gauge("server.result_cache.hit_rate").set(
+                self._hit_rate_locked()
+            )
+            self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: tuple, entry: CachedResult) -> None:
+        """Insert (or refresh) one entry, evicting the LRU tail."""
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+            metrics.gauge("server.result_cache.entries").set(len(self._entries))
+
+    def invalidate(self, tables) -> int:
+        """Drop every entry that references any of ``tables``."""
+        written = {t.lower() for t in tables}
+        with self._lock:
+            stale = [key for key, entry in self._entries.items()
+                     if entry.tables & written]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+            if stale:
+                metrics.counter("server.result_cache.invalidations").inc(len(stale))
+                metrics.gauge("server.result_cache.entries").set(len(self._entries))
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+            metrics.gauge("server.result_cache.entries").set(0)
+
+    def _hit_rate_locked(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        with self._lock:
+            return self._hit_rate_locked()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({len(self)}/{self.capacity} entries, "
+            f"hit rate {self.hit_rate:.0%})"
+        )

@@ -1,0 +1,148 @@
+"""Client sessions: per-connection state over one shared database.
+
+A :class:`Session` is what :meth:`QueryServer.connect
+<repro.server.server.QueryServer.connect>` hands back — the serving
+layer's analogue of a DBMS connection.  Each session carries:
+
+* a **session-local function registry** chaining to the shared one, so
+  ``register_function`` on one session never changes what another
+  session's SQL resolves (the Starburst extension hook, scoped);
+* a **variable store** (:meth:`set_var` / :meth:`get_var`) for per-client
+  temp state;
+* its own **statement counter and trace identity** — every statement runs
+  under a ``server.execute`` span tagged with the session name.
+
+Statements go through the server's admission queue and worker pool;
+:meth:`execute` blocks for the result, :meth:`execute_async` returns the
+future for pipelined clients.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.db.functions import FunctionRegistry, FunctionSignature
+from repro.errors import CatalogError, SessionClosedError
+
+__all__ = ["Session", "SessionFunctions"]
+
+
+class SessionFunctions(FunctionRegistry):
+    """A per-session registry layered over the shared one.
+
+    Lookups try the session-local table first, then fall back to the
+    base; registrations land locally (shadowing a shared function needs
+    ``replace=True``, same contract as the shared registry).
+    """
+
+    def __init__(self, base: FunctionRegistry):
+        super().__init__()
+        self._base = base
+
+    @property
+    def local_names(self) -> list[str]:
+        """Names registered on this session only, sorted."""
+        return sorted(self._functions)
+
+    def register(self, name: str, fn, signature: FunctionSignature | None = None,
+                 replace: bool = False) -> None:
+        """Register a session-local function (may shadow a shared one)."""
+        if not replace and name.lower() not in self._functions \
+                and name in self._base:
+            raise CatalogError(
+                f"function {name!r} already registered (pass replace=True "
+                f"to shadow it for this session)"
+            )
+        super().register(name, fn, signature=signature, replace=True)
+
+    def signature(self, name: str) -> FunctionSignature | None:
+        """Declared signature, session-local first."""
+        local = super().signature(name)
+        return local if local is not None else self._base.signature(name)
+
+    def __contains__(self, name: str) -> bool:
+        return super().__contains__(name) or name in self._base
+
+    def call(self, name: str, args: list, ctx):
+        """Invoke, resolving session-local functions before shared ones."""
+        if name.lower() in self._functions:
+            return super().call(name, args, ctx)
+        return self._base.call(name, args, ctx)
+
+    def names(self) -> list[str]:
+        """Every resolvable function name (shared + session-local)."""
+        return sorted(set(self._base.names()) | set(self._functions))
+
+
+class Session:
+    """One client's connection to a :class:`QueryServer`."""
+
+    def __init__(self, server, session_id: int, name: str | None = None):
+        self._server = server
+        self.session_id = session_id
+        self.name = name or f"session-{session_id}"
+        self.functions = SessionFunctions(server.db.functions)
+        self._vars: dict[str, object] = {}
+        self._vars_lock = threading.Lock()
+        self.statements = 0
+        self.closed = False
+
+    # ------------------------------------------------------------------ #
+    # statements
+    # ------------------------------------------------------------------ #
+
+    def execute(self, sql: str, params: list | None = None):
+        """Run one statement through the server; blocks for the result."""
+        return self.execute_async(sql, params).result()
+
+    def execute_async(self, sql: str, params: list | None = None):
+        """Submit one statement; returns a future with the QueryResult."""
+        if self.closed:
+            raise SessionClosedError(f"{self.name} is closed")
+        self.statements += 1
+        return self._server.submit(self, sql, params)
+
+    def register_function(self, name: str, fn,
+                          signature: FunctionSignature | None = None,
+                          replace: bool = False) -> None:
+        """Register a UDF visible to this session only."""
+        self.functions.register(name, fn, signature=signature, replace=replace)
+
+    # ------------------------------------------------------------------ #
+    # per-session temp state
+    # ------------------------------------------------------------------ #
+
+    def set_var(self, name: str, value) -> None:
+        """Stash one per-session value (client temp state)."""
+        with self._vars_lock:
+            self._vars[name] = value
+
+    def get_var(self, name: str, default=None):
+        """Read a per-session value back."""
+        with self._vars_lock:
+            return self._vars.get(name, default)
+
+    def var_names(self) -> list[str]:
+        """Names of every session variable, sorted."""
+        with self._vars_lock:
+            return sorted(self._vars)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """End the session; subsequent statements are refused."""
+        if not self.closed:
+            self.closed = True
+            self._server._session_closed(self)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"Session({self.name!r}, {self.statements} statements, {state})"

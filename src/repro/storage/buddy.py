@@ -204,14 +204,17 @@ class BuddyAllocator:
 
     @property
     def allocated_bytes(self) -> int:
+        """Bytes currently allocated."""
         return sum(1 << order for order in self._allocated.values())
 
     @property
     def free_bytes(self) -> int:
+        """Bytes currently free."""
         return self.capacity - self.allocated_bytes
 
     @property
     def allocation_count(self) -> int:
+        """Number of live allocations."""
         return len(self._allocated)
 
     def fragmentation(self) -> float:

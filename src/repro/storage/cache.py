@@ -10,10 +10,18 @@ have bought for each query mix.
 
 Writes are write-through (the cache never holds dirty pages), so crash
 semantics match the raw device.
+
+The cache is thread-safe.  A short internal mutex guards the LRU map and
+the hit/miss counters (so ``hits + misses`` always equals the number of
+logical page touches, even under concurrent readers), while a per-page
+latch serializes *fills* of the same page only: two threads missing on
+different pages read from the device in parallel instead of serializing
+on the whole LRU.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 
@@ -45,6 +53,11 @@ class PageCache:
         self._pages: OrderedDict[int, bytes] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: guards ``_pages``, ``stats`` and the hit/miss counters
+        self._lock = threading.Lock()
+        #: per-page fill latches: concurrent misses on *different* pages
+        #: read from the device in parallel
+        self._latches: dict[int, threading.Lock] = {}
 
     @property
     def physical(self) -> IOStats:
@@ -53,31 +66,52 @@ class PageCache:
 
     # ------------------------------------------------------------------ #
 
-    def _page(self, number: int) -> bytes:
-        page = self._pages.get(number)
-        if page is not None:
-            self.hits += 1
-            metrics.counter("cache.hits").inc()
-            metrics.gauge("cache.hit_rate").set(self.hit_rate)
-            self._pages.move_to_end(number)
-            return page
-        self.misses += 1
-        metrics.counter("cache.misses").inc()
-        metrics.gauge("cache.hit_rate").set(self.hit_rate)
-        page = self.device.read(number * self.page_size, self.page_size)
-        self._pages[number] = page
-        if len(self._pages) > self.capacity_pages:
-            self._pages.popitem(last=False)
+    def _record_hit(self, number: int, page: bytes) -> bytes:
+        """Count a hit and refresh the LRU position (lock held by caller)."""
+        self.hits += 1
+        metrics.counter("cache.hits").inc()
+        metrics.gauge("cache.hit_rate").set(self._hit_rate_locked())
+        self._pages.move_to_end(number)
         return page
+
+    def _page(self, number: int) -> bytes:
+        """One page through the cache; fills latch per page number."""
+        with self._lock:
+            page = self._pages.get(number)
+            if page is not None:
+                return self._record_hit(number, page)
+            latch = self._latches.setdefault(number, threading.Lock())
+        with latch:
+            # Re-check under the mutex: another thread may have completed
+            # the fill while this one waited on the latch.
+            with self._lock:
+                page = self._pages.get(number)
+                if page is not None:
+                    return self._record_hit(number, page)
+            # Miss confirmed; this thread owns the fill for this page, and
+            # the device read happens outside the LRU mutex so misses on
+            # other pages proceed in parallel.
+            page = self.device.read(number * self.page_size, self.page_size)
+            with self._lock:
+                self.misses += 1
+                metrics.counter("cache.misses").inc()
+                metrics.gauge("cache.hit_rate").set(self._hit_rate_locked())
+                self._pages[number] = page
+                if len(self._pages) > self.capacity_pages:
+                    self._pages.popitem(last=False)
+                self._latches.pop(number, None)
+            return page
 
     def _account_logical(self, starts: np.ndarray, stops: np.ndarray) -> None:
         from repro.storage.device import _page_intervals
 
         pages = _page_intervals(starts, stops)
-        self.stats.pages_read += pages.count
-        self.stats.read_extents += pages.run_count
-        self.stats.bytes_read += int(np.maximum(stops - starts, 0).sum())
-        self.stats.read_calls += 1
+        nbytes = int(np.maximum(stops - starts, 0).sum())
+        with self._lock:
+            self.stats.pages_read += pages.count
+            self.stats.read_extents += pages.run_count
+            self.stats.bytes_read += nbytes
+            self.stats.read_calls += 1
 
     def read(self, offset: int, length: int) -> bytes:
         """Read a byte range through the cache (page-granular fills)."""
@@ -135,16 +169,17 @@ class PageCache:
         pages = _page_intervals(
             np.asarray([offset]), np.asarray([offset + len(data)])
         )
-        self.stats.pages_written += pages.count
-        self.stats.write_extents += pages.run_count
-        self.stats.write_calls += 1
-        self.stats.bytes_written += len(data)
-        if not data:
-            return
-        first = offset // self.page_size
-        last = (offset + len(data) - 1) // self.page_size
-        for number in range(first, last + 1):
-            self._pages.pop(number, None)
+        with self._lock:
+            self.stats.pages_written += pages.count
+            self.stats.write_extents += pages.run_count
+            self.stats.write_calls += 1
+            self.stats.bytes_written += len(data)
+            if not data:
+                return
+            first = offset // self.page_size
+            last = (offset + len(data) - 1) // self.page_size
+            for number in range(first, last + 1):
+                self._pages.pop(number, None)
 
     # ------------------------------------------------------------------ #
     # transactions
@@ -165,14 +200,17 @@ class PageCache:
                 completed = True
         finally:
             if not completed:
-                self._pages.clear()
+                with self._lock:
+                    self._pages.clear()
 
     @property
     def in_transaction(self) -> bool:
+        """Is the underlying device inside a transaction scope?"""
         return getattr(self.device, "in_transaction", False)
 
     @property
     def supports_rollback(self) -> bool:
+        """Can the underlying device roll back a transaction?"""
         return getattr(self.device, "supports_rollback", False)
 
     def on_rollback(self, undo) -> None:
@@ -181,14 +219,20 @@ class PageCache:
 
     # ------------------------------------------------------------------ #
 
-    @property
-    def hit_rate(self) -> float:
+    def _hit_rate_locked(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of logical page touches served from memory."""
+        with self._lock:
+            return self._hit_rate_locked()
+
     def clear(self) -> None:
         """Drop every cached page (the cold-start state)."""
-        self._pages.clear()
+        with self._lock:
+            self._pages.clear()
 
     def dump(self, path) -> object:
         """Write the raw device contents to a file (write-through cache holds

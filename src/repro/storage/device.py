@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import mmap
 import os
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -54,6 +55,7 @@ class IOStats:
 
     @property
     def total_pages(self) -> int:
+        """Pages read plus pages written."""
         return self.pages_read + self.pages_written
 
     def reset(self) -> None:
@@ -97,6 +99,10 @@ class BlockDevice:
         self.capacity = int(capacity)
         self.page_size = int(page_size)
         self.stats = IOStats()
+        # Guards the I/O counters (and, for writes, the buffer mutation):
+        # concurrent readers may gather bytes in parallel, but every
+        # counter update is atomic so `stats` stays exact under threads.
+        self._lock = threading.Lock()
         if path is None:
             self._backing = _Backing(bytearray(self.capacity))
         else:
@@ -169,12 +175,13 @@ class BlockDevice:
     def write(self, offset: int, data: bytes) -> None:
         """Write one contiguous byte range."""
         self._check_range(offset, len(data))
-        self._backing.buf[offset:offset + len(data)] = data
         pages = _page_intervals(np.asarray([offset]), np.asarray([offset + len(data)]))
-        self.stats.pages_written += pages.count
-        self.stats.write_extents += pages.run_count
-        self.stats.bytes_written += len(data)
-        self.stats.write_calls += 1
+        with self._lock:
+            self._backing.buf[offset:offset + len(data)] = data
+            self.stats.pages_written += pages.count
+            self.stats.write_extents += pages.run_count
+            self.stats.bytes_written += len(data)
+            self.stats.write_calls += 1
 
     def read_ranges(self, starts: np.ndarray, stops: np.ndarray) -> bytes:
         """Gather many byte ranges in one logical operation.
@@ -205,10 +212,12 @@ class BlockDevice:
 
     def _account_read(self, starts: np.ndarray, stops: np.ndarray) -> None:
         pages = _page_intervals(starts, stops)
-        self.stats.pages_read += pages.count
-        self.stats.read_extents += pages.run_count
-        self.stats.bytes_read += int(np.maximum(stops - starts, 0).sum())
-        self.stats.read_calls += 1
+        nbytes = int(np.maximum(stops - starts, 0).sum())
+        with self._lock:
+            self.stats.pages_read += pages.count
+            self.stats.read_extents += pages.run_count
+            self.stats.bytes_read += nbytes
+            self.stats.read_calls += 1
 
     # ------------------------------------------------------------------ #
     # lifecycle

@@ -108,14 +108,17 @@ class FaultyDevice:
 
     @property
     def capacity(self) -> int:
+        """The wrapped device's capacity in bytes."""
         return self.inner.capacity
 
     @property
     def page_size(self) -> int:
+        """The wrapped device's page size."""
         return self.inner.page_size
 
     @property
     def stats(self):
+        """The wrapped device's I/O statistics."""
         return self.inner.stats
 
     def _check_up(self) -> None:
@@ -130,14 +133,17 @@ class FaultyDevice:
     # ------------------------------------------------------------------ #
 
     def read(self, offset: int, length: int) -> bytes:
+        """Read through to the wrapped device."""
         self._check_up()
         return self.inner.read(offset, length)
 
     def read_ranges(self, starts, stops) -> bytes:
+        """Batched read through to the wrapped device."""
         self._check_up()
         return self.inner.read_ranges(starts, stops)
 
     def write(self, offset: int, data: bytes) -> None:
+        """Write through the fault schedule; may crash, tear, or corrupt."""
         self._check_up()
         schedule = self.schedule
         schedule.writes_seen += 1
@@ -169,10 +175,12 @@ class FaultyDevice:
 
     @property
     def in_transaction(self) -> bool:
+        """Whether the wrapped device is inside a transaction scope."""
         return getattr(self.inner, "in_transaction", False)
 
     @property
     def supports_rollback(self) -> bool:
+        """Whether the wrapped device can roll back a transaction."""
         return getattr(self.inner, "supports_rollback", False)
 
     def on_rollback(self, undo) -> None:
@@ -193,6 +201,7 @@ class FaultyDevice:
         return bytes(self.inner._backing.buf)
 
     def close(self) -> None:
+        """Close the wrapped device."""
         self.inner.close()
 
     def __enter__(self) -> "FaultyDevice":

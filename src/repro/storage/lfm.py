@@ -234,6 +234,7 @@ class LongFieldManager:
 
     @property
     def field_count(self) -> int:
+        """Number of long fields currently stored."""
         return len(self._fields)
 
     @property

@@ -61,6 +61,7 @@ from __future__ import annotations
 
 import json
 import struct
+import threading
 import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -98,6 +99,7 @@ class RecoveryReport:
 
     @property
     def replayed(self) -> int:
+        """Number of transactions replayed from the journal."""
         return len(self.replayed_txn_ids)
 
     def __repr__(self) -> str:
@@ -240,6 +242,12 @@ class WriteAheadLog:
         self.capacity = device.capacity
         self.stats = IOStats()  # logical accounting (what the client asked)
         self._depth = 0
+        # Commit serialization: the outermost transaction scope owns this
+        # re-entrant lock for its whole extent, so concurrent writers
+        # serialize journal commits instead of interleaving dirty pages —
+        # nesting within one thread still joins the outer transaction.
+        self._txn_lock = threading.RLock()
+        self._stats_lock = threading.Lock()  # logical counters under readers
         self._dirty: dict[int, bytearray] = {}
         self._undo: list = []
         self._meta_provider = None
@@ -277,6 +285,7 @@ class WriteAheadLog:
 
     @property
     def in_transaction(self) -> bool:
+        """Is a transaction scope currently open?"""
         return self._depth > 0
 
     @property
@@ -302,7 +311,19 @@ class WriteAheadLog:
         commit record (the LFM passes its ``export_state``).  On an
         exception the buffered pages are discarded: the data device never
         saw them, so the store stays at the old state.
+
+        Under concurrent writers the scope is thread-exclusive: a second
+        thread opening a transaction blocks until the first commits or
+        rolls back, so buffered pages, undo actions, and journal appends
+        of different transactions never interleave.
         """
+        with self._txn_lock:
+            with self._transaction_scope(meta_provider) as wal:
+                yield wal
+
+    @contextmanager
+    def _transaction_scope(self, meta_provider=None):
+        """The single-threaded transaction body (txn lock already held)."""
         if self._depth == 0:
             self._dirty = {}
             self._undo = []
@@ -455,10 +476,11 @@ class WriteAheadLog:
                 self.write(offset, data)
             return
         pages = _page_intervals(np.asarray([offset]), np.asarray([offset + len(data)]))
-        self.stats.pages_written += pages.count
-        self.stats.write_extents += pages.run_count
-        self.stats.bytes_written += len(data)
-        self.stats.write_calls += 1
+        with self._stats_lock:
+            self.stats.pages_written += pages.count
+            self.stats.write_extents += pages.run_count
+            self.stats.bytes_written += len(data)
+            self.stats.write_calls += 1
         if not data:
             return
         first = offset // self.page_size
@@ -500,10 +522,12 @@ class WriteAheadLog:
 
     def _account_read(self, starts: np.ndarray, stops: np.ndarray) -> None:
         pages = _page_intervals(starts, stops)
-        self.stats.pages_read += pages.count
-        self.stats.read_extents += pages.run_count
-        self.stats.bytes_read += int(np.maximum(stops - starts, 0).sum())
-        self.stats.read_calls += 1
+        nbytes = int(np.maximum(stops - starts, 0).sum())
+        with self._stats_lock:
+            self.stats.pages_read += pages.count
+            self.stats.read_extents += pages.run_count
+            self.stats.bytes_read += nbytes
+            self.stats.read_calls += 1
 
     def read_ranges(self, starts, stops) -> bytes:
         """Scattered read with dirty-page overlay (page-deduplicated)."""
@@ -534,6 +558,7 @@ class WriteAheadLog:
         return self.device.dump(path)
 
     def close(self) -> None:
+        """Close the journal and the underlying data device."""
         if self.in_transaction:
             raise WalError("cannot close the WAL inside an open transaction")
         self.journal.close()

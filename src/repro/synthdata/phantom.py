@@ -76,6 +76,7 @@ class BrainPhantom:
 
     @property
     def structure_names(self) -> list[str]:
+        """Names of the phantom's anatomical structures."""
         return list(self.structures)
 
     def structure(self, name: str) -> Region:

@@ -44,10 +44,12 @@ class SyntheticStudy:
 
     @property
     def shape(self) -> tuple[int, ...]:
+        """The study volume's ``(z, y, x)`` shape."""
         return tuple(self.data.shape)
 
     @property
     def nbytes(self) -> int:
+        """Raw voxel payload size in bytes."""
         return int(self.data.nbytes)
 
 

@@ -38,6 +38,7 @@ class DXObject:
 
     @property
     def voxel_count(self) -> int:
+        """Number of voxels carried by the object."""
         return self.data.voxel_count
 
 
@@ -90,6 +91,7 @@ class DataExplorer:
 
     @property
     def cache_size(self) -> int:
+        """Number of objects currently cached."""
         return len(self._cache)
 
     # ------------------------------------------------------------------ #

@@ -44,10 +44,12 @@ class TriangleMesh:
 
     @property
     def vertex_count(self) -> int:
+        """Number of vertices."""
         return int(self.vertices.shape[0])
 
     @property
     def triangle_count(self) -> int:
+        """Number of triangles."""
         return int(self.triangles.shape[0])
 
     def surface_area(self) -> float:

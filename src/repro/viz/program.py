@@ -40,6 +40,7 @@ class ProgramState:
     query_outcome: "object | None" = None  # QueryOutcome
 
     def require_data(self, step_name: str):
+        """The current data object, raising if no query step ran yet."""
         if self.data is None:
             raise ProgramError(f"step {step_name!r} needs data; run a query step first")
         return self.data
@@ -53,10 +54,12 @@ class Step:
     params: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
+        """Serialize to a plain dict (``type`` plus parameters)."""
         return {"type": self.type, **self.params}
 
     @classmethod
     def from_dict(cls, spec: dict) -> "Step":
+        """Rebuild a step from its dict form."""
         spec = dict(spec)
         try:
             type_name = spec.pop("type")
@@ -153,26 +156,32 @@ class VisualProgram:
     # builder API ------------------------------------------------------- #
 
     def query(self, study_id: int, **kwargs) -> "VisualProgram":
+        """Append a query step fetching one study's volume."""
         self.steps.append(Step("query", {"study_id": study_id, **kwargs}))
         return self
 
     def band(self, low: int, high: int) -> "VisualProgram":
+        """Append an intensity-band filter step."""
         self.steps.append(Step("band", {"low": low, "high": high}))
         return self
 
     def restrict(self, structure: str) -> "VisualProgram":
+        """Append a restrict-to-structure step."""
         self.steps.append(Step("restrict", {"structure": structure}))
         return self
 
     def render(self, mode: str = "mip", axis: int = 2, name: str = "image") -> "VisualProgram":
+        """Append a render step producing a named image."""
         self.steps.append(Step("render", {"mode": mode, "axis": axis, "name": name}))
         return self
 
     def rotate(self, angle: float, axis: int = 2, name: str = "image") -> "VisualProgram":
+        """Append a rotate-and-render step."""
         self.steps.append(Step("rotate", {"angle": angle, "axis": axis, "name": name}))
         return self
 
     def export(self, path: str, name: str = "image") -> "VisualProgram":
+        """Append an export-image step."""
         self.steps.append(Step("export", {"path": str(path), "name": name}))
         return self
 
@@ -195,10 +204,12 @@ class VisualProgram:
     # serialization ------------------------------------------------------ #
 
     def to_dicts(self) -> list[dict]:
+        """Serialize every step (see :meth:`Step.to_dict`)."""
         return [step.to_dict() for step in self.steps]
 
     @classmethod
     def from_dicts(cls, specs: list[dict]) -> "VisualProgram":
+        """Rebuild a program from serialized steps."""
         return cls([Step.from_dict(spec) for spec in specs])
 
     def __len__(self) -> int:

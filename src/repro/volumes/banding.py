@@ -36,6 +36,7 @@ class IntensityBand:
 
     @property
     def label(self) -> str:
+        """Human-readable band label."""
         return f"{self.low}-{self.high}"
 
     def covers(self, lo: float, hi: float) -> bool:

@@ -41,6 +41,7 @@ class DataRegion:
 
     @property
     def region(self) -> Region:
+        """The geometric region the data covers."""
         return self._region
 
     @property
@@ -50,10 +51,12 @@ class DataRegion:
 
     @property
     def voxel_count(self) -> int:
+        """Number of voxels."""
         return self._region.voxel_count
 
     @property
     def dtype(self) -> np.dtype:
+        """Element dtype."""
         return self._values.dtype
 
     @property

@@ -54,14 +54,17 @@ class VectorField:
 
     @property
     def grid(self) -> GridSpec:
+        """The grid the field lives on."""
         return self._grid
 
     @property
     def curve(self) -> SpaceFillingCurve:
+        """The linearization curve."""
         return self._curve
 
     @property
     def values(self) -> np.ndarray:
+        """The per-voxel vector array."""
         return self._values
 
     @property

@@ -42,6 +42,7 @@ class VolumeHeader:
 
     @property
     def itemsize(self) -> int:
+        """Bytes per voxel."""
         return int(np.dtype(self.dtype).itemsize)
 
     def value_byte_ranges(self, intervals: IntervalSet) -> tuple[np.ndarray, np.ndarray]:
@@ -120,10 +121,12 @@ class Volume:
 
     @property
     def grid(self) -> GridSpec:
+        """The grid the volume lives on."""
         return self._grid
 
     @property
     def curve(self) -> SpaceFillingCurve:
+        """The linearization curve."""
         return self._curve
 
     @property
@@ -133,14 +136,17 @@ class Volume:
 
     @property
     def dtype(self) -> np.dtype:
+        """Element dtype."""
         return self._values.dtype
 
     @property
     def voxel_count(self) -> int:
+        """Number of voxels."""
         return self._grid.size
 
     @property
     def nbytes(self) -> int:
+        """Payload size in bytes."""
         return int(self._values.nbytes)
 
     def to_array(self) -> np.ndarray:

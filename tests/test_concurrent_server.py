@@ -1,0 +1,558 @@
+"""Concurrent serving suite: sessions, pool, cache, and crash-under-load.
+
+Four layers of checks:
+
+* **unit** — worker-pool backpressure policies, result-cache keying and
+  invalidation, session-local UDF scoping and temp state;
+* **interleaved correctness** — N sessions replay seeded mixed
+  read/write scripts concurrently; every read is checked against an
+  invariant while in flight (read-your-own-writes, immutable lookups)
+  and the final table state must equal a serial replay of the same
+  scripts;
+* **crash-under-load** — a :class:`FaultSchedule` crash lands mid-commit
+  while sessions are in flight; the harvested devices must reboot into a
+  consistent store (committed long fields intact, byte-exact);
+* **metrics** — the ``server.*`` instrumentation moves.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.db.database import Database
+from repro.errors import (
+    ResolutionError,
+    ServerBusyError,
+    SessionClosedError,
+    SimulatedCrash,
+    ValidationError,
+)
+from repro.obs import metrics
+from repro.server import QueryServer, ResultCache, WorkerPool
+from repro.storage import (
+    BlockDevice,
+    FaultSchedule,
+    FaultyDevice,
+    LongFieldManager,
+    WriteAheadLog,
+)
+
+CAPACITY = 1 << 20
+
+
+def fresh_db() -> Database:
+    """A small in-memory database: one mutable table, one immutable."""
+    db = Database()
+    db.execute("create table events (session integer, seq integer)")
+    db.execute("create table lookup (k integer, v integer)")
+    for k in range(20):
+        db.execute("insert into lookup values (?, ?)", [k, k * k])
+    return db
+
+
+# --------------------------------------------------------------------- #
+# worker pool
+# --------------------------------------------------------------------- #
+
+
+class TestWorkerPool:
+    def test_completes_all_submitted_work(self):
+        pool = WorkerPool(workers=4, queue_depth=16)
+        futures = [pool.submit(lambda x: x * x, i) for i in range(50)]
+        assert [f.result(timeout=10) for f in futures] == [i * i for i in range(50)]
+        pool.shutdown()
+
+    def test_task_exception_lands_in_future(self):
+        pool = WorkerPool(workers=1)
+
+        def boom():
+            raise ValueError("task failure")
+
+        future = pool.submit(boom)
+        with pytest.raises(ValueError, match="task failure"):
+            future.result(timeout=10)
+        # the worker survived the failure
+        assert pool.submit(lambda: 7).result(timeout=10) == 7
+        pool.shutdown()
+
+    def test_reject_policy_sheds_load_when_full(self):
+        pool = WorkerPool(workers=1, queue_depth=1, policy="reject")
+        release = threading.Event()
+        started = threading.Event()
+
+        def blocker():
+            started.set()
+            release.wait(timeout=10)
+            return "done"
+
+        running = pool.submit(blocker)
+        assert started.wait(timeout=10)  # worker busy
+        queued = pool.submit(lambda: "queued")  # fills the only slot
+        with pytest.raises(ServerBusyError):
+            pool.submit(lambda: "rejected")
+        release.set()
+        assert running.result(timeout=10) == "done"
+        assert queued.result(timeout=10) == "queued"
+        pool.shutdown()
+
+    def test_block_policy_waits_for_a_slot(self):
+        pool = WorkerPool(workers=1, queue_depth=1, policy="block")
+        release = threading.Event()
+        pool.submit(lambda: release.wait(timeout=10))
+        pool.submit(lambda: 1)  # fills the queue
+        third_done = []
+
+        def submit_third():
+            third_done.append(pool.submit(lambda: 3))
+
+        t = threading.Thread(target=submit_third)
+        t.start()
+        t.join(timeout=0.2)
+        assert t.is_alive()  # blocked on the full queue, not rejected
+        release.set()
+        t.join(timeout=10)
+        assert not t.is_alive()
+        assert third_done[0].result(timeout=10) == 3
+        pool.shutdown()
+
+    def test_configuration_validated(self):
+        with pytest.raises(ValidationError):
+            WorkerPool(workers=0)
+        with pytest.raises(ValidationError):
+            WorkerPool(queue_depth=0)
+        with pytest.raises(ValidationError):
+            WorkerPool(policy="drop-newest")
+
+    def test_shutdown_refuses_new_work(self):
+        pool = WorkerPool(workers=1)
+        pool.shutdown()
+        with pytest.raises(ServerBusyError):
+            pool.submit(lambda: 1)
+
+
+# --------------------------------------------------------------------- #
+# result cache
+# --------------------------------------------------------------------- #
+
+
+class TestResultCache:
+    def test_canonical_keying_across_formatting(self):
+        db = fresh_db()
+        with QueryServer(db, workers=2) as server:
+            with server.connect() as s:
+                a = s.execute("select v from lookup where k = 3")
+                b = s.execute("SELECT   v   FROM lookup WHERE k = 3")
+            assert a.rows == b.rows == [(9,)]
+            assert server.cache.hits == 1 and server.cache.misses == 1
+
+    def test_params_distinguish_entries(self):
+        db = fresh_db()
+        with QueryServer(db, workers=2) as server:
+            with server.connect() as s:
+                assert s.execute("select v from lookup where k = ?", [2]).scalar() == 4
+                assert s.execute("select v from lookup where k = ?", [4]).scalar() == 16
+            assert server.cache.misses == 2 and server.cache.hits == 0
+
+    def test_write_invalidates_referenced_table_only(self):
+        db = fresh_db()
+        with QueryServer(db, workers=2) as server:
+            with server.connect() as s:
+                s.execute("select count(*) from events")
+                s.execute("select v from lookup where k = 1")
+                assert len(server.cache) == 2
+                s.execute("insert into events values (1, 1)")
+                # the events entry dropped, the lookup entry survived
+                assert len(server.cache) == 1
+                assert s.execute("select count(*) from events").scalar() == 1
+                assert server.cache.invalidations == 1
+
+    def test_stale_results_never_served(self):
+        db = fresh_db()
+        with QueryServer(db, workers=2) as server:
+            with server.connect() as s:
+                for expected in range(1, 6):
+                    s.execute("insert into events values (7, ?)", [expected])
+                    got = s.execute(
+                        "select count(*) from events where session = 7"
+                    ).scalar()
+                    assert got == expected
+
+    def test_explain_is_not_cached(self):
+        db = fresh_db()
+        with QueryServer(db, workers=2) as server:
+            with server.connect() as s:
+                s.execute("explain select v from lookup where k = 1")
+                assert len(server.cache) == 0
+
+    def test_cache_disabled(self):
+        db = fresh_db()
+        with QueryServer(db, workers=2, result_cache=False) as server:
+            with server.connect() as s:
+                assert s.execute("select v from lookup where k = 5").scalar() == 25
+                assert s.execute("select v from lookup where k = 5").scalar() == 25
+            assert server.cache is None
+
+    def test_lru_eviction_bounded(self):
+        cache = ResultCache(capacity=2)
+        from repro.server import CachedResult
+
+        for i in range(4):
+            cache.put(("q%d" % i, ()), CachedResult((), (), frozenset({"t"})))
+        assert len(cache) == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValidationError):
+            ResultCache(capacity=0)
+
+
+# --------------------------------------------------------------------- #
+# sessions
+# --------------------------------------------------------------------- #
+
+
+class TestSessions:
+    def test_local_udf_is_invisible_to_other_sessions(self):
+        db = fresh_db()
+        with QueryServer(db, workers=2) as server:
+            a = server.connect(name="a")
+            b = server.connect(name="b")
+            a.register_function("sessionTag", lambda: "A")
+            assert a.execute("select sessionTag() from lookup where k = 0").rows \
+                == [("A",)]
+            with pytest.raises(ResolutionError):
+                b.execute("select sessionTag() from lookup where k = 0")
+            a.close()
+            b.close()
+
+    def test_local_udf_results_bypass_shared_cache(self):
+        db = fresh_db()
+        with QueryServer(db, workers=2) as server:
+            a = server.connect(name="a")
+            b = server.connect(name="b")
+            a.register_function("sessionTag", lambda: "A")
+            b.register_function("sessionTag", lambda: "B")
+            sql = "select sessionTag() from lookup where k = 0"
+            assert a.execute(sql).rows == [("A",)]
+            assert b.execute(sql).rows == [("B",)]  # not A's cached answer
+            assert len(server.cache) == 0
+            a.close()
+            b.close()
+
+    def test_session_variables_are_private(self):
+        db = fresh_db()
+        with QueryServer(db, workers=2) as server:
+            a = server.connect()
+            b = server.connect()
+            a.set_var("cursor", 42)
+            assert a.get_var("cursor") == 42
+            assert b.get_var("cursor") is None
+            assert a.var_names() == ["cursor"]
+            a.close()
+            b.close()
+
+    def test_closed_session_refuses_statements(self):
+        db = fresh_db()
+        with QueryServer(db, workers=2) as server:
+            s = server.connect()
+            s.close()
+            with pytest.raises(SessionClosedError):
+                s.execute("select 1 from lookup where k = 0")
+
+    def test_active_session_accounting(self):
+        db = fresh_db()
+        with QueryServer(db, workers=2) as server:
+            assert server.active_sessions == 0
+            a = server.connect()
+            b = server.connect()
+            assert server.active_sessions == 2
+            a.close()
+            assert server.active_sessions == 1
+            b.close()
+            assert server.active_sessions == 0
+
+    def test_server_metrics_move(self):
+        db = fresh_db()
+        before = metrics.counter("server.statements").value
+        with QueryServer(db, workers=2) as server:
+            with server.connect() as s:
+                s.execute("select count(*) from lookup")
+                s.execute("select count(*) from lookup")
+        snap = metrics.snapshot()
+        assert metrics.counter("server.statements").value == before + 2
+        assert "server.wait_seconds" in snap["histograms"]
+        assert "server.result_cache.hit_rate" in snap["gauges"]
+
+
+# --------------------------------------------------------------------- #
+# interleaved mixed workload vs serial replay
+# --------------------------------------------------------------------- #
+
+N_SESSIONS = 6
+STEPS = 40
+
+
+def build_script(session_id: int, seed: int) -> list[tuple]:
+    """One session's seeded statement stream (mixed read/write)."""
+    rng = random.Random(seed * 10_007 + session_id)
+    script: list[tuple] = []
+    inserts = 0
+    for step in range(STEPS):
+        roll = rng.random()
+        if roll < 0.25:
+            inserts += 1
+            script.append(
+                ("write", "insert into events values (?, ?)",
+                 [session_id, inserts])
+            )
+        elif roll < 0.6:
+            k = rng.randrange(20)
+            script.append(
+                ("lookup", "select v from lookup where k = ?", [k], k * k)
+            )
+        else:
+            # read-your-own-writes: must equal own inserts so far
+            script.append(
+                ("own-count",
+                 "select count(*) from events where session = ?",
+                 [session_id], inserts)
+            )
+    return script
+
+
+def replay_serial(scripts: dict[int, list[tuple]]) -> list[tuple]:
+    """Run every script one session at a time; returns sorted events rows."""
+    db = fresh_db()
+    with QueryServer(db, workers=1) as server:
+        for session_id in sorted(scripts):
+            with server.connect(name=f"serial-{session_id}") as s:
+                for op in scripts[session_id]:
+                    s.execute(op[1], op[2])
+        return sorted(db.execute("select session, seq from events").rows)
+
+
+class TestInterleavedCorrectness:
+    @pytest.mark.parametrize("interleaving_seed", [1, 2, 3])
+    def test_mixed_workload_matches_serial_replay(self, interleaving_seed):
+        scripts = {
+            sid: build_script(sid, interleaving_seed)
+            for sid in range(N_SESSIONS)
+        }
+        db = fresh_db()
+        errors: list[BaseException] = []
+
+        def client(session_id: int, server: QueryServer):
+            try:
+                with server.connect(name=f"c{session_id}") as s:
+                    for op in scripts[session_id]:
+                        result = s.execute(op[1], op[2])
+                        if op[0] == "lookup":
+                            assert result.scalar() == op[3]
+                        elif op[0] == "own-count":
+                            # sync execute + invalidation under the write
+                            # lock => a session always sees its own writes
+                            assert result.scalar() == op[3]
+            except BaseException as exc:  # propagate to the main thread
+                errors.append(exc)
+
+        with QueryServer(db, workers=4) as server:
+            threads = [
+                threading.Thread(target=client, args=(sid, server))
+                for sid in range(N_SESSIONS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+        assert not errors, errors
+        concurrent_rows = sorted(db.execute("select session, seq from events").rows)
+        assert concurrent_rows == replay_serial(scripts)
+
+    def test_global_reads_are_monotone_snapshots(self):
+        db = fresh_db()
+        total_writes = 30
+        seen: list[int] = []
+        stop = threading.Event()
+
+        def writer(server):
+            with server.connect(name="writer") as s:
+                for i in range(total_writes):
+                    s.execute("insert into events values (0, ?)", [i])
+            stop.set()
+
+        def reader(server):
+            with server.connect(name="reader") as s:
+                while not stop.is_set():
+                    seen.append(s.execute("select count(*) from events").scalar())
+
+        with QueryServer(db, workers=4) as server:
+            threads = [threading.Thread(target=writer, args=(server,)),
+                       threading.Thread(target=reader, args=(server,))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+        # every snapshot is a committed state, and they never go backwards
+        assert all(0 <= c <= total_writes for c in seen)
+        assert seen == sorted(seen)
+
+
+# --------------------------------------------------------------------- #
+# crash mid-commit under load
+# --------------------------------------------------------------------- #
+
+
+def _blob_payload(key: int) -> bytes:
+    """A deterministic, recognizable payload for one blob id."""
+    return bytes([key % 251]) * (600 + 13 * key)
+
+
+def build_wal_server_stack(schedule: FaultSchedule | None = None):
+    """A WAL-backed Database with a blobs table and LFM-writing UDFs."""
+    data = BlockDevice(CAPACITY)
+    journal = BlockDevice(CAPACITY)
+    fdata, fjournal = data, journal
+    if schedule is not None:
+        fdata = FaultyDevice(data, schedule, name="data")
+        fjournal = FaultyDevice(journal, schedule, name="journal")
+    wal = WriteAheadLog(fdata, fjournal, recover=False)
+    lfm = LongFieldManager(wal)
+    db = Database(lfm=lfm)
+    db.execute("create table blobs (id integer, payload longfield)")
+
+    def store_blob(ctx, key):
+        return ctx.lfm.create(_blob_payload(int(key)))
+
+    def blob_bytes(ctx, handle):
+        return ctx.lfm.read(handle)
+
+    db.register_function("storeBlob", store_blob)
+    db.register_function("blobBytes", blob_bytes)
+    return db, wal, fdata, fjournal
+
+
+def run_blob_load(server, n_sessions: int, blobs_per_session: int):
+    """Mixed blob writes + reads from N sessions; returns raised errors."""
+    errors: list[BaseException] = []
+
+    def client(session_id: int):
+        try:
+            with server.connect(name=f"load-{session_id}") as s:
+                for i in range(blobs_per_session):
+                    key = session_id * 100 + i
+                    s.execute(
+                        "insert into blobs values (?, storeBlob(?))",
+                        [key, key],
+                    )
+                    s.execute("select count(*) from blobs")
+        except BaseException as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(sid,))
+               for sid in range(n_sessions)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    return errors
+
+
+def count_blob_workload_writes() -> int:
+    """Fault-free dry run: device write calls for the full blob load."""
+    schedule = FaultSchedule(seed=0, crash_after_writes=None)
+    db, _, _, _ = build_wal_server_stack(schedule)
+    with QueryServer(db, workers=4) as server:
+        errors = run_blob_load(server, n_sessions=4, blobs_per_session=3)
+    assert not errors, errors
+    return schedule.writes_seen
+
+
+class TestCrashUnderLoad:
+    def test_crash_mid_commit_recovers_consistent(self, test_seed):
+        total_writes = count_blob_workload_writes()
+        assert total_writes > 4
+        crash_at = total_writes // 2
+        schedule = FaultSchedule(
+            seed=test_seed, crash_after_writes=crash_at, torn="prefix"
+        )
+        db, _, fdata, fjournal = build_wal_server_stack(schedule)
+        with QueryServer(db, workers=4) as server:
+            errors = run_blob_load(server, n_sessions=4, blobs_per_session=3)
+        # the machine went down mid-run: at least one statement crashed
+        assert any(isinstance(e, SimulatedCrash) for e in errors), errors
+
+        # harvest the wreck and reboot into recovery
+        rdata = BlockDevice(CAPACITY)
+        rdata.write(0, fdata.snapshot())
+        rjournal = BlockDevice(CAPACITY)
+        rjournal.write(0, fjournal.snapshot())
+        recovered_wal = WriteAheadLog(rdata, rjournal, recover=True)
+        meta = recovered_wal.last_committed_meta or {"next_id": 1, "fields": {}}
+        recovered = LongFieldManager.restore(recovered_wal, meta)
+
+        # every committed long field must read back byte-exact; the store
+        # is at some committed prefix of the load, never torn
+        field_ids = sorted(int(fid) for fid in meta["fields"])
+        for field_id in field_ids:
+            payload = recovered.read(recovered.handle(field_id))
+            expected = {
+                _blob_payload(key)
+                for key in [s * 100 + i for s in range(4) for i in range(3)]
+                if len(_blob_payload(key)) == len(payload)
+            }
+            assert bytes(payload) in expected
+        assert 0 <= len(field_ids) <= 12
+
+    def test_fault_free_load_commits_everything(self):
+        db, wal, _, _ = build_wal_server_stack()
+        with QueryServer(db, workers=4) as server:
+            errors = run_blob_load(server, n_sessions=4, blobs_per_session=3)
+        assert not errors, errors
+        assert db.execute("select count(*) from blobs").scalar() == 12
+        assert wal.last_committed_meta is not None
+        assert len(wal.last_committed_meta["fields"]) == 12
+
+
+# --------------------------------------------------------------------- #
+# serving throughput sanity (tiny version of the bench workload)
+# --------------------------------------------------------------------- #
+
+
+class TestServingSanity:
+    def test_many_threads_hammering_one_server(self):
+        db = fresh_db()
+        with QueryServer(db, workers=8) as server:
+            errors: list[BaseException] = []
+
+            def client(k: int):
+                try:
+                    with server.connect() as s:
+                        for i in range(25):
+                            assert s.execute(
+                                "select v from lookup where k = ?", [i % 20]
+                            ).scalar() == (i % 20) ** 2
+                except BaseException as exc:
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=client, args=(k,))
+                       for k in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not errors, errors
+            assert server.cache.hit_rate > 0.5
+
+    def test_async_pipelining(self):
+        db = fresh_db()
+        with QueryServer(db, workers=4) as server:
+            with server.connect() as s:
+                futures = [
+                    s.execute_async("select v from lookup where k = ?", [k])
+                    for k in range(10)
+                ]
+                values = [f.result(timeout=30).scalar() for f in futures]
+            assert values == [k * k for k in range(10)]

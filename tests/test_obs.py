@@ -216,6 +216,24 @@ class TestBenchRunner:
         # the metrics snapshot is populated by the run itself
         assert table3["metrics"]["counters"]["lfm.reads"] > 0
 
+    def test_concurrency_bench_writes_schema_valid_json(self, tmp_path):
+        from repro.bench.runner import run_benches, validate_bench_json
+
+        written = run_benches(
+            grid_side=16, n_pet=2, n_mri=1, seed=7, out_dir=tmp_path,
+            concurrency=True, session_counts=(1, 2),
+        )
+        assert written[-1].name == "BENCH_concurrency.json"
+        doc = json.loads(written[-1].read_text())
+        validate_bench_json(doc)
+        assert doc["workload"] == "concurrency"
+        assert set(doc["rows"]) == {"1", "2"}
+        baseline = doc["rows"]["1"]["measured"]
+        assert baseline[0] == 1 and baseline[4] == 1.0  # speedup_vs_1
+        # the serving layer's own instrumentation is in the snapshot
+        assert doc["metrics"]["counters"]["server.statements"] > 0
+        assert doc["metrics"]["counters"]["server.result_cache.hits"] > 0
+
     def test_validator_rejects_malformed_documents(self):
         from repro.bench.runner import validate_bench_json
 

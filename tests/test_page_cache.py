@@ -100,3 +100,99 @@ class TestWithLfm:
         assert lfm.read(field) == payload  # second read: all cache hits
         assert device.stats.pages_read == physical_before
         assert cache.stats.pages_read >= 6  # logical I/O counted both times
+
+
+class TestConcurrency:
+    """The page cache under threads: exact counters, consistent bytes."""
+
+    N_THREADS = 8
+    OPS_PER_THREAD = 400
+
+    def test_hammer_counters_stay_exact(self, test_seed):
+        import random
+        import threading
+
+        device = BlockDevice(64 * PAGE_SIZE)
+        pattern = bytes(
+            (page * 31 + 7) % 256 for page in range(64) for _ in range(PAGE_SIZE)
+        )
+        device.write(0, pattern)
+        cache = PageCache(device, capacity_pages=8)
+        errors: list[BaseException] = []
+
+        def hammer(thread_id: int):
+            rng = random.Random(test_seed * 131 + thread_id)
+            try:
+                for _ in range(self.OPS_PER_THREAD):
+                    page = rng.randrange(63)
+                    # half the reads straddle a page boundary
+                    offset = page * PAGE_SIZE + rng.choice((0, PAGE_SIZE - 16))
+                    data = cache.read(offset, 32)
+                    assert data == pattern[offset:offset + 32]
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(tid,))
+            for tid in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+        # the satellite invariant: every logical page read was classified
+        # as exactly one hit or one miss, even under 8 threads
+        assert cache.hits + cache.misses == cache.stats.pages_read
+        assert cache.hits + cache.misses > 0
+        assert cache.hit_rate == pytest.approx(
+            cache.hits / (cache.hits + cache.misses)
+        )
+
+    def test_hammer_with_writers_counters_stay_exact(self, test_seed):
+        import random
+        import threading
+
+        device = BlockDevice(32 * PAGE_SIZE)
+        cache = PageCache(device, capacity_pages=8)
+        versions = [bytes([v]) * PAGE_SIZE for v in range(1, 6)]
+        for page in range(32):
+            cache.write(page * PAGE_SIZE, versions[0])
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def writer():
+            rng = random.Random(test_seed)
+            try:
+                for version in versions[1:]:
+                    for page in range(32):
+                        cache.write(page * PAGE_SIZE, version)
+            except BaseException as exc:
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def reader(thread_id: int):
+            rng = random.Random(test_seed * 977 + thread_id)
+            valid = set(versions)
+            try:
+                while not stop.is_set():
+                    page = rng.randrange(32)
+                    data = cache.read(page * PAGE_SIZE, PAGE_SIZE)
+                    # a whole-page write is one buffer splice and a read
+                    # is one slice copy, so a reader sees exactly one
+                    # committed version; stale-page invalidation happens
+                    # under the cache lock
+                    assert data in valid
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader, args=(tid,)) for tid in range(7)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+        assert cache.hits + cache.misses == cache.stats.pages_read

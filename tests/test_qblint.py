@@ -166,6 +166,87 @@ class TestSeededViolations:
         )
         assert rule_hits(path, "no-direct-iostats-mutation") == []
 
+    def test_public_docstring_function(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "__all__ = []\n"
+            "def fetch():\n"
+            "    return 1\n",
+        )
+        hits = rule_hits(path, "public-docstring")
+        assert len(hits) == 1 and "fetch()" in hits[0].message
+
+    def test_public_docstring_class_and_method(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "__all__ = []\n"
+            "class Cache:\n"
+            "    def get(self, key):\n"
+            "        return None\n",
+        )
+        messages = [v.message for v in rule_hits(path, "public-docstring")]
+        assert any("'Cache'" in m for m in messages)
+        assert any("Cache.get()" in m for m in messages)
+
+    def test_public_docstring_satisfied(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "__all__ = []\n"
+            "class Cache:\n"
+            '    """A cache."""\n'
+            "    def get(self, key):\n"
+            '        """Look up ``key``."""\n'
+            "        return None\n",
+        )
+        assert rule_hits(path, "public-docstring") == []
+
+    def test_public_docstring_exempts_private_and_nested(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "__all__ = []\n"
+            "def _helper():\n"
+            "    return 1\n"
+            "class _Internal:\n"
+            "    def visible_but_private_scope(self):\n"
+            "        return 1\n"
+            "def outer():\n"
+            '    """Docstring present."""\n'
+            "    def inner():\n"
+            "        return 1\n"
+            "    return inner\n",
+        )
+        assert rule_hits(path, "public-docstring") == []
+
+    def test_public_docstring_exempts_property_setter(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "__all__ = []\n"
+            "class Box:\n"
+            '    """A box."""\n'
+            "    @property\n"
+            "    def size(self):\n"
+            '        """The size."""\n'
+            "        return self._size\n"
+            "    @size.setter\n"
+            "    def size(self, value):\n"
+            "        self._size = value\n",
+        )
+        assert rule_hits(path, "public-docstring") == []
+
+    def test_public_docstring_suppression(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "__all__ = []\n"
+            "def fetch():  # qblint: disable=public-docstring\n"
+            "    return 1\n",
+        )
+        assert rule_hits(path, "public-docstring") == []
+
+    def test_public_docstring_only_applies_inside_repro(self, tmp_path):
+        path = tmp_path / "scratch.py"
+        path.write_text("def fetch():\n    return 1\n", encoding="utf-8")
+        assert rule_hits(path, "public-docstring") == []
+
     def test_syntax_error_is_reported_not_raised(self, tmp_path):
         path = write_module(tmp_path, "def broken(:\n")
         hits = lint_file(path)
