@@ -43,7 +43,8 @@ from repro.bench.workloads import (
 )
 from repro.errors import ValidationError
 
-__all__ = ["main", "run_benches", "validate_bench_json", "SCHEMA_VERSION"]
+__all__ = ["main", "run_benches", "measure_recorder_overhead",
+           "validate_bench_json", "SCHEMA_VERSION"]
 
 SCHEMA_VERSION = 1
 PAPER_GRID_SIDE = 128
@@ -190,6 +191,45 @@ def run_benches(grid_side: int = 32, n_pet: int = 5, n_mri: int = 3,
         path.write_text(json.dumps(doc, indent=2) + "\n")
         written.append(path)
     return written
+
+
+def measure_recorder_overhead(system, repeats: int = 5) -> dict:
+    """Wall-time cost of the flight recorder on one serial pool pass.
+
+    Runs the serving query pool ``repeats`` times with the recorder off
+    and again with it on, taking the **minimum** wall time of each side
+    (min-of-N is the standard noise filter for CI wall-clock gates), and
+    returns ``{"off": s, "on": s, "overhead": ratio}`` where ``overhead``
+    is the fractional slowdown recording adds.  The CI bench job asserts
+    it stays within the always-on budget (<= 5%).
+    """
+    import time
+
+    from repro.bench.concurrency import build_query_pool
+    from repro.obs import recorder
+
+    pool = build_query_pool(system.db)
+
+    def one_pass() -> float:
+        start = time.perf_counter()
+        for sql in pool:
+            system.db.execute(sql)
+        return time.perf_counter() - start
+
+    for sql in pool:  # warm caches outside both timings
+        system.db.execute(sql)
+    best: dict[str, float] = {}
+    try:
+        for state in ("off", "on"):
+            if state == "on":
+                recorder.enable()
+            else:
+                recorder.disable()
+            best[state] = min(one_pass() for _ in range(max(1, repeats)))
+    finally:
+        recorder.enable()
+    overhead = (best["on"] / best["off"] - 1.0) if best["off"] > 0 else 0.0
+    return {"off": best["off"], "on": best["on"], "overhead": overhead}
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -25,9 +25,9 @@ from repro.db.functions import (
 from repro.db.semantic import check
 from repro.db.sql.parser import parse
 from repro.errors import UnsupportedStatementError
-from repro.obs import metrics
+from repro.obs import metrics, recorder, trace
 from repro.obs.explain import PlanProfile, render_analyzed_plan
-from repro.storage.device import IOStats
+from repro.storage.device import IOStats, attribute_io
 from repro.storage.lfm import LongFieldManager
 
 __all__ = ["Database", "QueryResult"]
@@ -139,21 +139,41 @@ class Database:
 
         stmt = parse(sql)
         registry = functions if functions is not None else self.functions
-        lock = (self._rwlock.read() if self.statement_is_read(stmt)
-                else self._rwlock.write())
-        with lock:
+        is_read = self.statement_is_read(stmt)
+        lock = self._rwlock.read() if is_read else self._rwlock.write()
+        # The flight recorder's statement scope: when the serving layer
+        # already opened one on this thread (it owns session/pool-wait
+        # attribution), the notes below land on that record instead.
+        rec = recorder.statement(sql, trace_id=trace.current_trace_id(),
+                                 kind="read" if is_read else "write")
+        with rec, lock:
             check(stmt, self.catalog, registry)
             if isinstance(stmt, Explain):
-                return self._execute_explain(stmt, list(params or ()), sql,
-                                             registry)
+                result = self._execute_explain(stmt, list(params or ()), sql,
+                                               registry)
+                rec.note(rows=len(result.rows), io=result.io, kind="explain",
+                         params=params if params else None)
+                return result
             metrics.counter("db.statements").inc()
             start = time.perf_counter()
             ctx = ExecutionContext(lfm=self.lfm, analyzed=True)
-            io_before = self.lfm.stats.copy() if self.lfm else None
-            result = self._run(stmt, list(params or ()), ctx, registry)
-            io_delta = (self.lfm.stats - io_before) if self.lfm else None
-        metrics.histogram("db.query_seconds").observe(time.perf_counter() - start)
-        return QueryResult(result=result, work=ctx.work, io=io_delta, sql=sql)
+            # Thread-local attribution: the delta is exactly this
+            # statement's I/O even while other sessions run concurrently
+            # (a global before/after snapshot would absorb their pages).
+            if self.lfm is not None:
+                with attribute_io(self.lfm.stats) as io_delta:
+                    ctx.io_sink = io_delta
+                    result = self._run(stmt, list(params or ()), ctx, registry)
+            else:
+                io_delta = None
+                result = self._run(stmt, list(params or ()), ctx, registry)
+            wall = time.perf_counter() - start
+            metrics.histogram("db.query_seconds").observe(wall)
+            # SELECTs report returned rows; writes report rows affected.
+            rec.note(rows=len(result.rows) or result.rowcount, io=io_delta,
+                     params=params if params else None)
+            return QueryResult(result=result, work=ctx.work, io=io_delta,
+                               sql=sql)
 
     def _run(self, stmt, params: list, ctx: ExecutionContext,
              registry: FunctionRegistry) -> ResultSet:
@@ -182,9 +202,16 @@ class Database:
         metrics.counter("db.statements").inc()
         profile = PlanProfile()
         ctx = ExecutionContext(lfm=self.lfm, analyzed=True, profile=profile)
-        io_before = self.lfm.stats.copy() if self.lfm else None
-        self._run(inner, params, ctx, registry)
-        io_delta = (self.lfm.stats - io_before) if self.lfm else None
+        # Per-operator and statement totals read the thread-local sink, so
+        # two EXPLAIN ANALYZEs in flight (the read lock is shared) cannot
+        # cross-attribute each other's page I/Os.
+        if self.lfm is not None:
+            with attribute_io(self.lfm.stats) as io_delta:
+                ctx.io_sink = io_delta
+                self._run(inner, params, ctx, registry)
+        else:
+            io_delta = None
+            self._run(inner, params, ctx, registry)
         lines = render_analyzed_plan(profile, io=io_delta, work=ctx.work)
         return QueryResult(
             result=ResultSet(["plan"], [(line,) for line in lines]),

@@ -679,7 +679,14 @@ class Executor:
 
 
 def _lfm_pages(ctx: ExecutionContext) -> int:
-    """Total LFM pages touched so far (0 when no LFM is attached)."""
+    """LFM pages this *statement* touched so far (0 when no LFM attached).
+
+    Prefers the statement's thread-local I/O collector: under concurrent
+    sessions the global counters move for everyone, and reading them here
+    would attribute other statements' pages to this plan's operators.
+    """
+    if ctx.io_sink is not None:
+        return ctx.io_sink.total_pages
     return ctx.lfm.stats.total_pages if ctx.lfm is not None else 0
 
 

@@ -137,6 +137,12 @@ class ExecutionContext:
     #: a :class:`~repro.obs.explain.PlanProfile` to fill for EXPLAIN
     #: ANALYZE; the executor claims it for the outermost SELECT only.
     profile: object | None = None
+    #: the statement's thread-local I/O collector (an
+    #: :class:`~repro.storage.device.IOStats` registered via
+    #: ``attribute_io``); per-operator page attribution reads this instead
+    #: of the process-global counters, so concurrent statements never
+    #: steal each other's I/O.
+    io_sink: object | None = None
 
     def read_longfield(self, value) -> bytes:
         """Dereference a LONGFIELD cell: handles are read via the LFM,

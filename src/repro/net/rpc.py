@@ -26,6 +26,9 @@ class TransferRecord:
     payload_bytes: int
     data_messages: int
     control_messages: int
+    #: the trace this transfer belongs to — the message envelope's half of
+    #: cross-process context propagation (a receiver would attach() it)
+    trace_id: str | None = None
 
     @property
     def messages(self) -> int:
@@ -48,8 +51,15 @@ class RpcChannel:
         # counters stay exact under threads.
         self._lock = threading.Lock()
 
-    def send(self, payload: bytes | int) -> TransferRecord:
-        """Ship one result payload (bytes, or just its length) to the peer."""
+    def send(self, payload: bytes | int,
+             trace_id: str | None = None) -> TransferRecord:
+        """Ship one result payload (bytes, or just its length) to the peer.
+
+        The transfer is stamped with ``trace_id`` — defaulting to the
+        sending thread's active trace — so the envelope carries the trace
+        context across the process boundary the way the worker pool
+        carries it across threads.
+        """
         nbytes = payload if isinstance(payload, int) else len(payload)
         if nbytes < 0:
             raise ValidationError("payload size must be non-negative")
@@ -58,6 +68,8 @@ class RpcChannel:
             payload_bytes=nbytes,
             data_messages=data_messages,
             control_messages=self.control_messages_per_call,
+            trace_id=(trace_id if trace_id is not None
+                      else trace.current_trace_id()),
         )
         with self._lock:
             self.total_bytes += nbytes

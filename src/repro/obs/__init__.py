@@ -1,15 +1,23 @@
-"""Observability layer: trace spans, metrics, and EXPLAIN ANALYZE profiles.
+"""Observability layer: spans, metrics, profiles, recorder, query log.
 
-Three cooperating pieces, all read-only with respect to the paper-facing
-I/O accounting:
+Cooperating pieces, all read-only with respect to the paper-facing I/O
+accounting:
 
 * :mod:`repro.obs.trace` — hierarchical spans (wall time, simulated
-  :class:`~repro.net.costmodel.CostModel1994` time, ``IOStats`` deltas),
-  off by default and zero-overhead while disabled;
+  :class:`~repro.net.costmodel.CostModel1994` time, ``IOStats`` deltas)
+  with cross-thread trace-context propagation, off by default and
+  zero-overhead while disabled;
 * :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges,
-  and histograms with text/JSON exporters;
+  and histograms (with percentile estimates) plus text/JSON exporters;
+* :mod:`repro.obs.promtext` — Prometheus text exposition of the registry
+  and a small validating parser for it;
 * :mod:`repro.obs.explain` — the per-operator profile EXPLAIN ANALYZE
-  fills and the renderer that turns it into an annotated plan tree.
+  fills and the renderer that turns it into an annotated plan tree;
+* :mod:`repro.obs.recorder` — the always-on flight recorder: a bounded
+  ring of completed-statement summaries with slow/error/recovery
+  incident dumps;
+* :mod:`repro.obs.qlog` — the opt-in JSON-lines structured query log fed
+  by the recorder.
 
 This package sits below every instrumented layer (storage imports it), so
 it must stay import-light: nothing here pulls in ``repro.storage`` or
@@ -18,11 +26,14 @@ it must stay import-light: nothing here pulls in ``repro.storage`` or
 
 from __future__ import annotations
 
-from repro.obs import metrics, trace
+from repro.obs import metrics, promtext, qlog, recorder, trace
 from repro.obs.explain import OperatorStats, PlanProfile, render_analyzed_plan
 
 __all__ = [
     "metrics",
+    "promtext",
+    "qlog",
+    "recorder",
     "trace",
     "OperatorStats",
     "PlanProfile",

@@ -114,14 +114,46 @@ class Histogram:
         """Arithmetic mean of the observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 < q <= 1``) from the buckets.
+
+        Linear interpolation inside the bucket holding the target rank,
+        clamped by the observed ``min``/``max`` so estimates never leave
+        the data's range.  The overflow bucket reports ``max``.  Exact
+        values are impossible from fixed bounds — this is the standard
+        Prometheus-style estimate, good to one bucket's width.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValidationError(f"percentile wants 0 < q <= 1, got {q}")
+        with self._lock:
+            if not self.count:
+                return 0.0
+            target = q * self.count
+            cumulative = 0
+            lower = 0.0
+            for i, bound in enumerate(_BUCKET_BOUNDS):
+                in_bucket = self.buckets[i]
+                if in_bucket and cumulative + in_bucket >= target:
+                    lo = max(lower, self.min if self.min is not None else lower)
+                    hi = min(bound, self.max if self.max is not None else bound)
+                    if hi < lo:
+                        hi = lo
+                    return lo + (target - cumulative) / in_bucket * (hi - lo)
+                cumulative += in_bucket
+                lower = bound
+            return self.max if self.max is not None else lower
+
     def export(self):
-        """Summary dict: count, sum, mean, min, max, and buckets."""
+        """Summary dict: count, sum, mean, min, max, percentiles, buckets."""
         return {
             "count": self.count,
             "sum": self.total,
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
             "buckets": dict(
                 zip([str(b) for b in _BUCKET_BOUNDS] + ["inf"], self.buckets)
             ),
@@ -170,6 +202,11 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._metrics)
 
+    def items(self) -> list[tuple[str, "Counter | Gauge | Histogram"]]:
+        """``(name, metric)`` pairs, names sorted (for exporters)."""
+        with self._lock:
+            return sorted(self._metrics.items())
+
     def snapshot(self) -> dict:
         """Every metric's exported value, grouped by kind, names sorted."""
         out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
@@ -185,9 +222,10 @@ class MetricsRegistry:
         for name in self.names():
             metric = self._metrics[name]
             if isinstance(metric, Histogram):
-                for stat in ("count", "sum", "mean", "min", "max"):
-                    value = metric.export()[stat]
-                    lines.append(f"{name}.{stat} {value}")
+                exported = metric.export()
+                for stat in ("count", "sum", "mean", "min", "max",
+                             "p50", "p95", "p99"):
+                    lines.append(f"{name}.{stat} {exported[stat]}")
             else:
                 lines.append(f"{name} {metric.export()}")
         return "\n".join(lines)

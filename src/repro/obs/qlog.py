@@ -1,0 +1,126 @@
+"""Structured query log: opt-in JSON-lines stream of completed statements.
+
+The flight recorder (:mod:`repro.obs.recorder`) summarizes every finished
+statement into a :class:`~repro.obs.recorder.QueryRecord`; when a query
+log is open, each record is additionally appended to a JSON-lines file —
+one self-describing event per line, the format every log shipper speaks.
+
+Two modes:
+
+* **full** — every statement is logged (`slow_only=False`);
+* **slow-query log** — only statements at or above ``slow_threshold``
+  wall seconds are written, the classic production posture where the log
+  stays quiet until something is worth looking at.
+
+The log is off by default and costs one flag check per statement while
+closed.  Writes are serialized by a mutex and flushed per line so an
+operator can ``tail -f`` the file while the server runs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from repro.errors import ValidationError
+
+__all__ = ["QueryLog", "get_query_log", "enable", "disable", "is_enabled"]
+
+
+class QueryLog:
+    """A JSON-lines sink for completed-statement records."""
+
+    def __init__(self) -> None:
+        self._fh = None
+        self._lock = threading.Lock()
+        self.path: Path | None = None
+        self.slow_only = False
+        self.slow_threshold = 1.0
+        self.events_written = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Is a log file currently open?"""
+        return self._fh is not None
+
+    def open(self, path, slow_only: bool = False,
+             slow_threshold: float = 1.0) -> Path:
+        """Start logging to ``path`` (parent directories are created).
+
+        ``slow_only`` turns this into a slow-query log: only statements
+        whose wall time is >= ``slow_threshold`` seconds are written.
+        """
+        if slow_threshold < 0:
+            raise ValidationError("slow-query threshold cannot be negative")
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+            self._fh = open(path, "a", encoding="utf-8")
+            self.path = path
+            self.slow_only = slow_only
+            self.slow_threshold = slow_threshold
+            self.events_written = 0  # counts events on the current file
+        return path
+
+    def emit(self, record) -> bool:
+        """Write one completed-statement event; returns True if written.
+
+        ``record`` is any object with ``to_dict()`` and ``wall_seconds``
+        (a :class:`~repro.obs.recorder.QueryRecord`).  Never raises on a
+        closed log — the serving path must not fail because logging is
+        off.
+        """
+        fh = self._fh
+        if fh is None:
+            return False
+        slow = record.wall_seconds >= self.slow_threshold
+        if self.slow_only and not slow:
+            return False
+        event = {"event": "query", "slow": slow}
+        event.update(record.to_dict())
+        line = json.dumps(event, separators=(",", ":"))
+        with self._lock:
+            if self._fh is None:
+                return False
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            self.events_written += 1
+        return True
+
+    def close(self) -> None:
+        """Stop logging and close the file (idempotent)."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __repr__(self) -> str:
+        state = f"-> {self.path}" if self.enabled else "closed"
+        mode = "slow-only " if self.slow_only else ""
+        return f"QueryLog({mode}{state}, {self.events_written} events)"
+
+
+_QLOG = QueryLog()
+
+
+def get_query_log() -> QueryLog:
+    """The process-wide query log."""
+    return _QLOG
+
+
+def enable(path, slow_only: bool = False, slow_threshold: float = 1.0) -> Path:
+    """Open the process-wide query log at ``path``."""
+    return _QLOG.open(path, slow_only=slow_only, slow_threshold=slow_threshold)
+
+
+def disable() -> None:
+    """Close the process-wide query log."""
+    _QLOG.close()
+
+
+def is_enabled() -> bool:
+    """Is the process-wide query log open?"""
+    return _QLOG.enabled

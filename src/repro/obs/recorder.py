@@ -1,0 +1,385 @@
+"""Flight recorder: an always-on ring of recent statements plus incidents.
+
+The paper argues from *measured* I/O; a production service needs the same
+evidence available after the fact.  The :class:`FlightRecorder` keeps a
+bounded, lock-cheap ring buffer of completed-statement summaries
+(:class:`QueryRecord`: canonical SQL, session, rows, page I/Os, result
+cache hit, pool wait, wall time and the simulated 1994 time for the same
+I/O) and *dumps on trigger*: a statement slower than the configured
+threshold, a statement that raised, or a write-ahead-log recovery each
+produce a self-contained JSON **incident report** — the trigger, the ring
+contents at that moment, and a full metrics snapshot — which is what a
+human needs to debug a service they were not watching.
+
+Recording is on by default and deliberately cheap: one thread-local
+lookup to find the statement scope, one deque append under a mutex to
+retire it.  It never touches :class:`~repro.storage.device.IOStats`
+counters (it only copies deltas handed to it), so the Table 3/4 page
+accounting is bit-identical with the recorder on or off.
+
+Nesting contract: the *outermost* scope on a thread owns the record.  The
+serving layer opens a scope on the worker thread (tagging session, pool
+wait, cache hits) and :meth:`Database.execute <repro.db.database.
+Database.execute>` opens one unconditionally — when it finds a scope
+already active on the thread it annotates that record instead of emitting
+a second one, so served and standalone statements both yield exactly one
+record.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs import metrics, qlog
+
+__all__ = [
+    "QueryRecord",
+    "FlightRecorder",
+    "get_recorder",
+    "statement",
+    "annotate",
+    "incident",
+    "configure",
+    "enable",
+    "disable",
+    "reset",
+]
+
+_SECONDS_PER_PAGE_IO: float | None = None
+
+#: sentinel for :meth:`FlightRecorder.configure` knobs left unchanged
+_KEEP = object()
+
+
+def _sim_seconds(pages: int) -> float:
+    """Simulated 1994 elapsed seconds for ``pages`` 4 KiB I/Os (lazy model)."""
+    global _SECONDS_PER_PAGE_IO
+    if _SECONDS_PER_PAGE_IO is None:
+        from repro.net.costmodel import CostModel1994
+
+        _SECONDS_PER_PAGE_IO = CostModel1994().seconds_per_page_io
+    return _SECONDS_PER_PAGE_IO * pages
+
+
+@dataclass
+class QueryRecord:
+    """One completed statement, as the flight recorder remembers it."""
+
+    sql: str
+    trace_id: str | None = None
+    session: str | None = None
+    kind: str | None = None          #: "read" / "write" / "explain"
+    ok: bool = True
+    error: str | None = None
+    rows: int = 0
+    pages_read: int = 0
+    pages_written: int = 0
+    bytes_read: int = 0
+    cache_hit: bool = False          #: served from the result cache
+    pool_wait_seconds: float = 0.0   #: admission-queue time (served only)
+    wall_seconds: float = 0.0
+    sim_seconds_1994: float = 0.0
+    started_unix: float = 0.0        #: wall-clock start (epoch seconds)
+    params: tuple = ()               #: reprs of bound parameters, truncated
+
+    def to_dict(self) -> dict:
+        """The record as a JSON-ready dict (stable key set)."""
+        return {
+            "sql": self.sql,
+            "trace_id": self.trace_id,
+            "session": self.session,
+            "kind": self.kind,
+            "ok": self.ok,
+            "error": self.error,
+            "rows": self.rows,
+            "pages_read": self.pages_read,
+            "pages_written": self.pages_written,
+            "bytes_read": self.bytes_read,
+            "cache_hit": self.cache_hit,
+            "pool_wait_ms": round(self.pool_wait_seconds * 1e3, 3),
+            "wall_ms": round(self.wall_seconds * 1e3, 3),
+            "sim_seconds_1994": round(self.sim_seconds_1994, 4),
+            "started_unix": self.started_unix,
+            "params": list(self.params),
+        }
+
+
+class _NoopScope:
+    """Shared scope while recording is disabled: every operation no-ops."""
+
+    __slots__ = ()
+    active = False
+
+    def __enter__(self) -> "_NoopScope":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def note(self, **fields) -> None:
+        """Ignore annotations while recording is disabled."""
+
+
+_NOOP_SCOPE = _NoopScope()
+
+#: per-thread active statement scope (the outermost owns the record)
+_ACTIVE = threading.local()
+
+
+class _StatementScope:
+    """Context manager covering one statement; the outermost scope emits."""
+
+    __slots__ = ("_recorder", "_fields", "_root", "_start", "record")
+
+    active = True
+
+    def __init__(self, recorder: "FlightRecorder", sql: str, fields: dict):
+        self._recorder = recorder
+        self._fields = fields
+        self._root = False
+        self.record = QueryRecord(sql=sql)
+
+    def note(self, *, rows: int | None = None, io=None,
+             cache_hit: bool | None = None,
+             pool_wait_seconds: float | None = None,
+             kind: str | None = None, sql: str | None = None,
+             session: str | None = None, trace_id: str | None = None,
+             params=None) -> None:
+        """Annotate the owning record (outermost scope wins on conflicts).
+
+        ``io`` is an :class:`~repro.storage.device.IOStats` delta; only
+        its counters are copied, the object is never mutated.
+        """
+        target = getattr(_ACTIVE, "scope", None)
+        record = target.record if target is not None else self.record
+        if rows is not None:
+            record.rows = rows
+        if io is not None:
+            # These are QueryRecord fields, not live IOStats counters: the
+            # delta's values are copied out, never written back.
+            record.pages_read = io.pages_read        # qblint: disable=no-direct-iostats-mutation
+            record.pages_written = io.pages_written  # qblint: disable=no-direct-iostats-mutation
+            record.bytes_read = io.bytes_read        # qblint: disable=no-direct-iostats-mutation
+        if cache_hit is not None:
+            record.cache_hit = cache_hit
+        if pool_wait_seconds is not None:
+            record.pool_wait_seconds = pool_wait_seconds
+        if kind is not None:
+            record.kind = kind
+        if sql is not None:
+            record.sql = sql
+        if session is not None:
+            record.session = session
+        if trace_id is not None:
+            record.trace_id = trace_id
+        if params is not None:
+            record.params = tuple(repr(p)[:80] for p in params)
+
+    def __enter__(self) -> "_StatementScope":
+        outer = getattr(_ACTIVE, "scope", None)
+        if outer is None:
+            self._root = True
+            _ACTIVE.scope = self
+            record = self.record
+            for key, value in self._fields.items():
+                if value is not None:
+                    setattr(record, key, value)
+            record.started_unix = time.time()
+            self._start = time.perf_counter()
+        else:
+            # Nested under the serving layer's scope: contribute what the
+            # inner layer knows (the statement kind) to the owning record.
+            self.note(**{k: v for k, v in self._fields.items()
+                         if v is not None})
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self._root:
+            return False
+        _ACTIVE.scope = None
+        record = self.record
+        record.wall_seconds = time.perf_counter() - self._start
+        record.sim_seconds_1994 = _sim_seconds(
+            record.pages_read + record.pages_written
+        )
+        if exc is not None:
+            record.ok = False
+            record.error = f"{type(exc).__name__}: {exc}"
+        self._recorder._finish(record)
+        return False
+
+
+class FlightRecorder:
+    """Bounded ring of completed statements with dump-on-trigger incidents."""
+
+    def __init__(self, capacity: int = 512, incident_capacity: int = 32):
+        self.enabled = True
+        self.capacity = capacity
+        self._ring: deque[QueryRecord] = deque(maxlen=capacity)
+        self._incidents: deque[dict] = deque(maxlen=incident_capacity)
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+        #: wall-seconds threshold for the slow-query trigger (None = off)
+        self.slow_threshold_seconds: float | None = None
+        #: when set, every incident is also written here as a JSON file
+        self.incident_dir: Path | None = None
+        self.recorded = 0
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+
+    def statement(self, sql: str, *, session: str | None = None,
+                  trace_id: str | None = None, kind: str | None = None):
+        """A scope covering one statement's execution.
+
+        The outermost scope on a thread owns the resulting record; nested
+        scopes (``Database.execute`` under the serving layer) annotate it
+        via :meth:`_StatementScope.note` instead of emitting their own.
+        """
+        if not self.enabled:
+            return _NOOP_SCOPE
+        return _StatementScope(
+            self, sql,
+            {"session": session, "trace_id": trace_id, "kind": kind},
+        )
+
+    def _finish(self, record: QueryRecord) -> None:
+        with self._lock:
+            self._ring.append(record)
+            self.recorded += 1
+        metrics.counter("recorder.records").inc()
+        qlog.get_query_log().emit(record)
+        if not record.ok:
+            self.incident("query.error", trigger=record.to_dict())
+        elif (self.slow_threshold_seconds is not None
+              and record.wall_seconds >= self.slow_threshold_seconds):
+            self.incident("query.slow", trigger=record.to_dict())
+
+    def recent(self, n: int = 50) -> list[QueryRecord]:
+        """The newest ``n`` records, most recent first."""
+        with self._lock:
+            items = list(self._ring)
+        return list(reversed(items))[:max(0, n)]
+
+    # ------------------------------------------------------------------ #
+    # incidents
+    # ------------------------------------------------------------------ #
+
+    def incident(self, reason: str, trigger: dict | None = None) -> dict:
+        """Dump the recorder into a self-contained JSON incident report.
+
+        ``reason`` names the trigger (``query.slow``, ``query.error``,
+        ``wal.recovery``); ``trigger`` carries its specifics.  The report
+        bundles the ring contents and a metrics snapshot, so it can be
+        read (or shipped) without access to the live process.
+        """
+        report = {
+            "incident": next(self._seq),
+            "reason": reason,
+            "created_unix": time.time(),
+            "trigger": trigger or {},
+            "recent_queries": [r.to_dict() for r in self.recent(self.capacity)],
+            "metrics": metrics.snapshot(),
+        }
+        with self._lock:
+            self._incidents.append(report)
+        metrics.counter("recorder.incidents").inc()
+        directory = self.incident_dir
+        if directory is not None:
+            directory = Path(directory)
+            directory.mkdir(parents=True, exist_ok=True)
+            name = f"incident-{report['incident']:04d}-{reason.replace('.', '-')}.json"
+            (directory / name).write_text(json.dumps(report, indent=2) + "\n")
+        return report
+
+    def incidents(self) -> list[dict]:
+        """Every retained incident report, oldest first."""
+        with self._lock:
+            return list(self._incidents)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def configure(self, *, slow_threshold_seconds=_KEEP, incident_dir=_KEEP,
+                  capacity: int | None = None) -> None:
+        """Adjust triggers and sizing (omitted knobs keep their value)."""
+        if slow_threshold_seconds is not _KEEP:
+            self.slow_threshold_seconds = slow_threshold_seconds
+        if incident_dir is not _KEEP:
+            self.incident_dir = Path(incident_dir) if incident_dir else None
+        if capacity is not None and capacity != self.capacity:
+            with self._lock:
+                self.capacity = capacity
+                self._ring = deque(self._ring, maxlen=capacity)
+
+    def reset(self) -> None:
+        """Drop records and incidents (configuration is untouched)."""
+        with self._lock:
+            self._ring.clear()
+            self._incidents.clear()
+            self.recorded = 0
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return (
+            f"FlightRecorder({state}, {len(self._ring)}/{self.capacity} "
+            f"records, {len(self._incidents)} incidents)"
+        )
+
+
+_RECORDER = FlightRecorder()
+
+
+def get_recorder() -> FlightRecorder:
+    """The process-wide flight recorder."""
+    return _RECORDER
+
+
+def statement(sql: str, **kwargs):
+    """Open a statement scope on the process-wide recorder."""
+    return _RECORDER.statement(sql, **kwargs)
+
+
+def annotate(**fields) -> None:
+    """Annotate this thread's active statement record, if any.
+
+    Lets layers without a scope handle (the result cache's hit path, the
+    RPC channel) contribute fields; a no-op when no statement is open.
+    """
+    scope = getattr(_ACTIVE, "scope", None)
+    if scope is not None:
+        scope.note(**fields)
+
+
+def incident(reason: str, trigger: dict | None = None) -> dict:
+    """Emit an incident report on the process-wide recorder."""
+    return _RECORDER.incident(reason, trigger=trigger)
+
+
+def configure(**kwargs) -> None:
+    """Configure the process-wide recorder (see :meth:`FlightRecorder.configure`)."""
+    _RECORDER.configure(**kwargs)
+
+
+def enable() -> FlightRecorder:
+    """Turn recording on (the default); returns the recorder."""
+    _RECORDER.enabled = True
+    return _RECORDER
+
+
+def disable() -> None:
+    """Turn recording off (kept records remain until :func:`reset`)."""
+    _RECORDER.enabled = False
+
+
+def reset() -> None:
+    """Clear the process-wide recorder's records and incidents."""
+    _RECORDER.reset()

@@ -18,18 +18,35 @@ the Table 3/4 page counts are bit-identical with the layer on or off (the
 recorder only ever *reads* counters; qblint's ``no-direct-iostats-mutation``
 rule keeps it that way).
 
-Spans nest: the tracer tracks depth, so :func:`render_text` can print the
-record list as an indented tree.
+Spans form **trees across threads**.  Every span carries a ``trace_id``
+(the statement it belongs to), a process-unique ``span_id``, and its
+``parent_id``.  Within one thread, parentage follows nesting; across a
+thread hop (the serving layer's worker pool, an RPC boundary) the caller
+snapshots its position with :func:`current_context` and the receiving
+thread adopts it with :func:`attach` — so one served statement yields one
+coherent tree no matter how many threads touched it.  Context propagation
+works even while span recording is disabled (it is a couple of
+thread-local attribute writes), which is what gives the flight recorder
+its always-on ``trace_id``.
+
+The per-thread state (open-span stack, depth, adopted context) lives in a
+``threading.local``; the shared record list is appended under a mutex, so
+concurrent sessions can trace simultaneously without corrupting each
+other's trees — :func:`span_trees` reassembles them by parentage.
 """
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 __all__ = [
     "SpanRecord",
+    "SpanTree",
+    "TraceContext",
     "Tracer",
     "get_tracer",
     "span",
@@ -40,7 +57,45 @@ __all__ = [
     "records",
     "capture",
     "render_text",
+    "new_trace_id",
+    "current_context",
+    "current_trace_id",
+    "attach",
+    "span_trees",
 ]
+
+#: process-wide id sources (``next()`` is atomic in CPython; ids only need
+#: to be unique, not dense)
+_TRACE_IDS = itertools.count(1)
+_SPAN_IDS = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A fresh, process-unique trace id (one per served statement)."""
+    return f"trace-{next(_TRACE_IDS):08d}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """A portable snapshot of "where am I in the trace forest".
+
+    Carried across thread hops (worker pool) and message envelopes (RPC):
+    the receiving side :func:`attach`\\ es it, and every span it opens
+    lands under ``span_id`` in trace ``trace_id``.
+    """
+
+    trace_id: str
+    #: the span on the originating side that new spans should hang under
+    span_id: int | None = None
+    #: nesting depth already accumulated on the originating side
+    depth: int = 0
+    #: session name, stamped onto every span opened under this context
+    session: str | None = None
+
+    def child(self, session: str | None = None) -> "TraceContext":
+        """The same position with a (possibly) different session tag."""
+        return TraceContext(self.trace_id, self.span_id, self.depth,
+                            session if session is not None else self.session)
 
 
 @dataclass
@@ -55,6 +110,12 @@ class SpanRecord:
     #: IOStats delta over the span, when the site passed an ``io=`` source
     io: object | None = None
     meta: dict = field(default_factory=dict)
+    #: the statement tree this span belongs to (roots mint their own)
+    trace_id: str | None = None
+    #: process-unique id, assigned when the span opens
+    span_id: int = 0
+    #: the enclosing span (same or another thread); None for roots
+    parent_id: int | None = None
 
     def format(self) -> str:
         """Render the span as an indented text line."""
@@ -115,9 +176,29 @@ class _Span:
 
     def __enter__(self) -> "_Span":
         tracer = self._tracer
-        self.record.depth = tracer._depth
-        tracer._depth += 1
-        tracer.records.append(self.record)  # start order = tree pre-order
+        local = tracer._local_state()
+        record = self.record
+        ctx = local.ctx
+        record.span_id = next(_SPAN_IDS)
+        if local.stack:
+            record.parent_id = local.stack[-1]
+            record.trace_id = local.trace_id
+        elif ctx is not None:
+            # First span on this thread under an adopted context: hang it
+            # under the originating side's open span.
+            record.parent_id = ctx.span_id
+            record.trace_id = ctx.trace_id
+        else:
+            record.trace_id = new_trace_id()  # a standalone root
+        record.depth = local.depth + (ctx.depth if ctx is not None else 0)
+        if ctx is not None and ctx.session is not None:
+            record.meta.setdefault("session", ctx.session)
+        if not local.stack:
+            local.trace_id = record.trace_id
+        with tracer._lock:
+            tracer.records.append(record)  # start order = forest pre-order
+        local.depth += 1
+        local.stack.append(record.span_id)
         if self._io_source is not None:
             self._io_before = self._io_source.copy()
         self._start = time.perf_counter()
@@ -132,8 +213,25 @@ class _Span:
             record.sim_seconds = self._sim
         elif record.io is not None:
             record.sim_seconds = self._tracer.simulated_io_seconds(record.io)
-        self._tracer._depth -= 1
+        local = self._tracer._local_state()
+        local.depth -= 1
+        if local.stack and local.stack[-1] == record.span_id:
+            local.stack.pop()
+        elif record.span_id in local.stack:  # tolerate out-of-order exits
+            local.stack.remove(record.span_id)
+        if not local.stack:
+            local.trace_id = None
         return False
+
+
+class _ThreadState(threading.local):
+    """Per-thread trace position: adopted context, open spans, depth."""
+
+    def __init__(self) -> None:  # called once per thread by threading.local
+        self.ctx: TraceContext | None = None
+        self.stack: list[int] = []
+        self.depth = 0
+        self.trace_id: str | None = None
 
 
 class Tracer:
@@ -142,8 +240,12 @@ class Tracer:
     def __init__(self) -> None:
         self.enabled = False
         self.records: list[SpanRecord] = []
-        self._depth = 0
+        self._lock = threading.Lock()
+        self._local = _ThreadState()
         self._cost_model = None
+
+    def _local_state(self) -> _ThreadState:
+        return self._local
 
     @property
     def cost_model(self):
@@ -172,10 +274,67 @@ class Tracer:
             return _NOOP
         return _Span(self, name, io, meta)
 
+    def current_context(self, session: str | None = None) -> TraceContext | None:
+        """This thread's position, as a portable :class:`TraceContext`.
+
+        Returns the adopted context when no span is open here; ``None``
+        when the thread has no trace position at all (the receiver will
+        then start a fresh trace).
+        """
+        local = self._local
+        if local.stack:
+            return TraceContext(
+                trace_id=local.trace_id,
+                span_id=local.stack[-1],
+                depth=local.depth + (local.ctx.depth if local.ctx else 0),
+                session=session if session is not None else (
+                    local.ctx.session if local.ctx else None
+                ),
+            )
+        if local.ctx is not None:
+            return local.ctx.child(session)
+        return None
+
+    @contextmanager
+    def attach(self, ctx: TraceContext | None):
+        """Adopt ``ctx`` as this thread's trace position for the block.
+
+        The worker-pool side of cross-thread propagation: spans opened
+        inside the block parent under ``ctx.span_id`` in ``ctx.trace_id``.
+        Attaching ``None`` is a no-op, so call sites need no branching.
+        Cheap enough to run unconditionally (no clocks, no allocation
+        beyond the restore slot), so the flight recorder gets trace ids
+        even while span recording is off.
+        """
+        local = self._local
+        previous = local.ctx
+        prev_stack, prev_depth, prev_trace = (
+            local.stack, local.depth, local.trace_id
+        )
+        if ctx is not None:
+            local.ctx = ctx
+            # a fresh frame: spans opened here must not parent under
+            # whatever this (pooled, reused) thread was doing before
+            local.stack = []
+            local.depth = 0
+            local.trace_id = None
+        try:
+            yield ctx
+        finally:
+            if ctx is not None:
+                local.ctx = previous
+                local.stack, local.depth, local.trace_id = (
+                    prev_stack, prev_depth, prev_trace
+                )
+
     def reset(self) -> None:
         """Drop every recorded span (the enabled flag is untouched)."""
-        self.records.clear()
-        self._depth = 0
+        with self._lock:
+            self.records.clear()
+        local = self._local
+        local.stack = []
+        local.depth = 0
+        local.trace_id = None
 
 
 _TRACER = Tracer()
@@ -214,7 +373,26 @@ def reset() -> None:
 
 def records() -> list[SpanRecord]:
     """A copy of the recorded spans, in start order."""
-    return list(_TRACER.records)
+    with _TRACER._lock:
+        return list(_TRACER.records)
+
+
+def current_context(session: str | None = None) -> TraceContext | None:
+    """This thread's trace position on the process-wide tracer."""
+    return _TRACER.current_context(session=session)
+
+
+def current_trace_id() -> str | None:
+    """The trace id active on this thread, if any (works while disabled)."""
+    local = _TRACER._local
+    if local.trace_id is not None:
+        return local.trace_id
+    return local.ctx.trace_id if local.ctx is not None else None
+
+
+def attach(ctx: TraceContext | None):
+    """Adopt a propagated context on this thread (see :meth:`Tracer.attach`)."""
+    return _TRACER.attach(ctx)
 
 
 @contextmanager
@@ -232,10 +410,46 @@ def capture():
         yield out
     finally:
         _TRACER.enabled = previous
-        out.extend(_TRACER.records[mark:])
+        with _TRACER._lock:
+            out.extend(_TRACER.records[mark:])
+
+
+@dataclass
+class SpanTree:
+    """One node of a reassembled trace tree."""
+
+    record: SpanRecord
+    children: list["SpanTree"] = field(default_factory=list)
+
+    def walk(self):
+        """Yield this node and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def span_trees(spans: list[SpanRecord] | None = None) -> list[SpanTree]:
+    """Reassemble span records into parentage trees (one per root).
+
+    Spans recorded from worker threads land under the statement span that
+    propagated their context, so a served statement comes back as exactly
+    one tree.  A span whose parent is missing from ``spans`` becomes a
+    root (the capture window clipped its ancestors).
+    """
+    spans = records() if spans is None else spans
+    nodes = {s.span_id: SpanTree(s) for s in spans}
+    roots: list[SpanTree] = []
+    for s in spans:
+        node = nodes[s.span_id]
+        parent = nodes.get(s.parent_id) if s.parent_id is not None else None
+        if parent is None:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    return roots
 
 
 def render_text(spans: list[SpanRecord] | None = None) -> str:
     """The span list as an indented tree (start order, depth-indented)."""
-    spans = _TRACER.records if spans is None else spans
+    spans = records() if spans is None else spans
     return "\n".join("  " * s.depth + s.format() for s in spans)

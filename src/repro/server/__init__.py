@@ -8,8 +8,14 @@ admission queue into a worker pool and run under the database's
 reader-writer lock — many concurrent SELECTs, exclusive writes — with a
 shared, write-invalidated result cache in front.  See ARCHITECTURE.md
 for the full data flow.
+
+:class:`AdminServer` (started via :meth:`QueryServer.start_admin
+<repro.server.server.QueryServer.start_admin>`) adds the operator-facing
+HTTP surface: ``/metrics`` in Prometheus text, ``/healthz``,
+``/sessions``, ``/queries/recent``, ``/incidents``.
 """
 
+from repro.server.admin import AdminServer
 from repro.server.pool import REJECTION_POLICIES, WorkerPool
 from repro.server.resultcache import CachedResult, ResultCache, referenced_tables
 from repro.server.server import QueryServer
@@ -19,6 +25,7 @@ __all__ = [
     "QueryServer",
     "Session",
     "SessionFunctions",
+    "AdminServer",
     "WorkerPool",
     "ResultCache",
     "CachedResult",

@@ -11,6 +11,13 @@ the load-shedding posture a front end wants under overload).
 Queueing behavior is measured: ``server.queue_depth`` (gauge),
 ``server.wait_seconds`` (histogram of enqueue → dequeue latency),
 ``server.tasks`` / ``server.rejected`` (counters).
+
+The pool is also a trace hop: each task snapshots the submitting
+thread's :class:`~repro.obs.trace.TraceContext` and the worker adopts it
+for the duration, so spans opened inside pooled work parent under the
+submitter's open span.  The admission wait of the task a worker is
+currently running is exposed through :func:`current_wait_seconds` for
+per-statement attribution (the flight recorder's ``pool_wait_ms``).
 """
 
 from __future__ import annotations
@@ -21,24 +28,34 @@ import time
 from concurrent.futures import Future
 
 from repro.errors import ServerBusyError, ValidationError
-from repro.obs import metrics
+from repro.obs import metrics, trace
 
-__all__ = ["WorkerPool", "REJECTION_POLICIES"]
+__all__ = ["WorkerPool", "REJECTION_POLICIES", "current_wait_seconds"]
 
 #: admission behaviors when the queue is full
 REJECTION_POLICIES = ("block", "reject")
+
+#: per-worker-thread admission wait of the task currently running
+_WAIT = threading.local()
+
+
+def current_wait_seconds() -> float:
+    """Admission-queue wait of the task this thread is running (else 0.0)."""
+    return getattr(_WAIT, "seconds", 0.0)
 
 
 class _Task:
     """One queued unit of work: a thunk plus its future and enqueue time."""
 
-    __slots__ = ("fn", "args", "future", "enqueued")
+    __slots__ = ("fn", "args", "future", "enqueued", "ctx")
 
     def __init__(self, fn, args):
         self.fn = fn
         self.args = args
         self.future: Future = Future()
         self.enqueued = time.perf_counter()
+        # Snapshot the submitter's trace position; the worker adopts it.
+        self.ctx = trace.current_context()
 
 
 class WorkerPool:
@@ -103,19 +120,21 @@ class WorkerPool:
                 self._queue.task_done()
                 return
             metrics.gauge("server.queue_depth").set(self._queue.qsize())
-            metrics.histogram("server.wait_seconds").observe(
-                time.perf_counter() - task.enqueued
-            )
+            wait = time.perf_counter() - task.enqueued
+            metrics.histogram("server.wait_seconds").observe(wait)
             if not task.future.set_running_or_notify_cancel():
                 self._queue.task_done()
                 continue
+            _WAIT.seconds = wait
             try:
-                task.future.set_result(task.fn(*task.args))
+                with trace.attach(task.ctx):
+                    task.future.set_result(task.fn(*task.args))
             # The pool boundary: a worker must survive any task failure
             # and hand the exception to the waiting client instead.
             except BaseException as exc:  # qblint: disable=no-broad-except
                 task.future.set_exception(exc)
             finally:
+                _WAIT.seconds = 0.0
                 self._queue.task_done()
 
     # ------------------------------------------------------------------ #

@@ -37,8 +37,8 @@ from repro.db.sql.parser import parse
 from repro.db.sql.unparse import unparse
 from repro.errors import ServerError
 from repro.net.rpc import RpcChannel
-from repro.obs import metrics, trace
-from repro.server.pool import WorkerPool
+from repro.obs import metrics, recorder, trace
+from repro.server.pool import WorkerPool, current_wait_seconds
 from repro.server.resultcache import (
     CachedResult,
     ResultCache,
@@ -104,6 +104,7 @@ class QueryServer:
         self._stmt_info: OrderedDict[str, _StatementInfo] = OrderedDict()
         self._stmt_lock = threading.Lock()
         self._stmt_capacity = max(cache_capacity, 64)
+        self._admin = None
 
     # ------------------------------------------------------------------ #
     # sessions
@@ -133,29 +134,58 @@ class QueryServer:
         with self._lock:
             return len(self._sessions)
 
+    def session_snapshot(self) -> list[dict]:
+        """Every open session as a JSON-ready dict (the /sessions view)."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return [
+            {"id": s.session_id, "name": s.name, "statements": s.statements,
+             "local_functions": s.functions.local_names}
+            for s in sessions
+        ]
+
     # ------------------------------------------------------------------ #
     # statement dispatch
     # ------------------------------------------------------------------ #
 
     def submit(self, session: Session, sql: str, params: list | None):
-        """Admit one statement to the worker pool (sessions call this)."""
-        return self.pool.submit(self._run_statement, session, sql, params)
+        """Admit one statement to the worker pool (sessions call this).
 
-    def _run_statement(self, session: Session, sql: str,
-                       params: list | None) -> QueryResult:
+        Every statement gets its own trace id here, on the client side of
+        the pool hop, so the spans it produces on the worker — and the
+        flight-recorder record — belong to exactly one trace no matter
+        which pooled thread runs it.
+        """
+        ctx = trace.TraceContext(trace_id=trace.new_trace_id(),
+                                 session=session.name)
+        return self.pool.submit(self._run_statement, ctx, session, sql,
+                                params)
+
+    def _run_statement(self, ctx: trace.TraceContext, session: Session,
+                       sql: str, params: list | None) -> QueryResult:
         """Worker-side execution of one admitted statement."""
         metrics.counter("server.statements").inc()
-        sp = trace.span("server.execute", session=session.name)
-        if sp.active:
-            with sp:
-                result = self._execute(session, sql, params)
-                sp.note(rows=len(result.rows))
-        else:
-            result = self._execute(session, sql, params)
-        # Ship the result payload through the RPC channel so served
-        # traffic lands in the paper's message accounting (a counts
-        # model: width * rows, chunked).
-        self.rpc.send(self._payload_estimate(result))
+        with trace.attach(ctx):
+            # The serving layer owns the statement's flight-recorder
+            # record: the nested scope Database.execute opens on this
+            # thread annotates this one instead of emitting its own.
+            rec = recorder.statement(sql, session=session.name,
+                                     trace_id=ctx.trace_id)
+            with rec:
+                rec.note(pool_wait_seconds=current_wait_seconds(),
+                         params=params if params else None)
+                sp = trace.span("server.execute", session=session.name)
+                if sp.active:
+                    with sp:
+                        result = self._execute(session, sql, params)
+                        sp.note(rows=len(result.rows))
+                else:
+                    result = self._execute(session, sql, params)
+                rec.note(rows=len(result.rows) or result.rowcount)
+                # Ship the result payload through the RPC channel so
+                # served traffic lands in the paper's message accounting
+                # (a counts model: width * rows, chunked).
+                self.rpc.send(self._payload_estimate(result))
         return result
 
     def _statement_info(self, sql: str) -> _StatementInfo:
@@ -164,7 +194,9 @@ class QueryServer:
             info = self._stmt_info.get(sql)
             if info is not None:
                 self._stmt_info.move_to_end(sql)
+                metrics.counter("server.stmt_memo.hits").inc()
                 return info
+        metrics.counter("server.stmt_memo.misses").inc()
         stmt = parse(sql)
         info = _StatementInfo(
             is_read=Database.statement_is_read(stmt),
@@ -228,6 +260,8 @@ class QueryServer:
 
     def _hydrate(self, entry: CachedResult, sql: str) -> QueryResult:
         """A fresh QueryResult from a cache entry (zero I/O, zero work)."""
+        # Database.execute never ran, so mark the statement's record here.
+        recorder.annotate(cache_hit=True, kind="read")
         return QueryResult(
             result=ResultSet(list(entry.columns), list(entry.rows)),
             work=WorkCounters(),
@@ -243,6 +277,20 @@ class QueryServer:
     # lifecycle
     # ------------------------------------------------------------------ #
 
+    def start_admin(self, host: str = "127.0.0.1", port: int = 0):
+        """Start the admin/metrics HTTP endpoint beside this server.
+
+        Returns the :class:`~repro.server.admin.AdminServer` (its ``url``
+        is where ``/metrics`` and friends live); closing the query server
+        closes it too.  Port 0 (the default) asks the OS for a free port.
+        """
+        from repro.server.admin import AdminServer
+
+        admin = AdminServer(self, host=host, port=port)
+        with self._lock:
+            self._admin = admin
+        return admin
+
     def close(self) -> None:
         """Close every session and stop the worker pool (drains first)."""
         with self._lock:
@@ -250,9 +298,13 @@ class QueryServer:
                 return
             self._closed = True
             sessions = list(self._sessions.values())
+            admin = self._admin
+            self._admin = None
         for session in sessions:
             session.close()
         self.pool.shutdown(wait=True)
+        if admin is not None:
+            admin.close()
 
     def __enter__(self) -> "QueryServer":
         return self

@@ -108,10 +108,7 @@ class PageCache:
         pages = _page_intervals(starts, stops)
         nbytes = int(np.maximum(stops - starts, 0).sum())
         with self._lock:
-            self.stats.pages_read += pages.count
-            self.stats.read_extents += pages.run_count
-            self.stats.bytes_read += nbytes
-            self.stats.read_calls += 1
+            self.stats.add_read(pages.count, pages.run_count, nbytes)
 
     def read(self, offset: int, length: int) -> bytes:
         """Read a byte range through the cache (page-granular fills)."""
@@ -170,10 +167,7 @@ class PageCache:
             np.asarray([offset]), np.asarray([offset + len(data)])
         )
         with self._lock:
-            self.stats.pages_written += pages.count
-            self.stats.write_extents += pages.run_count
-            self.stats.write_calls += 1
-            self.stats.bytes_written += len(data)
+            self.stats.add_write(pages.count, pages.run_count, len(data))
             if not data:
                 return
             first = offset // self.page_size

@@ -25,9 +25,46 @@ import numpy as np
 from repro.errors import StorageError
 from repro.regions.intervals import IntervalSet
 
-__all__ = ["BlockDevice", "IOStats", "PAGE_SIZE"]
+__all__ = ["BlockDevice", "IOStats", "PAGE_SIZE", "attribute_io"]
 
 PAGE_SIZE = 4096
+
+#: per-thread (source, sink) attribution pairs — see :func:`attribute_io`
+_IO_SINKS = threading.local()
+
+
+@contextmanager
+def attribute_io(source: "IOStats"):
+    """Collect this thread's I/O on ``source`` into a private delta.
+
+    Yields a fresh :class:`IOStats`; every counter update ``source``
+    receives *from this thread* inside the block is mirrored into it.
+    Under concurrency this is the exact per-statement attribution that a
+    global before/after snapshot cannot give (another session's pages land
+    inside the window) — it is how EXPLAIN ANALYZE and the flight recorder
+    stay honest with many sessions in flight.  Nesting is allowed; every
+    enclosing sink sees the I/O.
+
+    The sink is only ever touched by the registering thread, so it needs
+    no lock; the mechanism adds two attribute reads to the accounting fast
+    path when unused.
+    """
+    sink = IOStats()
+    pairs = getattr(_IO_SINKS, "pairs", None)
+    if pairs is None:
+        pairs = _IO_SINKS.pairs = []
+    pairs.append((source, sink))
+    try:
+        yield sink
+    finally:
+        pairs.remove((source, sink))
+
+
+def _sinks_for(source: "IOStats"):
+    pairs = getattr(_IO_SINKS, "pairs", None)
+    if not pairs:
+        return ()
+    return [sink for src, sink in pairs if src is source]
 
 
 @dataclass
@@ -46,6 +83,35 @@ class IOStats:
     def copy(self) -> "IOStats":
         """An independent snapshot, for before/after deltas."""
         return IOStats(**vars(self))
+
+    def add_read(self, pages: int, extents: int, nbytes: int) -> None:
+        """Account one logical read; tees into this thread's sinks.
+
+        The storage layer's single mutation point for read counters: the
+        calling thread performed the I/O, so any :func:`attribute_io`
+        collectors it registered on this object receive the same delta.
+        """
+        self.pages_read += pages
+        self.read_extents += extents
+        self.bytes_read += nbytes
+        self.read_calls += 1
+        for sink in _sinks_for(self):
+            sink.pages_read += pages
+            sink.read_extents += extents
+            sink.bytes_read += nbytes
+            sink.read_calls += 1
+
+    def add_write(self, pages: int, extents: int, nbytes: int) -> None:
+        """Account one logical write; tees into this thread's sinks."""
+        self.pages_written += pages
+        self.write_extents += extents
+        self.bytes_written += nbytes
+        self.write_calls += 1
+        for sink in _sinks_for(self):
+            sink.pages_written += pages
+            sink.write_extents += extents
+            sink.bytes_written += nbytes
+            sink.write_calls += 1
 
     def __sub__(self, other: "IOStats") -> "IOStats":
         return IOStats(**{k: v - getattr(other, k) for k, v in vars(self).items()})
@@ -178,10 +244,7 @@ class BlockDevice:
         pages = _page_intervals(np.asarray([offset]), np.asarray([offset + len(data)]))
         with self._lock:
             self._backing.buf[offset:offset + len(data)] = data
-            self.stats.pages_written += pages.count
-            self.stats.write_extents += pages.run_count
-            self.stats.bytes_written += len(data)
-            self.stats.write_calls += 1
+            self.stats.add_write(pages.count, pages.run_count, len(data))
 
     def read_ranges(self, starts: np.ndarray, stops: np.ndarray) -> bytes:
         """Gather many byte ranges in one logical operation.
@@ -214,10 +277,7 @@ class BlockDevice:
         pages = _page_intervals(starts, stops)
         nbytes = int(np.maximum(stops - starts, 0).sum())
         with self._lock:
-            self.stats.pages_read += pages.count
-            self.stats.read_extents += pages.run_count
-            self.stats.bytes_read += nbytes
-            self.stats.read_calls += 1
+            self.stats.add_read(pages.count, pages.run_count, nbytes)
 
     # ------------------------------------------------------------------ #
     # lifecycle

@@ -69,7 +69,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import StorageError, WalError
-from repro.obs import metrics, trace
+from repro.obs import metrics, recorder, trace
 from repro.storage.device import IOStats, _page_intervals
 
 __all__ = ["WriteAheadLog", "RecoveryReport", "recover_journal", "WAL_VERSION"]
@@ -268,6 +268,16 @@ class WriteAheadLog:
             # Append after the valid records (a torn tail gets overwritten).
             self._journal_head = self.recovery.end_offset
             self.last_committed_meta = self.recovery.meta
+            if self.recovery.replayed or self.recovery.discarded:
+                # A crash happened before this open: leave an incident
+                # report behind (a clean reopen replays nothing and stays
+                # quiet).
+                recorder.incident("wal.recovery", trigger={
+                    "replayed_txn_ids": list(self.recovery.replayed_txn_ids),
+                    "pages_replayed": self.recovery.pages_replayed,
+                    "discarded": self.recovery.discarded,
+                    "last_txn_id": self.recovery.last_txn_id,
+                })
 
     # ------------------------------------------------------------------ #
     # accounting views
@@ -477,10 +487,7 @@ class WriteAheadLog:
             return
         pages = _page_intervals(np.asarray([offset]), np.asarray([offset + len(data)]))
         with self._stats_lock:
-            self.stats.pages_written += pages.count
-            self.stats.write_extents += pages.run_count
-            self.stats.bytes_written += len(data)
-            self.stats.write_calls += 1
+            self.stats.add_write(pages.count, pages.run_count, len(data))
         if not data:
             return
         first = offset // self.page_size
@@ -524,10 +531,7 @@ class WriteAheadLog:
         pages = _page_intervals(starts, stops)
         nbytes = int(np.maximum(stops - starts, 0).sum())
         with self._stats_lock:
-            self.stats.pages_read += pages.count
-            self.stats.read_extents += pages.run_count
-            self.stats.bytes_read += nbytes
-            self.stats.read_calls += 1
+            self.stats.add_read(pages.count, pages.run_count, nbytes)
 
     def read_ranges(self, starts, stops) -> bytes:
         """Scattered read with dirty-page overlay (page-deduplicated)."""
