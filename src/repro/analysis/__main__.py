@@ -1,7 +1,12 @@
 """``python -m repro.analysis`` — the qblint command-line interface.
 
+``--concurrency`` adds the interprocedural lock-discipline pass
+(:mod:`repro.analysis.concurrency`) to the line rules; ``--baseline`` /
+``--write-baseline`` tolerate pre-existing debt while a new rule family
+rolls out (:mod:`repro.analysis.baseline`).
+
 Exit status: 0 when the tree is clean, 1 when violations were found,
-2 on usage errors (bad path, unknown rule name).
+2 on usage errors (bad path, unknown rule name, unreadable baseline).
 """
 
 from __future__ import annotations
@@ -9,6 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
 from repro.analysis.engine import lint_paths
 from repro.analysis.report import render_json, render_text
 from repro.analysis.rules import ALL_RULES
@@ -27,6 +33,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="report format")
     parser.add_argument("--rule", action="append", default=None, metavar="NAME",
                         help="run only the named rule (repeatable)")
+    parser.add_argument("--concurrency", action="store_true",
+                        help="also run the interprocedural concurrency pass "
+                             "(QB4xx: lock order, guarded state, txn scope)")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="tolerate violations recorded in this baseline")
+    parser.add_argument("--write-baseline", metavar="FILE", default=None,
+                        help="snapshot current violations to FILE and exit 0")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
     args = parser.parse_args(argv)
@@ -34,6 +47,19 @@ def main(argv: list[str] | None = None) -> int:
     if args.list_rules:
         for rule in ALL_RULES:
             print(f"{rule.name}: {rule.description}")
+        from repro.analysis.concurrency import CONCURRENCY_CODES
+
+        print("-- concurrency pass (--concurrency) --")
+        descriptions = {
+            "QB401": "lock acquired against the declared hierarchy order",
+            "QB402": "read->write upgrade of the database RWLock",
+            "QB411": "guarded attribute mutated without its lock",
+            "QB412": "@guarded_by function called without its lock",
+            "QB421": "transaction-scoped state touched outside a WAL txn",
+            "QB422": "blocking call while an exclusive lock is held",
+        }
+        for code in sorted(CONCURRENCY_CODES):
+            print(f"{code}: {descriptions[code]}")
         return 0
 
     rules = ALL_RULES
@@ -47,6 +73,19 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         violations = lint_paths(args.paths, rules)
+        if args.concurrency:
+            from repro.analysis.concurrency import analyze_paths
+
+            violations = sorted(
+                violations + analyze_paths(args.paths),
+                key=lambda v: (v.path, v.line, v.rule),
+            )
+        if args.write_baseline:
+            count = write_baseline(args.write_baseline, violations)
+            print(f"wrote {count} baseline entries to {args.write_baseline}")
+            return 0
+        if args.baseline:
+            violations = apply_baseline(violations, load_baseline(args.baseline))
     except ValidationError as exc:
         print(str(exc), file=sys.stderr)
         return 2

@@ -1,0 +1,85 @@
+"""Violation baselines: adopt a rule family without a flag day.
+
+A baseline is a JSON snapshot of the violations a tree currently has.
+Landing a new rule (or a whole family, like the ``QB4xx`` concurrency
+diagnostics) on an old tree then takes two steps instead of one giant
+cleanup commit::
+
+    python -m repro.analysis --concurrency --write-baseline qblint-baseline.json
+    python -m repro.analysis --concurrency --baseline qblint-baseline.json
+
+The second form reports only violations *not* in the snapshot: existing
+debt is tolerated, new debt fails the build.  Entries match on
+``(path, rule, message)`` — deliberately not the line number, so pure
+line drift (an edit above a tolerated violation) does not resurrect it;
+editing the offending line itself usually changes the message or removes
+the violation, surfacing it again either way.
+
+The file format is versioned, sorted, and newline-terminated so diffs of
+a committed baseline review like any other source change — shrinking is
+progress, growth is visible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.engine import Violation
+from repro.errors import ValidationError
+
+__all__ = ["write_baseline", "apply_baseline", "load_baseline"]
+
+_VERSION = 1
+
+
+def _key(violation: Violation) -> tuple[str, str, str]:
+    return (violation.path, violation.rule, violation.message)
+
+
+def write_baseline(path: str | Path, violations: list[Violation]) -> int:
+    """Snapshot ``violations`` to ``path``; returns the entry count."""
+    entries = sorted(
+        {_key(v) for v in violations}
+    )
+    payload = {
+        "version": _VERSION,
+        "entries": [
+            {"path": p, "rule": r, "message": m} for p, r, m in entries
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+    return len(entries)
+
+
+def load_baseline(path: str | Path) -> set[tuple[str, str, str]]:
+    """The ``(path, rule, message)`` set a baseline file tolerates."""
+    path = Path(path)
+    if not path.is_file():
+        raise ValidationError(f"baseline file not found: {path}")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise ValidationError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise ValidationError(
+            f"baseline {path} has unsupported format "
+            f"(want version {_VERSION})"
+        )
+    entries = payload.get("entries", [])
+    out: set[tuple[str, str, str]] = set()
+    for entry in entries:
+        try:
+            out.add((entry["path"], entry["rule"], entry["message"]))
+        except (TypeError, KeyError) as exc:
+            raise ValidationError(
+                f"baseline {path} entry {entry!r} is malformed"
+            ) from exc
+    return out
+
+
+def apply_baseline(violations: list[Violation],
+                   tolerated: set[tuple[str, str, str]]) -> list[Violation]:
+    """Violations not covered by the baseline (the ones that fail CI)."""
+    return [v for v in violations if _key(v) not in tolerated]

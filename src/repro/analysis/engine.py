@@ -23,7 +23,16 @@ from typing import Iterable, Sequence
 from repro.analysis.rules import ALL_RULES, Rule
 from repro.errors import ValidationError
 
-__all__ = ["Violation", "Suppressions", "lint_file", "lint_paths"]
+__all__ = ["Violation", "Suppressions", "lint_file", "lint_paths",
+           "CONCURRENCY_CODES"]
+
+#: diagnostic codes of the interprocedural concurrency pass
+#: (:mod:`repro.analysis.concurrency`).  Defined here — not there — so the
+#: suppression validator below can accept them without importing the
+#: analyzer (which imports this module for Violation/Suppressions).
+CONCURRENCY_CODES = frozenset(
+    {"QB401", "QB402", "QB411", "QB412", "QB421", "QB422"}
+)
 
 _LINE_RE = re.compile(r"#\s*qblint:\s*disable=([\w,\s-]+)")
 _FILE_RE = re.compile(r"#\s*qblint:\s*disable-file=([\w,\s-]+)")
@@ -107,7 +116,7 @@ def lint_file(path: str | Path, rules: Sequence[Rule] = ALL_RULES) -> list[Viola
             )
         ]
     suppressions = Suppressions(source)
-    known = {rule.name for rule in rules}
+    known = {rule.name for rule in rules} | CONCURRENCY_CODES
     violations = [
         Violation(display, 1, "unknown-suppression",
                   f"suppression names unknown rule {name!r}")

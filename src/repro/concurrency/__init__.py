@@ -2,9 +2,20 @@
 
 The query-serving protocol (ARCHITECTURE.md) is built on one primitive: a
 reader-writer lock with writer preference.  Many concurrent SELECTs share
-the read side; DDL and DML take the exclusive write side.  The lock lives
-in its own leaf module so :mod:`repro.db` and :mod:`repro.storage` can use
-it without importing the server layer above them.
+the read side; DDL and DML take the exclusive write side.  The package
+lives at the leaf of the import graph so :mod:`repro.db` and
+:mod:`repro.storage` can use it without importing the server layer above
+them.
+
+Two verification hooks live beside the lock:
+
+* :func:`guarded_by` — a no-op decorator declaring that a callable must
+  only run while the named lock is held.  The declaration is enforced
+  statically by ``python -m repro.analysis --concurrency`` (the QB41x
+  family) and documents the discipline in the source itself.
+* :mod:`repro.concurrency.lockdep` — an opt-in runtime witness recording
+  every lock-acquisition edge across threads and reporting a *potential*
+  deadlock on any cycle, even when no deadlock manifests.
 """
 
 from __future__ import annotations
@@ -12,9 +23,26 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 
+from repro.concurrency import lockdep
 from repro.errors import ConcurrencyError
 
-__all__ = ["RWLock"]
+__all__ = ["RWLock", "guarded_by", "lockdep"]
+
+
+def guarded_by(*lock_names: str):
+    """Declare the lock(s) a callable requires at entry (e.g. ``"_lock"``).
+
+    Runtime no-op: the declaration is consumed by the static concurrency
+    analyzer, which (a) treats the body as holding the named locks and
+    (b) flags any call site that does not hold them.  Names are either an
+    attribute on ``self`` (``"_lock"``), a hierarchy key from
+    ARCHITECTURE.md (``"db.rwlock"``), or ``"txn"`` for a storage
+    transaction scope.
+    """
+    def decorate(fn):
+        fn.__guarded_by__ = lock_names
+        return fn
+    return decorate
 
 
 class RWLock:
@@ -34,9 +62,15 @@ class RWLock:
 
     Acquisitions must nest LIFO per thread, which the ``read()`` /
     ``write()`` context managers guarantee.
+
+    ``name`` is the lock's :mod:`~repro.concurrency.lockdep` class key
+    (``"db.rwlock"`` for the database statement lock); when the witness
+    is enabled every successful acquisition lands in the process-wide
+    lock-order graph under that key.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, name: str = "rwlock") -> None:
+        self.name = name
         self._cond = threading.Condition()
         self._readers = 0              # active read holds (non-writer threads)
         self._writer: int | None = None  # ident of the write-holding thread
@@ -46,6 +80,21 @@ class RWLock:
 
     def _read_depth(self) -> int:
         return getattr(self._local, "depth", 0)
+
+    def _note_acquired(self, undo) -> None:
+        """Feed one successful acquisition to lockdep.
+
+        If the witness flags it (rank inversion or a cycle-closing edge),
+        ``undo`` rolls the acquisition back before the error propagates,
+        so the lock state stays consistent with what the caller observes.
+        """
+        if not lockdep.enabled():
+            return
+        try:
+            lockdep.note_acquire(self.name, reentrant=True)
+        except ConcurrencyError:
+            undo()
+            raise
 
     # ------------------------------------------------------------------ #
     # read side
@@ -61,11 +110,12 @@ class RWLock:
                 if self._writer != me:
                     self._readers += 1
                 self._local.depth = self._read_depth() + 1
-                return
+                return  # lockdep already saw this thread's hold
             while self._writer is not None or self._waiting_writers:
                 self._cond.wait()
             self._readers += 1
             self._local.depth = 1
+        self._note_acquired(self.release_read)
 
     def release_read(self) -> None:
         """Drop one shared hold."""
@@ -80,6 +130,9 @@ class RWLock:
             self._readers -= 1
             if not self._readers:
                 self._cond.notify_all()
+        if depth == 1:
+            # The thread's last shared hold: pop its lockdep entry.
+            lockdep.note_release(self.name)
 
     # ------------------------------------------------------------------ #
     # write side
@@ -91,7 +144,7 @@ class RWLock:
         with self._cond:
             if self._writer == me:
                 self._writer_depth += 1
-                return
+                return  # lockdep already saw this thread's hold
             if self._read_depth() > 0:
                 raise ConcurrencyError(
                     "cannot upgrade a read lock to a write lock; release "
@@ -105,6 +158,7 @@ class RWLock:
                 self._waiting_writers -= 1
             self._writer = me
             self._writer_depth = 1
+        self._note_acquired(self.release_write)
 
     def release_write(self) -> None:
         """Drop one exclusive hold; wakes waiters when fully released."""
@@ -112,9 +166,12 @@ class RWLock:
             if self._writer != threading.get_ident():
                 raise ConcurrencyError("release_write by a non-writer thread")
             self._writer_depth -= 1
-            if self._writer_depth == 0:
+            fully_released = self._writer_depth == 0
+            if fully_released:
                 self._writer = None
                 self._cond.notify_all()
+        if fully_released:
+            lockdep.note_release(self.name)
 
     # ------------------------------------------------------------------ #
     # context managers

@@ -92,7 +92,7 @@ class Database:
     def __post_init__(self) -> None:
         self.functions.register_all(builtin_functions(), builtin_signatures())
         self._executor = Executor(self.catalog, self.functions)
-        self._rwlock = RWLock()
+        self._rwlock = RWLock(name="db.rwlock")
 
     @property
     def rwlock(self) -> RWLock:

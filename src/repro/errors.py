@@ -35,6 +35,8 @@ __all__ = [
     "MedicalError",
     "RegistrationError",
     "ConcurrencyError",
+    "LockOrderError",
+    "PotentialDeadlockError",
     "ServerError",
     "ServerBusyError",
     "SessionClosedError",
@@ -172,6 +174,24 @@ class FunctionUsageError(StaticAnalysisError, ExecutionError):
 
 class ConcurrencyError(ReproError, RuntimeError):
     """A lock was used outside its protocol (bad nesting, upgrade attempt)."""
+
+
+class LockOrderError(ConcurrencyError):
+    """Lockdep saw an acquisition that inverts the declared lock hierarchy.
+
+    No deadlock happened *yet*: the edge merely contradicts the rank order
+    in :data:`repro.concurrency.lockdep.DEFAULT_RANKS`, which is enough to
+    make one possible under the wrong interleaving.
+    """
+
+
+class PotentialDeadlockError(ConcurrencyError):
+    """Lockdep found a cycle in the lock-acquisition-order graph.
+
+    Raised on the acquisition that *closes* the cycle, even when the
+    threads involved never actually blocked each other — the ABBA pattern
+    is reported the first time both orders have been observed.
+    """
 
 
 class ServerError(ReproError):

@@ -27,6 +27,7 @@ import threading
 import time
 from concurrent.futures import Future
 
+from repro.concurrency import lockdep
 from repro.errors import ServerBusyError, ValidationError
 from repro.obs import metrics, trace
 
@@ -76,8 +77,8 @@ class WorkerPool:
         self.queue_depth = queue_depth
         self.policy = policy
         self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
-        self._shutdown = False
-        self._lock = threading.Lock()
+        self._shutdown = False  # guarded_by: _lock
+        self._lock = lockdep.instrument(threading.Lock(), "server.pool")
         self._threads = [
             threading.Thread(target=self._worker, name=f"{name}-{i}", daemon=True)
             for i in range(workers)

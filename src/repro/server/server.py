@@ -35,6 +35,7 @@ from repro.db.functions import WorkCounters
 from repro.db.sql.ast import Explain, FuncCall
 from repro.db.sql.parser import parse
 from repro.db.sql.unparse import unparse
+from repro.concurrency import lockdep
 from repro.errors import ServerError
 from repro.net.rpc import RpcChannel
 from repro.obs import metrics, recorder, trace
@@ -97,14 +98,14 @@ class QueryServer:
             ResultCache(cache_capacity) if result_cache else None
         )
         self.rpc = rpc if rpc is not None else RpcChannel()
-        self._sessions: dict[int, Session] = {}
-        self._lock = threading.Lock()
-        self._next_session_id = 1
-        self._closed = False
-        self._stmt_info: OrderedDict[str, _StatementInfo] = OrderedDict()
-        self._stmt_lock = threading.Lock()
+        self._sessions: dict[int, Session] = {}  # guarded_by: _lock
+        self._lock = lockdep.instrument(threading.Lock(), "server.sessions")
+        self._next_session_id = 1  # guarded_by: _lock
+        self._closed = False  # guarded_by: _lock
+        self._stmt_info: OrderedDict[str, _StatementInfo] = OrderedDict()  # guarded_by: _stmt_lock
+        self._stmt_lock = lockdep.instrument(threading.Lock(), "server.stmt_memo")
         self._stmt_capacity = max(cache_capacity, 64)
-        self._admin = None
+        self._admin = None  # guarded_by: _lock
 
     # ------------------------------------------------------------------ #
     # sessions

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import threading
 
+from repro.concurrency import lockdep
 from repro.db.functions import FunctionRegistry, FunctionSignature
 from repro.errors import CatalogError, SessionClosedError
 
@@ -82,10 +83,15 @@ class Session:
         self.session_id = session_id
         self.name = name or f"session-{session_id}"
         self.functions = SessionFunctions(server.db.functions)
-        self._vars: dict[str, object] = {}
-        self._vars_lock = threading.Lock()
-        self.statements = 0
-        self.closed = False
+        #: guards the session's mutable state: variables, the statement
+        #: counter, and the closed flag — all read by other threads
+        #: (``session_snapshot`` on the admin thread, concurrent submits)
+        self._state_lock = lockdep.instrument(
+            threading.Lock(), "session.state"
+        )
+        self._vars: dict[str, object] = {}  # guarded_by: _state_lock
+        self.statements = 0  # guarded_by: _state_lock
+        self.closed = False  # guarded_by: _state_lock
 
     # ------------------------------------------------------------------ #
     # statements
@@ -97,9 +103,13 @@ class Session:
 
     def execute_async(self, sql: str, params: list | None = None):
         """Submit one statement; returns a future with the QueryResult."""
-        if self.closed:
-            raise SessionClosedError(f"{self.name} is closed")
-        self.statements += 1
+        with self._state_lock:
+            if self.closed:
+                raise SessionClosedError(f"{self.name} is closed")
+            # Counted under the lock: concurrent submitters on a shared
+            # session no longer lose increments, and the admin thread's
+            # session_snapshot always reads a consistent value.
+            self.statements += 1
         return self._server.submit(self, sql, params)
 
     def register_function(self, name: str, fn,
@@ -114,17 +124,17 @@ class Session:
 
     def set_var(self, name: str, value) -> None:
         """Stash one per-session value (client temp state)."""
-        with self._vars_lock:
+        with self._state_lock:
             self._vars[name] = value
 
     def get_var(self, name: str, default=None):
         """Read a per-session value back."""
-        with self._vars_lock:
+        with self._state_lock:
             return self._vars.get(name, default)
 
     def var_names(self) -> list[str]:
         """Names of every session variable, sorted."""
-        with self._vars_lock:
+        with self._state_lock:
             return sorted(self._vars)
 
     # ------------------------------------------------------------------ #
@@ -132,10 +142,12 @@ class Session:
     # ------------------------------------------------------------------ #
 
     def close(self) -> None:
-        """End the session; subsequent statements are refused."""
-        if not self.closed:
+        """End the session; subsequent statements are refused (idempotent)."""
+        with self._state_lock:
+            if self.closed:
+                return
             self.closed = True
-            self._server._session_closed(self)
+        self._server._session_closed(self)
 
     def __enter__(self) -> "Session":
         return self

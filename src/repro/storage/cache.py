@@ -27,6 +27,7 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from repro.concurrency import lockdep
 from repro.errors import StorageError
 from repro.obs import metrics, trace
 from repro.storage.device import BlockDevice, IOStats
@@ -49,15 +50,15 @@ class PageCache:
         self.page_size = device.page_size
         self.capacity = device.capacity
         self.capacity_pages = capacity_pages
-        self.stats = IOStats()  # logical accounting
-        self._pages: OrderedDict[int, bytes] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        self.stats = IOStats()  # logical accounting; guarded_by: _lock
+        self._pages: OrderedDict[int, bytes] = OrderedDict()  # guarded_by: _lock
+        self.hits = 0  # guarded_by: _lock
+        self.misses = 0  # guarded_by: _lock
         #: guards ``_pages``, ``stats`` and the hit/miss counters
-        self._lock = threading.Lock()
+        self._lock = lockdep.instrument(threading.Lock(), "cache.lock")
         #: per-page fill latches: concurrent misses on *different* pages
         #: read from the device in parallel
-        self._latches: dict[int, threading.Lock] = {}
+        self._latches: dict[int, threading.Lock] = {}  # guarded_by: _lock
 
     @property
     def physical(self) -> IOStats:
@@ -80,7 +81,9 @@ class PageCache:
             page = self._pages.get(number)
             if page is not None:
                 return self._record_hit(number, page)
-            latch = self._latches.setdefault(number, threading.Lock())
+            latch = self._latches.setdefault(
+                number, lockdep.instrument(threading.Lock(), "cache.latch")
+            )
         with latch:
             # Re-check under the mutex: another thread may have completed
             # the fill while this one waited on the latch.

@@ -40,8 +40,11 @@ class LongFieldManager:
     def __init__(self, device: BlockDevice):
         self.device = device
         self._allocator = BuddyAllocator(device.capacity, device.page_size)
-        self._fields: dict[int, tuple[int, int]] = {}  # id -> (offset, length)
-        self._next_id = 1
+        # The field table and id counter commit atomically with the data
+        # pages (journaled as transaction metadata), so mutations must
+        # stay inside the transaction scope that journals them.
+        self._fields: dict[int, tuple[int, int]] = {}  # id -> (offset, length); guarded_by: txn
+        self._next_id = 1  # guarded_by: txn
 
     # ------------------------------------------------------------------ #
     # lifecycle

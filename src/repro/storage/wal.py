@@ -68,6 +68,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.concurrency import guarded_by, lockdep
 from repro.errors import StorageError, WalError
 from repro.obs import metrics, recorder, trace
 from repro.storage.device import IOStats, _page_intervals
@@ -240,20 +241,22 @@ class WriteAheadLog:
         self.journal = journal
         self.page_size = device.page_size
         self.capacity = device.capacity
-        self.stats = IOStats()  # logical accounting (what the client asked)
-        self._depth = 0
+        self.stats = IOStats()  # logical accounting; guarded_by: _stats_lock
+        self._depth = 0  # guarded_by: txn
         # Commit serialization: the outermost transaction scope owns this
         # re-entrant lock for its whole extent, so concurrent writers
         # serialize journal commits instead of interleaving dirty pages —
         # nesting within one thread still joins the outer transaction.
-        self._txn_lock = threading.RLock()
-        self._stats_lock = threading.Lock()  # logical counters under readers
-        self._dirty: dict[int, bytearray] = {}
-        self._undo: list = []
-        self._meta_provider = None
-        self._next_txn_id = max(1, int(next_txn_id))
-        self._journal_head = 0  # append point; rewound only by reset_journal
-        self.last_committed_meta: dict | None = None
+        self._txn_lock = lockdep.instrument(
+            threading.RLock(), "wal.txn", reentrant=True
+        )
+        self._stats_lock = lockdep.instrument(threading.Lock(), "wal.stats")
+        self._dirty: dict[int, bytearray] = {}  # guarded_by: txn
+        self._undo: list = []  # guarded_by: txn
+        self._meta_provider = None  # guarded_by: txn
+        self._next_txn_id = max(1, int(next_txn_id))  # guarded_by: txn
+        self._journal_head = 0  # append point; guarded_by: txn
+        self.last_committed_meta: dict | None = None  # guarded_by: txn
         self.recovery: RecoveryReport | None = None
         if recover:
             self.recovery = recover_journal(
@@ -376,9 +379,14 @@ class WriteAheadLog:
         back together with the discarded pages.  On commit they are
         dropped.
         """
-        if self._depth == 0:
-            raise WalError("on_rollback requires an open transaction")
-        self._undo.append(undo)
+        # Under the transaction lock: the registration joins the open
+        # transaction it belongs to (re-entrant for the owning thread),
+        # and a stray call from a non-owner thread serializes against the
+        # owner's commit instead of racing the undo list.
+        with self._txn_lock:
+            if self._depth == 0:
+                raise WalError("on_rollback requires an open transaction")
+            self._undo.append(undo)
 
     def _rollback(self) -> None:
         """Discard buffered pages and unwind registered undo actions."""
@@ -450,13 +458,18 @@ class WriteAheadLog:
         that would otherwise restart txn ids at 1 and make an old id look
         monotonically fresh again.
         """
-        if self.in_transaction:
-            raise WalError("cannot reset the journal inside a transaction")
-        last_id = self._next_txn_id - 1
-        body = _CKPT_MAGIC + struct.pack("<Q", last_id)
-        self.journal.write(0, body + _CRC.pack(zlib.crc32(body)))
-        self._journal_head = _CKPT.size
-        metrics.gauge("wal.journal_bytes").set(self._journal_head)
+        # Hold the transaction lock: a checkpoint racing another thread's
+        # open transaction waits for its commit instead of moving the
+        # append point underneath it.  Re-entrant, so a reset attempted
+        # from *inside* a transaction still reaches the depth check below.
+        with self._txn_lock:
+            if self.in_transaction:
+                raise WalError("cannot reset the journal inside a transaction")
+            last_id = self._next_txn_id - 1
+            body = _CKPT_MAGIC + struct.pack("<Q", last_id)
+            self.journal.write(0, body + _CRC.pack(zlib.crc32(body)))
+            self._journal_head = _CKPT.size
+            metrics.gauge("wal.journal_bytes").set(self._journal_head)
 
     # ------------------------------------------------------------------ #
     # device duck interface
@@ -479,12 +492,21 @@ class WriteAheadLog:
         return page
 
     def write(self, offset: int, data: bytes) -> None:
-        """Buffer a write into the open transaction (auto-commit outside one)."""
+        """Buffer a write into the open transaction (auto-commit outside one).
+
+        The transaction join is unconditional: outside any scope the write
+        auto-commits; inside one it joins (re-entrant lock).  A write
+        racing *another thread's* open transaction blocks on the
+        transaction lock instead of interleaving its pages into that
+        thread's buffer.
+        """
         self._check_range(offset, len(data))
-        if self._depth == 0:
-            with self.transaction():
-                self.write(offset, data)
-            return
+        with self.transaction():
+            self._buffer_write(offset, data)
+
+    @guarded_by("txn")
+    def _buffer_write(self, offset: int, data: bytes) -> None:
+        """Stage one write in the open transaction's dirty-page buffer."""
         pages = _page_intervals(np.asarray([offset]), np.asarray([offset + len(data)]))
         with self._stats_lock:
             self.stats.add_write(pages.count, pages.run_count, len(data))

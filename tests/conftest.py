@@ -21,6 +21,7 @@ import zlib
 import numpy as np
 import pytest
 
+from repro.concurrency import lockdep
 from repro.core import QbismSystem
 from repro.curves import GridSpec
 from repro.regions import Region, rasterize
@@ -45,6 +46,29 @@ def _deterministic_rng(request):
 def test_seed(_deterministic_rng) -> int:
     """The test's pinned seed, for keying explicit fault schedules."""
     return _deterministic_rng
+
+
+@pytest.fixture(autouse=True)
+def _lockdep_witness():
+    """Fail any test whose locking leaves a new lockdep violation behind.
+
+    Inert unless the witness is on (``REPRO_LOCKDEP=1`` in the
+    environment, as the stress CI job sets, or an explicit ``enable()``).
+    Tests that deliberately provoke violations (``test_lockdep.py``)
+    reset the graph in their own fixture's teardown, so they pass this
+    check too: only *unexpected* violations — an ordering bug in the code
+    under test, observed by the instrumented locks — fail the run.
+    """
+    if not lockdep.enabled():
+        yield
+        return
+    before = len(lockdep.violations())
+    yield
+    fresh = lockdep.violations()[before:]
+    assert not fresh, (
+        "lockdep recorded lock-order violations during this test:\n"
+        + "\n".join(f"  {v}" for v in fresh)
+    )
 
 
 @pytest.hookimpl(hookwrapper=True)

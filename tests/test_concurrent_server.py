@@ -262,6 +262,56 @@ class TestSessions:
             with pytest.raises(SessionClosedError):
                 s.execute("select 1 from lookup where k = 0")
 
+    def test_statement_counter_survives_concurrent_submitters(self):
+        """Regression: ``statements += 1`` used to be an unlocked read-
+        modify-write, so threads sharing a session lost increments."""
+        db = fresh_db()
+        per_thread, threads = 25, 4
+        with QueryServer(db, workers=2) as server:
+            s = server.connect(name="shared")
+            start = threading.Barrier(threads)
+
+            def hammer() -> None:
+                start.wait()
+                futures = [
+                    s.execute_async("select v from lookup where k = ?", [k % 20])
+                    for k in range(per_thread)
+                ]
+                for future in futures:
+                    future.result(timeout=10)
+
+            workers = [threading.Thread(target=hammer) for _ in range(threads)]
+            for t in workers:
+                t.start()
+            for t in workers:
+                t.join()
+            assert s.statements == per_thread * threads
+            s.close()
+
+    def test_concurrent_close_detaches_exactly_once(self):
+        """Regression: close() is idempotent under racing callers — the
+        server must be told about the detach exactly once, or the active-
+        session count goes negative for later accounting."""
+        db = fresh_db()
+        with QueryServer(db, workers=2) as server:
+            s = server.connect(name="doomed")
+            other = server.connect(name="survivor")
+            start = threading.Barrier(8)
+
+            def slam() -> None:
+                start.wait()
+                s.close()
+
+            workers = [threading.Thread(target=slam) for _ in range(8)]
+            for t in workers:
+                t.start()
+            for t in workers:
+                t.join()
+            assert s.closed
+            assert server.active_sessions == 1
+            other.close()
+            assert server.active_sessions == 0
+
     def test_active_session_accounting(self):
         db = fresh_db()
         with QueryServer(db, workers=2) as server:

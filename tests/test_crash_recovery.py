@@ -437,6 +437,89 @@ class TestOuterScopeRollback:
         assert lfm.read(a) == PAYLOAD_A
 
 
+class TestUndoRegistration:
+    """``on_rollback`` joins the open transaction — from any thread."""
+
+    def test_requires_an_open_transaction(self):
+        wal, _, _ = build_stack(recover=False)
+        with pytest.raises(WalError, match="open transaction"):
+            wal.on_rollback(lambda: None)
+
+    def test_callbacks_run_in_reverse_order_on_abort(self):
+        wal, _, _ = build_stack(recover=False)
+        ran: list[str] = []
+
+        class Boom(Exception):
+            pass
+
+        with pytest.raises(Boom):
+            with wal.transaction():
+                wal.on_rollback(lambda: ran.append("first"))
+                wal.on_rollback(lambda: ran.append("second"))
+                raise Boom("abort")
+        assert ran == ["second", "first"]
+
+    def test_dropped_on_commit(self):
+        wal, _, _ = build_stack(recover=False)
+        ran: list[str] = []
+        with wal.transaction():
+            wal.write(0, PAYLOAD_A)
+            wal.on_rollback(lambda: ran.append("undone"))
+        assert ran == []
+
+    def test_non_owner_registration_serializes_against_commit(self):
+        """Regression: a stray ``on_rollback`` from a thread that does not
+        own the transaction used to append to the undo list unlocked,
+        racing the owner's commit.  It now blocks on the transaction lock
+        until the owner commits — and is then correctly refused, because
+        the transaction it tried to join no longer exists."""
+        import threading
+
+        wal, _, _ = build_stack(recover=False)
+        opened = threading.Event()
+        proceed = threading.Event()
+        ran: list[str] = []
+        outcome: list[BaseException | None] = []
+
+        def owner() -> None:
+            with wal.transaction():
+                wal.write(0, PAYLOAD_A)
+                opened.set()
+                proceed.wait(10)
+
+        def stray() -> None:
+            try:
+                wal.on_rollback(lambda: ran.append("stray"))
+            except WalError as exc:
+                outcome.append(exc)
+            else:
+                outcome.append(None)
+
+        owner_thread = threading.Thread(target=owner)
+        owner_thread.start()
+        assert opened.wait(10)
+        stray_thread = threading.Thread(target=stray)
+        stray_thread.start()
+        # The stray registration is parked on the txn lock the owner
+        # holds for the whole scope; let the owner commit underneath it.
+        proceed.set()
+        owner_thread.join(10)
+        stray_thread.join(10)
+        assert not stray_thread.is_alive()
+        assert len(outcome) == 1 and isinstance(outcome[0], WalError)
+        # The committed transaction's pages survived, and the stray undo
+        # neither ran nor leaked into a later transaction's undo list.
+        assert wal.read(0, len(PAYLOAD_A)) == PAYLOAD_A
+
+        class Boom(Exception):
+            pass
+
+        with pytest.raises(Boom):
+            with wal.transaction():
+                raise Boom("abort")
+        assert ran == []
+
+
 class TestPersistence:
     def _database_with_wal(self):
         data = BlockDevice(CAPACITY)
