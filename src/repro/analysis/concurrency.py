@@ -7,13 +7,16 @@ with stable ``QB4xx`` codes (suppressible like any other rule):
 
 **Lock ordering** — the runtime hierarchy, outermost first::
 
-    db.rwlock (10) -> txn (20) -> cache.latch (30) -> cache.lock (40)
-                   -> wal.stats (50) -> leaf mutexes (1000)
+    db.rwlock (10) -> txn (20) -> db.version (25) -> cache.latch (30)
+                   -> cache.lock (40) -> wal.stats (50)
+                   -> leaf mutexes (1000)
 
 ``db.rwlock`` is the database's statement-level RWLock; ``txn`` is the
 WAL transaction scope (the ``wal.txn`` RLock *and* every
 ``X.transaction()`` context manager — statically they are one region);
-every other private mutex (``*lock`` / ``*latch`` attributes) is a
+``db.version`` is the MVCC version-manager mutex (writers publish under
+``db.rwlock`` and ``txn``; readers pin/unpin with nothing held above
+it); every other private mutex (``*lock`` / ``*latch`` attributes) is a
 *leaf*: it may be taken while anything above it is held, but nothing
 ranked may be acquired under it.  Violations:
 
@@ -68,6 +71,7 @@ __all__ = ["analyze_paths", "RANKS", "LEAF_RANK", "CONCURRENCY_CODES"]
 RANKS = {
     "db.rwlock": 10,
     "txn": 20,
+    "db.version": 25,
     "cache.latch": 30,
     "cache.lock": 40,
     "wal.stats": 50,
@@ -85,6 +89,11 @@ LOCK_ATTRS = {
     ("PageCache", "_lock"): "cache.lock",
     ("WriteAheadLog", "_txn_lock"): "txn",
     ("WriteAheadLog", "_stats_lock"): "wal.stats",
+    ("VersionManager", "_lock"): "db.version",
+    # Condition variables (leaf rank; named so `with self._cond:` scopes
+    # register as holding the guard for the state they protect)
+    ("WriteAheadLog", "_commit_cond"): "WriteAheadLog._commit_cond",
+    ("WorkerPool", "_cond"): "WorkerPool._cond",
 }
 
 #: bare with-target names with a known key (the per-page fill latch)
@@ -100,8 +109,8 @@ MUTATORS = {
     "add_read", "add_write",
 }
 
-_HIERARCHY_DOC = ("db.rwlock -> txn -> cache.latch -> cache.lock -> "
-                  "wal.stats -> leaf mutexes")
+_HIERARCHY_DOC = ("db.rwlock -> txn -> db.version -> cache.latch -> "
+                  "cache.lock -> wal.stats -> leaf mutexes")
 
 _GUARD_RE = re.compile(r"guarded_by:\s*([A-Za-z_]\w*)")
 
@@ -196,8 +205,10 @@ class _Analyzer:
 
     def _guard_key(self, cls: str, guard: str) -> str:
         """A guard name from an annotation to its hierarchy key."""
-        if guard == "txn":
-            return "txn"
+        if guard == "txn" or guard in RANKS:
+            # A hierarchy key used verbatim ("db.rwlock", "db.version")
+            # names the ranked lock itself, not a per-class attribute.
+            return guard
         return LOCK_ATTRS.get((cls, guard), f"{cls}.{guard}")
 
     def _declared_guards(self, fn: FunctionInfo) -> set[str]:

@@ -122,7 +122,9 @@ def run_benches(grid_side: int = 32, n_pet: int = 5, n_mri: int = 3,
     With ``concurrency`` the multi-session serving workload
     (:mod:`repro.bench.concurrency`) also runs, after the tables, and
     writes ``BENCH_concurrency.json`` with throughput at each session
-    count in ``session_counts``.
+    count in ``session_counts`` plus the ``mixed-rwlock`` /
+    ``mixed-mvcc`` A/B rows (16 sessions, 10% writes) that gate the
+    MVCC + group-commit speedup.
     """
     from repro.core.system import QbismSystem
     from repro.obs import metrics
@@ -170,7 +172,11 @@ def run_benches(grid_side: int = 32, n_pet: int = 5, n_mri: int = 3,
                  ("BENCH_table4.json", table4_doc)]
 
     if concurrency:
-        from repro.bench.concurrency import CONCURRENCY_COLUMNS, run_concurrency
+        from repro.bench.concurrency import (
+            CONCURRENCY_COLUMNS,
+            run_concurrency,
+            run_mixed_concurrency,
+        )
 
         # The serving trials get their own metrics window so the
         # table3/table4 snapshots (already captured above) stay scoped
@@ -179,6 +185,9 @@ def run_benches(grid_side: int = 32, n_pet: int = 5, n_mri: int = 3,
         conc_rows = run_concurrency(
             system, session_counts=session_counts, seed=seed,
         )
+        # The mixed A/B builds its own private stacks (one per mode), so
+        # it cannot perturb the shared demo system the rows above used.
+        conc_rows.update(run_mixed_concurrency(seed=seed))
         documents.append((
             "BENCH_concurrency.json",
             _document("concurrency", generated, CONCURRENCY_COLUMNS, conc_rows),

@@ -52,6 +52,7 @@ __all__ = [
     "note_acquire",
     "note_release",
     "held_keys",
+    "acquire_count",
     "edges",
     "violations",
     "reset",
@@ -62,6 +63,7 @@ __all__ = [
 DEFAULT_RANKS = {
     "db.rwlock": 10,
     "wal.txn": 20,
+    "db.version": 25,
     "cache.latch": 30,
     "cache.lock": 40,
     "wal.stats": 50,
@@ -76,6 +78,7 @@ _RANKS: dict[str, int] = dict(DEFAULT_RANKS)
 _EDGES: dict[tuple[str, str], int] = {}
 _ADJACENCY: dict[str, set[str]] = {}
 _VIOLATIONS: list["LockOrderViolation"] = []
+_ACQUIRES: dict[str, int] = {}  # key -> total acquisitions since reset()
 
 _HELD = threading.local()  # per-thread list of keys, in acquisition order
 
@@ -165,6 +168,8 @@ def note_acquire(key: str, reentrant: bool = False) -> None:
     """
     if not _ENABLED:
         return
+    with _GRAPH_LOCK:
+        _ACQUIRES[key] = _ACQUIRES.get(key, 0) + 1
     stack = _stack()
     me = threading.current_thread().name
     if key in stack:
@@ -248,6 +253,18 @@ def note_release(key: str) -> None:
             return
 
 
+def acquire_count(key: str) -> int:
+    """Total recorded acquisitions of ``key`` since the last :func:`reset`.
+
+    Counts every :func:`note_acquire` call (re-entrant holds included),
+    across all threads.  Tests use the delta around a critical section to
+    assert a lock is *not* taken on a hot path — e.g. that a pinned-
+    snapshot SELECT performs zero ``db.rwlock`` acquisitions.
+    """
+    with _GRAPH_LOCK:
+        return _ACQUIRES.get(key, 0)
+
+
 def edges() -> dict[tuple[str, str], int]:
     """A snapshot of the acquisition-order graph (edge → observation count)."""
     with _GRAPH_LOCK:
@@ -266,6 +283,7 @@ def reset() -> None:
         _EDGES.clear()
         _ADJACENCY.clear()
         _VIOLATIONS.clear()
+        _ACQUIRES.clear()
         _RANKS.clear()
         _RANKS.update(DEFAULT_RANKS)
     _HELD.stack = []

@@ -10,9 +10,16 @@ __all__ = ["Catalog"]
 
 
 class Catalog:
-    """Holds all tables (and named indexes) of one database."""
+    """Holds all tables (and named indexes) of one database.
+
+    ``version`` counts DDL mutations (table/index create and drop).  The
+    MVCC layer combines it with per-table ``(uid, mutations)`` stamps to
+    decide whether a published snapshot still matches the live catalog
+    without iterating the live table dict from reader threads.
+    """
 
     def __init__(self) -> None:
+        self.version = 0
         self._tables: dict[str, Table] = {}
         self._indexes: dict[str, tuple[str, str]] = {}  # index name -> (table, column)
 
@@ -23,6 +30,7 @@ class Catalog:
             raise CatalogError(f"index {name!r} already exists")
         table = self.table(table_name)
         table.create_index(column)
+        self.version += 1
         self._indexes[key] = (table.name, column)
 
     def drop_index(self, name: str) -> None:
@@ -31,6 +39,7 @@ class Catalog:
             table_name, column = self._indexes.pop(name.lower())
         except KeyError:
             raise CatalogError(f"no such index {name!r}") from None
+        self.version += 1
         self.table(table_name).drop_index(column)
 
     def index_names(self) -> list[str]:
@@ -43,6 +52,7 @@ class Catalog:
         if key in self._tables:
             raise CatalogError(f"table {schema.table_name!r} already exists")
         table = Table(schema)
+        self.version += 1
         self._tables[key] = table
         return table
 
@@ -52,6 +62,7 @@ class Catalog:
             del self._tables[name.lower()]
         except KeyError:
             raise CatalogError(f"no such table {name!r}") from None
+        self.version += 1
         self._indexes = {
             idx: (t, c) for idx, (t, c) in self._indexes.items()
             if t.lower() != name.lower()

@@ -22,13 +22,14 @@ from repro.db.functions import (
     builtin_functions,
     builtin_signatures,
 )
+from repro.db.mvcc import DatabaseVersion, VersionManager
 from repro.db.semantic import check
 from repro.db.sql.parser import parse
 from repro.errors import UnsupportedStatementError
 from repro.obs import metrics, recorder, trace
 from repro.obs.explain import PlanProfile, render_analyzed_plan
 from repro.storage.device import IOStats, attribute_io
-from repro.storage.lfm import LongFieldManager
+from repro.storage.lfm import FieldTableView, LongFieldManager
 
 __all__ = ["Database", "QueryResult"]
 
@@ -83,27 +84,132 @@ class QueryResult:
 
 @dataclass
 class Database:
-    """An extensible relational database with LONGFIELD support."""
+    """An extensible relational database with LONGFIELD support.
+
+    With ``mvcc`` enabled (the default), every committed write publishes
+    an immutable snapshot version of the catalog and LFM field table
+    (:mod:`repro.db.mvcc`); SELECT / EXPLAIN pin the latest version and
+    run against it with **no read lock**, so readers never stall behind
+    DML.  Disable it to get the classic reader-writer-lock protocol (the
+    concurrency bench's baseline).
+    """
 
     lfm: LongFieldManager | None = None
     catalog: Catalog = field(default_factory=Catalog)
     functions: FunctionRegistry = field(default_factory=FunctionRegistry)
+    mvcc: bool = True
 
     def __post_init__(self) -> None:
         self.functions.register_all(builtin_functions(), builtin_signatures())
         self._executor = Executor(self.catalog, self.functions)
         self._rwlock = RWLock(name="db.rwlock")
+        self._versions = VersionManager()
+        self._txn_nesting = 0  # open transaction() scopes; guarded_by db.rwlock
+        if self.mvcc:
+            if self.lfm is not None:
+                # Extent frees wait for pinned readers streaming their bytes.
+                self.lfm.retire_extent = self._versions.defer_free
+            self.publish_snapshot()
 
     @property
     def rwlock(self) -> RWLock:
         """The statement-level reader-writer lock (see ARCHITECTURE.md).
 
-        SELECT / EXPLAIN run under the shared side; every mutating
-        statement (and :meth:`transaction`) takes the exclusive side.  The
-        lock is re-entrant for its holder, so code running inside an
-        exclusive transaction scope may keep issuing statements.
+        With MVCC on, SELECT / EXPLAIN normally bypass this lock entirely
+        (they run against a pinned snapshot); the shared side is only
+        taken on the fallback path.  Every mutating statement (and
+        :meth:`transaction`) takes the exclusive side.  The lock is
+        re-entrant for its holder, so code running inside an exclusive
+        transaction scope may keep issuing statements.
         """
         return self._rwlock
+
+    @property
+    def versions(self) -> VersionManager:
+        """The MVCC version manager (snapshot chain introspection)."""
+        return self._versions
+
+    @property
+    def version_seq(self) -> int:
+        """Sequence number of the latest published snapshot (0 when none)."""
+        return self._versions.latest_seq
+
+    # ------------------------------------------------------------------ #
+    # MVCC snapshot protocol
+    # ------------------------------------------------------------------ #
+
+    def pin_version(self) -> DatabaseVersion | None:
+        """Pin the latest snapshot for a lock-free read.
+
+        Returns ``None`` — caller falls back to the read-lock path — when
+        MVCC is off, when no version is published yet, when the snapshot
+        is stale (something mutated tables outside the publish protocol),
+        or when this thread holds the write lock (statements inside an
+        open transaction must see its uncommitted state, which only the
+        live path can show).  A non-``None`` result must be released with
+        :meth:`unpin_version`.
+        """
+        if not self.mvcc:
+            return None
+        if self._rwlock.write_held:
+            return None
+        version = self._versions.pin_latest()
+        if version is None:
+            return None
+        if not self._version_fresh(version):
+            self._versions.unpin(version)
+            return None
+        return version
+
+    def unpin_version(self, version: DatabaseVersion) -> None:
+        """Release a pin taken with :meth:`pin_version`."""
+        self._versions.unpin(version)
+
+    def _version_fresh(self, version: DatabaseVersion) -> bool:
+        """Does the snapshot still match the live committed state?
+
+        Compares the catalog's DDL counter and each snapshot table's
+        ``(uid, mutations)`` stamp against the live table of the same
+        name.  A loader that pokes tables directly (bypassing SQL and
+        publish) moves the stamps, so its changes force readers back to
+        the locked path instead of being invisibly absent — until it
+        calls :meth:`publish_snapshot`.
+        """
+        if self.lfm is not None and version.fields is None:
+            return False
+        catalog = self.catalog
+        if version.catalog_version != catalog.version:
+            return False
+        live_tables = catalog._tables
+        for key, stamp in version.stamps.items():
+            live = live_tables.get(key)
+            if live is None or (live.uid, live.mutations) != stamp:
+                return False
+        return True
+
+    def publish_snapshot(self) -> None:
+        """Publish the live committed state as a fresh snapshot version.
+
+        Runs automatically after every committed write statement and
+        transaction.  Loaders that mutate tables directly (bypassing the
+        SQL layer) should call it once when done, so readers return to
+        the lock-free snapshot path.
+        """
+        if not self.mvcc:
+            return
+        with self._rwlock.write():
+            self._publish_version()
+
+    def _publish_version(self) -> None:
+        """Publish under the already-held write lock.
+
+        Callers hold the exclusive side of :attr:`rwlock` — sometimes via
+        an explicit ``acquire_write`` whose release lives in a commit
+        callback, which is why this contract is prose rather than a
+        statically checked ``@guarded_by``; the runtime lockdep witness
+        still sees every acquisition order.
+        """
+        self._versions.publish(self.catalog, self.lfm)
 
     @staticmethod
     def statement_is_read(stmt) -> bool:
@@ -113,7 +219,8 @@ class Database:
         return isinstance(stmt, (Select, Explain))
 
     def execute(self, sql: str, params: list | None = None,
-                functions: FunctionRegistry | None = None) -> QueryResult:
+                functions: FunctionRegistry | None = None,
+                version: DatabaseVersion | None = None) -> QueryResult:
         """Parse, analyze, and run one SQL statement.
 
         The semantic analyzer runs unconditionally between parse and
@@ -129,9 +236,13 @@ class Database:
         the shared one, so session-local UDFs resolve without touching
         other sessions.
 
-        Statements are classified read/write and run under the matching
-        side of :attr:`rwlock`: concurrent SELECTs share the database,
-        mutating statements get it exclusively.
+        SELECT / EXPLAIN run lock-free against a pinned MVCC snapshot
+        when one is available; ``version`` lets a caller that already
+        pinned one (the result cache tags entries with its sequence
+        number) supply it — the caller then also owns the unpin.  When no
+        snapshot applies, reads take the shared side of :attr:`rwlock`;
+        mutating statements always take the exclusive side and publish a
+        fresh snapshot on commit.
         """
         import time
 
@@ -140,12 +251,24 @@ class Database:
         stmt = parse(sql)
         registry = functions if functions is not None else self.functions
         is_read = self.statement_is_read(stmt)
-        lock = self._rwlock.read() if is_read else self._rwlock.write()
         # The flight recorder's statement scope: when the serving layer
         # already opened one on this thread (it owns session/pool-wait
         # attribution), the notes below land on that record instead.
         rec = recorder.statement(sql, trace_id=trace.current_trace_id(),
                                  kind="read" if is_read else "write")
+        if is_read:
+            pinned = version if version is not None else self.pin_version()
+            if pinned is not None:
+                try:
+                    with rec:
+                        return self._execute_pinned(
+                            stmt, list(params or ()), sql, registry, rec,
+                            pinned,
+                        )
+                finally:
+                    if version is None:
+                        self.unpin_version(pinned)
+        lock = self._rwlock.read() if is_read else self._rwlock.write()
         with rec, lock:
             check(stmt, self.catalog, registry)
             if isinstance(stmt, Explain):
@@ -172,28 +295,85 @@ class Database:
             # SELECTs report returned rows; writes report rows affected.
             rec.note(rows=len(result.rows) or result.rowcount, io=io_delta,
                      params=params if params else None)
+            if not is_read and self.mvcc and self._txn_nesting == 0:
+                # Auto-commit write: the statement is fully applied (any
+                # LFM mini-transactions have flushed), publish it.
+                self._publish_version()
             return QueryResult(result=result, work=ctx.work, io=io_delta,
                                sql=sql)
 
+    def _execute_pinned(self, stmt, params: list, sql: str,
+                        registry: FunctionRegistry, rec,
+                        pinned: DatabaseVersion) -> QueryResult:
+        """Run SELECT / EXPLAIN against a pinned snapshot — no read lock.
+
+        The statement sees the snapshot's catalog tables and a read-only
+        view of its LFM field table; live-state mutations by concurrent
+        writers are invisible.  I/O attribution is unchanged: the view
+        delegates reads to the live LFM, whose stats feed the same
+        thread-local sink.
+        """
+        import time
+
+        from repro.db.sql.ast import Explain
+
+        catalog = pinned.catalog
+        check(stmt, catalog, registry)
+        lfm_view = (FieldTableView(self.lfm, pinned.fields)
+                    if self.lfm is not None else None)
+        if isinstance(stmt, Explain):
+            result = self._execute_explain(stmt, params, sql, registry,
+                                           catalog=catalog, lfm=lfm_view)
+            rec.note(rows=len(result.rows), io=result.io, kind="explain",
+                     params=params if params else None)
+            return result
+        metrics.counter("db.statements").inc()
+        start = time.perf_counter()
+        ctx = ExecutionContext(lfm=lfm_view, analyzed=True)
+        if self.lfm is not None:
+            with attribute_io(self.lfm.stats) as io_delta:
+                ctx.io_sink = io_delta
+                result = self._run(stmt, params, ctx, registry,
+                                   catalog=catalog)
+        else:
+            io_delta = None
+            result = self._run(stmt, params, ctx, registry, catalog=catalog)
+        wall = time.perf_counter() - start
+        metrics.histogram("db.query_seconds").observe(wall)
+        rec.note(rows=len(result.rows) or result.rowcount, io=io_delta,
+                 params=params if params else None)
+        return QueryResult(result=result, work=ctx.work, io=io_delta,
+                           sql=sql)
+
     def _run(self, stmt, params: list, ctx: ExecutionContext,
-             registry: FunctionRegistry) -> ResultSet:
-        """Dispatch to the shared executor (or a session-scoped clone)."""
-        if registry is self.functions:
+             registry: FunctionRegistry, catalog=None) -> ResultSet:
+        """Dispatch to the shared executor (or a statement-scoped clone)."""
+        if catalog is None:
+            catalog = self.catalog
+        if registry is self.functions and catalog is self.catalog:
             return self._executor.execute(stmt, params, ctx)
-        return Executor(self.catalog, registry).execute(stmt, params, ctx)
+        return Executor(catalog, registry).execute(stmt, params, ctx)
 
     def _execute_explain(self, stmt, params: list, sql: str,
-                         registry: FunctionRegistry | None = None) -> QueryResult:
-        """Run EXPLAIN / EXPLAIN ANALYZE; the plan comes back as rows."""
+                         registry: FunctionRegistry | None = None, *,
+                         catalog=None, lfm=None) -> QueryResult:
+        """Run EXPLAIN / EXPLAIN ANALYZE; the plan comes back as rows.
+
+        ``catalog`` / ``lfm`` pin the statement to a snapshot version;
+        they default to the live structures (locked path).
+        """
         from repro.db.planner import plan_select
         from repro.db.sql.ast import Select
 
         registry = registry if registry is not None else self.functions
+        if catalog is None:
+            catalog = self.catalog
+            lfm = self.lfm
         inner = stmt.statement
         if not isinstance(inner, Select):
             raise UnsupportedStatementError("EXPLAIN supports SELECT statements only")
         if not stmt.analyze:
-            lines = plan_select(inner, self.catalog).describe().splitlines()
+            lines = plan_select(inner, catalog).describe().splitlines()
             rows = [(line,) for line in lines]
             return QueryResult(
                 result=ResultSet(["plan"], rows),
@@ -201,17 +381,17 @@ class Database:
             )
         metrics.counter("db.statements").inc()
         profile = PlanProfile()
-        ctx = ExecutionContext(lfm=self.lfm, analyzed=True, profile=profile)
+        ctx = ExecutionContext(lfm=lfm, analyzed=True, profile=profile)
         # Per-operator and statement totals read the thread-local sink, so
         # two EXPLAIN ANALYZEs in flight (the read lock is shared) cannot
         # cross-attribute each other's page I/Os.
-        if self.lfm is not None:
-            with attribute_io(self.lfm.stats) as io_delta:
+        if lfm is not None:
+            with attribute_io(lfm.stats) as io_delta:
                 ctx.io_sink = io_delta
-                self._run(inner, params, ctx, registry)
+                self._run(inner, params, ctx, registry, catalog=catalog)
         else:
             io_delta = None
-            self._run(inner, params, ctx, registry)
+            self._run(inner, params, ctx, registry, catalog=catalog)
         lines = render_analyzed_plan(profile, io=io_delta, work=ctx.work)
         return QueryResult(
             result=ResultSet(["plan"], [(line,) for line in lines]),
@@ -221,14 +401,16 @@ class Database:
     def executemany(self, sql: str, param_rows: list[list]) -> int:
         """Run one parameterized statement repeatedly; returns total rowcount."""
         stmt = parse(sql)
-        lock = (self._rwlock.read() if self.statement_is_read(stmt)
-                else self._rwlock.write())
+        is_read = self.statement_is_read(stmt)
+        lock = self._rwlock.read() if is_read else self._rwlock.write()
         with lock:
             check(stmt, self.catalog, self.functions)
             total = 0
             for params in param_rows:
                 ctx = ExecutionContext(lfm=self.lfm, analyzed=True)
                 total += self._executor.execute(stmt, list(params), ctx).rowcount
+            if not is_read and self.mvcc and self._txn_nesting == 0:
+                self._publish_version()
         return total
 
     def explain(self, sql: str) -> str:
@@ -264,24 +446,63 @@ class Database:
         table; on a raw device the scope is a no-op.  Databases without an
         LFM have no storage to protect, so the scope is trivially empty.
 
-        The scope holds the exclusive side of :attr:`rwlock` end to end:
-        concurrent readers never observe a half-applied transaction, and
-        two writers' storage transactions cannot interleave (the WAL
-        additionally serializes commits below this layer).  Statements
-        issued inside the scope re-enter the lock without blocking.
+        The scope holds the exclusive side of :attr:`rwlock` from entry
+        through commit *seal*: concurrent readers never observe a
+        half-applied transaction, and two writers' storage transactions
+        cannot interleave.  Under a group-commit WAL the lock is released
+        as soon as the commit is sealed and the snapshot published — the
+        journal flush happens *outside* the lock, so other writers seal
+        behind this one and share a single flush.  Statements issued
+        inside the scope re-enter the lock without blocking.
         """
         return self._locked_transaction()
 
     @contextmanager
     def _locked_transaction(self):
-        with self._rwlock.write():
+        self._rwlock.acquire_write()
+        self._txn_nesting += 1
+        done = {"finished": False}
+
+        def finish(publish: bool) -> None:
+            # Exactly-once epilogue: runs either from the WAL's on-sealed
+            # callback (early — before the journal flush, so the write
+            # lock is free while this transaction waits on the "disk") or
+            # from the scope exit below.
+            if done["finished"]:
+                return
+            done["finished"] = True
+            self._txn_nesting -= 1
+            if publish and self.mvcc and self._txn_nesting == 0:
+                self._publish_version()
+            elif not publish and self.mvcc:
+                self._versions.discard_pending()
+            self._rwlock.release_write()
+
+        try:
             if self.lfm is None:
                 yield self
             else:
+                kwargs = {}
+                if (self.mvcc and self._txn_nesting == 1
+                        and getattr(self.lfm.device, "supports_group_commit",
+                                    False)):
+                    kwargs["on_sealed"] = lambda: finish(publish=True)
                 with self.lfm.device.transaction(
-                    meta_provider=self.lfm.export_state
+                    meta_provider=self.lfm.export_state, **kwargs
                 ):
                     yield self
+            finish(publish=True)
+        # The scope boundary: rollback/unlock must run for KeyboardInterrupt
+        # and SystemExit too, or the write lock leaks.
+        except BaseException:  # qblint: disable=no-broad-except
+            if not done["finished"]:
+                finish(publish=False)
+            else:
+                # Sealed, published, and unlocked — but the group flush
+                # failed and the WAL rolled the live state back.  Publish
+                # again so the aborted version stops being served.
+                self.publish_snapshot()
+            raise
 
     def register_function(self, name: str, fn,
                           signature: FunctionSignature | None = None,

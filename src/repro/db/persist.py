@@ -198,4 +198,8 @@ def load_database(
         table = db.catalog.create_table(TableSchema(spec["name"], columns))
         for row in spec["rows"]:
             table.insert([_decode_cell(v) for v in row])
+    # The rows above were loaded outside the SQL layer; publish once so
+    # readers start on the lock-free snapshot path instead of falling
+    # back to the read lock forever.
+    db.publish_snapshot()
     return db

@@ -15,6 +15,7 @@ available at a join level.
 
 from __future__ import annotations
 
+import itertools
 from collections.abc import Iterator
 
 from repro.db.schema import TableSchema
@@ -35,11 +36,25 @@ def _index_key(value):
         return _UNHASHABLE
 
 
+#: process-wide table identity source; ``itertools.count`` is GIL-atomic
+_TABLE_UIDS = itertools.count(1)
+
+
 class Table:
-    """A heap of typed rows with optional single-column hash indexes."""
+    """A heap of typed rows with optional single-column hash indexes.
+
+    Every table carries an identity stamp (``uid``, unique per Table
+    object ever constructed) and a ``mutations`` counter bumped by every
+    row or index mutation.  Together they let the MVCC layer decide with
+    two integer compares whether a published snapshot still matches the
+    live table — including the drop-then-recreate-same-name case, which
+    the uid catches.
+    """
 
     def __init__(self, schema: TableSchema):
         self.schema = schema
+        self.uid = next(_TABLE_UIDS)
+        self.mutations = 0
         self._rows: list[list] = []
         #: column position -> {value: [rows]}
         self._indexes: dict[int, dict] = {}
@@ -61,6 +76,7 @@ class Table:
     def insert(self, values: list) -> None:
         """Append one row, coercing values against the schema."""
         row = self.schema.validate_row(list(values))
+        self.mutations += 1
         self._rows.append(row)
         for position, buckets in self._indexes.items():
             buckets.setdefault(_index_key(row[position]), []).append(row)
@@ -79,6 +95,7 @@ class Table:
     def delete_where(self, predicate) -> int:
         """Delete rows for which ``predicate(row)`` is true; returns the count."""
         before = len(self._rows)
+        self.mutations += 1
         self._rows = [row for row in self._rows if not predicate(row)]
         self._rebuild_indexes()
         return before - len(self._rows)
@@ -92,11 +109,13 @@ class Table:
                 self._rows[i] = self.schema.validate_row(apply(row))
                 touched += 1
         if touched:
+            self.mutations += 1
             self._rebuild_indexes()
         return touched
 
     def truncate(self) -> None:
         """Delete every row (indexes are rebuilt empty)."""
+        self.mutations += 1
         self._rows.clear()
         self._rebuild_indexes()
 
@@ -114,6 +133,7 @@ class Table:
         buckets: dict = {}
         for row in self._rows:
             buckets.setdefault(_index_key(row[position]), []).append(row)
+        self.mutations += 1
         self._indexes[position] = buckets
 
     def drop_index(self, column: str) -> None:
@@ -123,6 +143,7 @@ class Table:
             del self._indexes[position]
         except KeyError:
             raise CatalogError(f"table {self.name!r} has no index on {column!r}") from None
+        self.mutations += 1
 
     def has_index(self, column: str) -> bool:
         """True when an equality probe on ``column`` can use an index."""
@@ -144,6 +165,27 @@ class Table:
     def indexed_columns(self) -> list[str]:
         """Names of the indexed columns, in schema order."""
         return [self.schema.columns[p].name for p in sorted(self._indexes)]
+
+    def snapshot(self) -> "Table":
+        """An immutable-by-convention copy for MVCC snapshot reads.
+
+        Rows are shared by reference: mutators replace row lists wholesale
+        (``update_where`` builds a fresh validated list; ``insert`` appends
+        a new one), so sharing is safe.  Index buckets *are* appended to in
+        place by ``insert``, so each bucket list is copied.  The clone
+        keeps the source's ``uid``/``mutations`` stamp, identifying the
+        exact state it captured.
+        """
+        clone = Table.__new__(Table)
+        clone.schema = self.schema
+        clone.uid = self.uid
+        clone.mutations = self.mutations
+        clone._rows = list(self._rows)
+        clone._indexes = {
+            position: {key: list(rows) for key, rows in buckets.items()}
+            for position, buckets in self._indexes.items()
+        }
+        return clone
 
     def _rebuild_indexes(self) -> None:
         for position in list(self._indexes):

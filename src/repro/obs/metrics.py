@@ -112,52 +112,74 @@ class Histogram:
     @property
     def mean(self) -> float:
         """Arithmetic mean of the observations (0.0 when empty)."""
-        return self.total / self.count if self.count else 0.0
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
         """Estimated ``q``-quantile (``0 < q <= 1``) from the buckets.
 
         Linear interpolation inside the bucket holding the target rank,
         clamped by the observed ``min``/``max`` so estimates never leave
-        the data's range.  The overflow bucket reports ``max``.  Exact
+        the data's range.  The overflow bucket interpolates between the
+        last finite bound and ``max`` like any other bucket.  Exact
         values are impossible from fixed bounds — this is the standard
         Prometheus-style estimate, good to one bucket's width.
         """
         if not 0.0 < q <= 1.0:
             raise ValidationError(f"percentile wants 0 < q <= 1, got {q}")
         with self._lock:
-            if not self.count:
-                return 0.0
-            target = q * self.count
-            cumulative = 0
-            lower = 0.0
-            for i, bound in enumerate(_BUCKET_BOUNDS):
-                in_bucket = self.buckets[i]
-                if in_bucket and cumulative + in_bucket >= target:
-                    lo = max(lower, self.min if self.min is not None else lower)
-                    hi = min(bound, self.max if self.max is not None else bound)
-                    if hi < lo:
-                        hi = lo
-                    return lo + (target - cumulative) / in_bucket * (hi - lo)
-                cumulative += in_bucket
+            return self._percentile_locked(q)
+
+    def _percentile_locked(self, q: float) -> float:
+        """Quantile estimate from a consistent state (lock held by caller)."""
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        lower = 0.0
+        # The overflow bucket (bound None) is a real bucket too: its
+        # upper edge is the observed max.  Skipping it — the old code fell
+        # through to a bare ``max`` — misreported every quantile whose
+        # rank landed there (e.g. p50 of a distribution entirely above
+        # the last finite bound collapsed to the single largest value).
+        for bound, in_bucket in zip(_BUCKET_BOUNDS + (None,), self.buckets):
+            if in_bucket and cumulative + in_bucket >= target:
+                lo = max(lower, self.min if self.min is not None else lower)
+                hi = self.max if self.max is not None else lower
+                if bound is not None:
+                    hi = min(bound, hi) if self.max is not None else bound
+                if hi < lo:
+                    hi = lo
+                return lo + (target - cumulative) / in_bucket * (hi - lo)
+            cumulative += in_bucket
+            if bound is not None:
                 lower = bound
-            return self.max if self.max is not None else lower
+        return self.max if self.max is not None else 0.0
 
     def export(self):
-        """Summary dict: count, sum, mean, min, max, percentiles, buckets."""
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "mean": self.mean,
-            "min": self.min,
-            "max": self.max,
-            "p50": self.percentile(0.50),
-            "p95": self.percentile(0.95),
-            "p99": self.percentile(0.99),
-            "buckets": dict(
-                zip([str(b) for b in _BUCKET_BOUNDS] + ["inf"], self.buckets)
-            ),
-        }
+        """Summary dict: count, sum, mean, min, max, percentiles, buckets.
+
+        Computed from one atomic snapshot under the histogram's lock, so
+        a concurrent ``observe`` can never produce a dict whose mean,
+        percentiles, and bucket counts disagree with ``count`` (an
+        exporter mid-``observe`` used to see ``count`` and ``total`` from
+        different instants).
+        """
+        with self._lock:
+            count = self.count
+            return {
+                "count": count,
+                "sum": self.total,
+                "mean": self.total / count if count else 0.0,
+                "min": self.min,
+                "max": self.max,
+                "p50": self._percentile_locked(0.50),
+                "p95": self._percentile_locked(0.95),
+                "p99": self._percentile_locked(0.99),
+                "buckets": dict(
+                    zip([str(b) for b in _BUCKET_BOUNDS] + ["inf"], self.buckets)
+                ),
+            }
 
 
 class MetricsRegistry:

@@ -60,11 +60,16 @@ def _format_value(value) -> str:
 
 
 def _render_histogram(name: str, hist: Histogram, lines: list[str]) -> None:
+    # Render exclusively from one export() snapshot: mixing it with the
+    # live bucket list let a concurrent observe() push a finite bucket's
+    # cumulative count past _count, which parse() (and any real scraper's
+    # sanity check) rejects as a non-cumulative histogram.
     exported = hist.export()
+    bucket_counts = exported["buckets"]
     lines.append(f"# TYPE {name} histogram")
     cumulative = 0
-    for bound, count in zip(_BUCKET_BOUNDS, hist.buckets):
-        cumulative += count
+    for bound in _BUCKET_BOUNDS:
+        cumulative += bucket_counts[str(bound)]
         lines.append(f'{name}_bucket{{le="{bound}"}} {cumulative}')
     lines.append(f'{name}_bucket{{le="+Inf"}} {exported["count"]}')
     lines.append(f"{name}_sum {_format_value(exported['sum'])}")

@@ -8,6 +8,13 @@ is the server's *admission control*: when it is full, the configured
 or fails fast with :class:`~repro.errors.ServerBusyError` (``"reject"``,
 the load-shedding posture a front end wants under overload).
 
+Admission and shutdown share one condition variable, so a submitter
+blocked on a full queue is *woken* by :meth:`WorkerPool.shutdown` and
+fails with :class:`ServerBusyError` instead of sleeping forever on a
+queue no worker will ever drain again.  (The earlier stdlib-queue
+implementation had exactly that hang: ``Queue.put`` knows nothing about
+pool shutdown.)
+
 Queueing behavior is measured: ``server.queue_depth`` (gauge),
 ``server.wait_seconds`` (histogram of enqueue → dequeue latency),
 ``server.tasks`` / ``server.rejected`` (counters).
@@ -22,12 +29,11 @@ per-statement attribution (the flight recorder's ``pool_wait_ms``).
 
 from __future__ import annotations
 
-import queue
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future
 
-from repro.concurrency import lockdep
 from repro.errors import ServerBusyError, ValidationError
 from repro.obs import metrics, trace
 
@@ -76,9 +82,16 @@ class WorkerPool:
         self.workers = workers
         self.queue_depth = queue_depth
         self.policy = policy
-        self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
-        self._shutdown = False  # guarded_by: _lock
-        self._lock = lockdep.instrument(threading.Lock(), "server.pool")
+        # One condition variable covers the queue, the shutdown flag, and
+        # the blocked-submitter count: workers wait on it for tasks,
+        # block-policy submitters wait on it for a slot, and shutdown
+        # wakes everyone.  Deliberately not lockdep-instrumented — the
+        # witness cannot model a condition wait's release-and-reacquire,
+        # and nothing else is ever taken while it is held (a leaf).
+        self._cond = threading.Condition()
+        self._tasks: deque[_Task] = deque()  # guarded_by: _cond
+        self._shutdown = False  # guarded_by: _cond
+        self._blocked = 0  # submitters waiting for a slot; guarded_by: _cond
         self._threads = [
             threading.Thread(target=self._worker, name=f"{name}-{i}", daemon=True)
             for i in range(workers)
@@ -93,38 +106,58 @@ class WorkerPool:
 
         With the ``reject`` policy a full queue raises
         :class:`ServerBusyError` immediately and nothing is enqueued;
-        with ``block`` the caller waits for a slot.
+        with ``block`` the caller waits for a slot.  A blocked caller is
+        woken by :meth:`shutdown` and also fails with
+        :class:`ServerBusyError` — its statement was never admitted.
         """
-        with self._lock:
+        task = _Task(fn, args)
+        with self._cond:
             if self._shutdown:
                 raise ServerBusyError("worker pool is shut down")
-        task = _Task(fn, args)
-        if self.policy == "reject":
-            try:
-                self._queue.put_nowait(task)
-            except queue.Full:
-                metrics.counter("server.rejected").inc()
-                raise ServerBusyError(
-                    f"admission queue full ({self.queue_depth} statements "
-                    f"pending); retry later"
-                ) from None
-        else:
-            self._queue.put(task)
+            if len(self._tasks) >= self.queue_depth:
+                if self.policy == "reject":
+                    metrics.counter("server.rejected").inc()
+                    raise ServerBusyError(
+                        f"admission queue full ({self.queue_depth} statements "
+                        f"pending); retry later"
+                    )
+                self._blocked += 1
+                try:
+                    while (len(self._tasks) >= self.queue_depth
+                           and not self._shutdown):
+                        self._cond.wait()
+                finally:
+                    self._blocked -= 1
+                if self._shutdown:
+                    metrics.counter("server.rejected").inc()
+                    raise ServerBusyError(
+                        "worker pool shut down while waiting for an "
+                        "admission slot"
+                    )
+            self._tasks.append(task)
+            depth = len(self._tasks)
+            self._cond.notify_all()
         metrics.counter("server.tasks").inc()
-        metrics.gauge("server.queue_depth").set(self._queue.qsize())
+        metrics.gauge("server.queue_depth").set(depth)
         return task.future
 
     def _worker(self) -> None:
         while True:
-            task = self._queue.get()
-            if task is None:  # shutdown sentinel
-                self._queue.task_done()
-                return
-            metrics.gauge("server.queue_depth").set(self._queue.qsize())
+            with self._cond:
+                while not self._tasks and not self._shutdown:
+                    self._cond.wait()
+                if self._tasks:
+                    task = self._tasks.popleft()
+                    depth = len(self._tasks)
+                    # A slot freed: wake one blocked submitter (and any
+                    # sibling worker racing for remaining tasks).
+                    self._cond.notify_all()
+                else:  # shutdown with an empty queue: drained, exit
+                    return
+            metrics.gauge("server.queue_depth").set(depth)
             wait = time.perf_counter() - task.enqueued
             metrics.histogram("server.wait_seconds").observe(wait)
             if not task.future.set_running_or_notify_cancel():
-                self._queue.task_done()
                 continue
             _WAIT.seconds = wait
             try:
@@ -136,18 +169,21 @@ class WorkerPool:
                 task.future.set_exception(exc)
             finally:
                 _WAIT.seconds = 0.0
-                self._queue.task_done()
 
     # ------------------------------------------------------------------ #
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work; workers exit after draining the queue."""
-        with self._lock:
+        """Stop accepting work; workers exit after draining the queue.
+
+        Already-admitted statements still run to completion; submitters
+        blocked on a full queue are woken and fail with
+        :class:`ServerBusyError`.
+        """
+        with self._cond:
             if self._shutdown:
                 return
             self._shutdown = True
-        for _ in self._threads:
-            self._queue.put(None)
+            self._cond.notify_all()
         if wait:
             for thread in self._threads:
                 thread.join()
@@ -155,7 +191,14 @@ class WorkerPool:
     @property
     def pending(self) -> int:
         """Statements admitted but not yet picked up by a worker."""
-        return self._queue.qsize()
+        with self._cond:
+            return len(self._tasks)
+
+    @property
+    def blocked_submitters(self) -> int:
+        """Callers currently waiting for an admission slot (block policy)."""
+        with self._cond:
+            return self._blocked
 
     def __repr__(self) -> str:
         return (

@@ -8,11 +8,17 @@ so formatting differences (`select  *` vs `SELECT *`) hit the same slot —
 plus the bound parameters.  Every entry remembers the tables the SELECT
 referenced; any write to one of those tables drops the entry.
 
-Thread safety: a single mutex guards the LRU map.  The serving protocol
-makes that sound end to end — readers fill the cache while holding the
-database's shared lock, writers invalidate while holding the exclusive
-lock, so a stale fill can never be published after the write that
-outdated it (see ARCHITECTURE.md).
+Thread safety: a single mutex guards the LRU map.  Under the classic
+reader-writer-lock protocol that is sound end to end — readers fill the
+cache while holding the database's shared lock, writers invalidate while
+holding the exclusive lock, so a stale fill can never be published after
+the write that outdated it.  MVCC snapshot reads hold no lock, which
+opens a window: a reader executing against version N can ``put`` *after*
+a writer committed N+1 and invalidated.  Entries therefore carry the
+snapshot sequence number they were computed from, and ``invalidate``
+records a per-table low-water mark under the same cache lock — a late
+``put`` whose sequence predates the mark is rejected instead of
+resurrecting stale rows (see ARCHITECTURE.md).
 """
 
 from __future__ import annotations
@@ -109,11 +115,18 @@ def cache_key(canonical_sql: str, params) -> tuple:
 
 @dataclass(frozen=True)
 class CachedResult:
-    """One cached SELECT: the rows plus the tables they depend on."""
+    """One cached SELECT: the rows plus the tables they depend on.
+
+    ``seq`` is the MVCC snapshot sequence number the rows were computed
+    from; ``None`` (the default) marks a fill made under the database's
+    shared lock, which the locking protocol already orders against
+    invalidation.
+    """
 
     columns: tuple[str, ...]
     rows: tuple[tuple, ...]
     tables: frozenset[str]
+    seq: int | None = None
 
 
 class ResultCache:
@@ -124,10 +137,15 @@ class ResultCache:
             raise ValidationError("result cache needs capacity for one entry")
         self.capacity = capacity
         self._entries: OrderedDict[tuple, CachedResult] = OrderedDict()
+        #: per-table low-water mark: entries computed from a snapshot
+        #: sequence *below* the mark are stale (a write invalidated them
+        #: before they arrived).  Bounded by the schema's table count.
+        self._stale_below: dict[str, int] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.stale_puts = 0
 
     def get(self, key: tuple) -> CachedResult | None:
         """The cached entry for ``key``, refreshing its LRU position."""
@@ -148,19 +166,57 @@ class ResultCache:
             self._entries.move_to_end(key)
             return entry
 
+    def _entry_stale_locked(self, entry: CachedResult) -> bool:
+        """Was a write with a newer sequence already applied to a table
+        this entry depends on?  (Lock held by caller.)"""
+        if entry.seq is None or not self._stale_below:
+            return False
+        for table in entry.tables:
+            mark = self._stale_below.get(table)
+            if mark is not None and entry.seq < mark:
+                return True
+        return False
+
     def put(self, key: tuple, entry: CachedResult) -> None:
-        """Insert (or refresh) one entry, evicting the LRU tail."""
+        """Insert (or refresh) one entry, evicting the LRU tail.
+
+        A late fill loses: when the entry's snapshot sequence predates an
+        invalidation mark on any of its tables, or a fresher result for
+        the same key is already cached, the put is dropped — both checks
+        run under the cache lock, atomically with the insert they guard.
+        """
         with self._lock:
+            if self._entry_stale_locked(entry):
+                self.stale_puts += 1
+                metrics.counter("server.result_cache.stale_puts").inc()
+                return
+            existing = self._entries.get(key)
+            if (existing is not None and existing.seq is not None
+                    and entry.seq is not None and entry.seq < existing.seq):
+                self.stale_puts += 1
+                metrics.counter("server.result_cache.stale_puts").inc()
+                return
             self._entries[key] = entry
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
             metrics.gauge("server.result_cache.entries").set(len(self._entries))
 
-    def invalidate(self, tables) -> int:
-        """Drop every entry that references any of ``tables``."""
+    def invalidate(self, tables, seq: int | None = None) -> int:
+        """Drop every entry that references any of ``tables``.
+
+        ``seq`` — the snapshot sequence published by the invalidating
+        write — additionally records a low-water mark for each table, so
+        a concurrent lock-free reader that computed its rows against an
+        older version cannot re-insert them after this call returns.  The
+        drop and the marks are one atomic step under the cache lock.
+        """
         written = {t.lower() for t in tables}
         with self._lock:
+            if seq is not None:
+                for table in written:
+                    if self._stale_below.get(table, 0) < seq:
+                        self._stale_below[table] = seq
             stale = [key for key, entry in self._entries.items()
                      if entry.tables & written]
             for key in stale:

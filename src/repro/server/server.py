@@ -5,14 +5,19 @@ Database` into a multi-client service, the ROADMAP's "serve heavy
 traffic" direction.  The moving parts, bottom-up (diagrammed in
 ARCHITECTURE.md):
 
-* the database's reader-writer lock — concurrent SELECTs run shared,
-  DML/DDL exclusive, each write wrapped in a storage transaction so the
-  WAL keeps crash safety under concurrent writers;
+* MVCC snapshot reads (the database default) — SELECTs pin an immutable
+  published version and run with **no lock**; DML/DDL take the exclusive
+  side of the reader-writer lock, each write wrapped in a storage
+  transaction so the WAL keeps crash safety under concurrent writers
+  (with group commit, the lock is released at commit seal and the
+  journal flush is shared across concurrent committers).  Under
+  ``mvcc=False`` SELECTs fall back to the shared side of the lock;
 * a bounded :class:`~repro.server.pool.WorkerPool` — the admission queue
   with a configurable depth and ``block``/``reject`` backpressure policy;
 * a shared :class:`~repro.server.resultcache.ResultCache` keyed on the
   canonical (unparsed) statement text, invalidated by any write to a
-  referenced table;
+  referenced table; lock-free MVCC fills are fenced by snapshot sequence
+  numbers so a late fill can never resurrect invalidated rows;
 * per-session state (:class:`~repro.server.session.Session`): local UDF
   registries and variables;
 * the :class:`~repro.net.rpc.RpcChannel` result payloads ship through,
@@ -228,9 +233,30 @@ class QueryServer:
             and not (local and (info.funcs & local))
         )
         if not cacheable:
-            with self.db.rwlock.read():
-                return self.db.execute(sql, params, functions=registry)
+            # Database.execute pins an MVCC snapshot itself (or falls back
+            # to the shared lock); no serving-layer lock needed.
+            return self.db.execute(sql, params, functions=registry)
         key = cache_key(info.canonical, params)
+        pinned = self.db.pin_version()
+        if pinned is not None:
+            # Lock-free path: the fill is tagged with the snapshot's
+            # sequence number; the cache rejects it if a write with a
+            # newer sequence invalidated these tables in the meantime.
+            try:
+                entry = self.cache.get(key)
+                if entry is not None:
+                    return self._hydrate(entry, sql)
+                result = self.db.execute(sql, params, functions=registry,
+                                         version=pinned)
+                self.cache.put(key, CachedResult(
+                    columns=tuple(result.columns),
+                    rows=tuple(result.rows),
+                    tables=info.tables,
+                    seq=pinned.seq,
+                ))
+                return result
+            finally:
+                self.db.unpin_version(pinned)
         # Fill under the shared lock: a writer (exclusive) can never run
         # between this execution and the put, so the cache never publishes
         # a result staler than the newest committed write.
@@ -249,6 +275,21 @@ class QueryServer:
     def _execute_write(self, info: _StatementInfo, session: Session, sql: str,
                        params: list | None) -> QueryResult:
         """Exclusive path: transaction-scoped write + cache invalidation."""
+        if self.db.mvcc:
+            # db.transaction() takes the exclusive lock itself and — under
+            # a group-commit WAL — releases it at commit *seal*, so the
+            # journal flush below happens outside the lock and concurrent
+            # writers' flushes coalesce.  Stale cache fills are fenced by
+            # the sequence-numbered invalidation, not by lock exclusion.
+            with self.db.transaction():
+                # Re-entrant by construction: transaction() already holds
+                # the exclusive side on this thread, so the write lock
+                # execute() takes nests instead of inverting the order.
+                result = self.db.execute(sql, params,  # qblint: disable=QB401
+                                         functions=session.functions)
+            if self.cache is not None:
+                self.cache.invalidate(info.tables, seq=self.db.version_seq)
+            return result
         with self.db.rwlock.write():
             with self.db.transaction():
                 result = self.db.execute(sql, params,

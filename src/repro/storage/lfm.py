@@ -20,7 +20,7 @@ from repro.obs import metrics, trace
 from repro.storage.buddy import BuddyAllocator
 from repro.storage.device import BlockDevice, IOStats
 
-__all__ = ["LongFieldManager", "LongField"]
+__all__ = ["LongFieldManager", "LongField", "FieldTableView"]
 
 
 @dataclass(frozen=True)
@@ -45,6 +45,11 @@ class LongFieldManager:
         # stay inside the transaction scope that journals them.
         self._fields: dict[int, tuple[int, int]] = {}  # id -> (offset, length); guarded_by: txn
         self._next_id = 1  # guarded_by: txn
+        # MVCC hook: when set (by Database), delete() hands the extent
+        # free to ``retire_extent(free_fn)`` instead of freeing eagerly,
+        # so pinned snapshot readers can keep reading the old bytes; the
+        # hook returns a token with ``cancel()`` for rollback.
+        self.retire_extent = None
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -114,11 +119,23 @@ class LongFieldManager:
         A metadata-only transaction: under a WAL the new field table is
         journaled with the commit record so the deletion is durable, and a
         rollback of the enclosing scope restores the field.
+
+        With an MVCC ``retire_extent`` hook installed, the extent is not
+        freed here: pinned snapshot versions may still reference its
+        bytes, so the free is deferred until every version published
+        before this delete has been released.  Rollback cancels the
+        deferred free and restores the field entry — the extent was never
+        deallocated, so no re-carve is needed.
         """
         offset, length = self._entry(field)
+        retire = self.retire_extent
+        token = None
 
         def undo() -> None:
-            self._allocator.carve(offset, length)
+            if token is not None:
+                token.cancel()
+            elif retire is None:
+                self._allocator.carve(offset, length)
             self._fields[field.field_id] = (offset, length)
 
         deferred = False
@@ -126,7 +143,10 @@ class LongFieldManager:
             with self.device.transaction(meta_provider=self.export_state):
                 deferred = self._register_undo(undo)
                 del self._fields[field.field_id]
-                self._allocator.free(offset)
+                if retire is None:
+                    self._allocator.free(offset)
+                else:
+                    token = retire(lambda: self._allocator.free(offset))
         # Cleanup-and-reraise: even SimulatedCrash must unwind the
         # in-memory state.
         except BaseException:  # qblint: disable=no-broad-except
@@ -146,7 +166,17 @@ class LongFieldManager:
 
     def read(self, field: LongField, offset: int = 0, length: int | None = None) -> bytes:
         """Read a contiguous piece of a long field (whole field by default)."""
-        base, total = self._entry(field)
+        return self._read_entry(self._entry(field), offset, length)
+
+    def _read_entry(
+        self, entry: tuple[int, int], offset: int, length: int | None
+    ) -> bytes:
+        """The contiguous-read body, parameterized over the field entry.
+
+        Split out so :class:`FieldTableView` can run the identical I/O and
+        accounting path against a snapshot's field table.
+        """
+        base, total = entry
         if length is None:
             length = total - offset
         if offset < 0 or length < 0 or offset + length > total:
@@ -169,7 +199,13 @@ class LongFieldManager:
         field.  This is the EXTRACT_DATA access path: the run list of a
         REGION maps directly to these ranges.
         """
-        base, total = self._entry(field)
+        return self._read_ranges_entry(self._entry(field), starts, stops)
+
+    def _read_ranges_entry(
+        self, entry: tuple[int, int], starts: np.ndarray, stops: np.ndarray
+    ) -> bytes:
+        """The scattered-read body, parameterized over the field entry."""
+        base, total = entry
         starts = np.asarray(starts, dtype=np.int64)
         stops = np.asarray(stops, dtype=np.int64)
         if starts.size:
@@ -255,3 +291,78 @@ class LongFieldManager:
             f"LongFieldManager({self.field_count} fields, "
             f"{self.stored_bytes} logical / {self.allocated_bytes} allocated bytes)"
         )
+
+
+class FieldTableView:
+    """A read-only LFM facade bound to one MVCC version's field table.
+
+    Snapshot SELECTs get one of these as their ``ctx.lfm``: reads resolve
+    field ids against the frozen table (so a field deleted *after* the
+    version was published still resolves, its extent kept alive by the
+    deferred-free protocol) and then run the manager's own I/O and
+    accounting path.  Mutations are rejected — a writing UDF inside a
+    pinned-snapshot SELECT would bypass the write lock entirely.
+    """
+
+    __slots__ = ("_lfm", "_fields")
+
+    def __init__(self, lfm: LongFieldManager, fields: dict[int, tuple[int, int]]):
+        self._lfm = lfm
+        self._fields = fields
+
+    def _entry(self, field: LongField) -> tuple[int, int]:
+        try:
+            return self._fields[field.field_id]
+        except KeyError:
+            raise LongFieldError(f"unknown long field id {field.field_id}") from None
+
+    def read(self, field: LongField, offset: int = 0, length: int | None = None) -> bytes:
+        """Read a contiguous piece of a long field from the snapshot."""
+        return self._lfm._read_entry(self._entry(field), offset, length)
+
+    def read_ranges(self, field: LongField, starts: np.ndarray, stops: np.ndarray) -> bytes:
+        """Scattered read of byte ranges, resolved against the snapshot."""
+        return self._lfm._read_ranges_entry(self._entry(field), starts, stops)
+
+    def handle(self, field_id: int) -> LongField:
+        """Re-materialize a handle from a field id known to the snapshot."""
+        try:
+            _, length = self._fields[field_id]
+        except KeyError:
+            raise LongFieldError(f"unknown long field id {field_id}") from None
+        return LongField(field_id, length)
+
+    def create(self, data: bytes) -> LongField:
+        """Refused: the snapshot view is read-only."""
+        raise LongFieldError(
+            "cannot create long fields through a read-only snapshot view"
+        )
+
+    def delete(self, field: LongField) -> None:
+        """Refused: the snapshot view is read-only."""
+        raise LongFieldError(
+            "cannot delete long fields through a read-only snapshot view"
+        )
+
+    @property
+    def device(self) -> BlockDevice:
+        """The underlying device (shared with the live manager)."""
+        return self._lfm.device
+
+    @property
+    def stats(self) -> IOStats:
+        """The device's cumulative I/O counters (shared, live)."""
+        return self._lfm.device.stats
+
+    @property
+    def field_count(self) -> int:
+        """Number of long fields visible in this snapshot."""
+        return len(self._fields)
+
+    @property
+    def stored_bytes(self) -> int:
+        """Sum of logical long-field lengths visible in this snapshot."""
+        return sum(length for _, length in self._fields.values())
+
+    def __repr__(self) -> str:
+        return f"FieldTableView({self.field_count} fields)"

@@ -62,7 +62,9 @@ from __future__ import annotations
 import json
 import struct
 import threading
+import time
 import zlib
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -189,6 +191,30 @@ def _scan_journal(journal, last_id: int = 0) -> tuple[list, int, int, int]:
         pos = cursor + _COMMIT.size
 
 
+class _CommitBatch:
+    """One sealed transaction awaiting its (possibly grouped) flush.
+
+    Built under the transaction lock by ``_seal``: journal space is
+    reserved (``start``), the txn id assigned, the header+meta bytes
+    rendered, and the dirty pages captured.  The flush leader writes the
+    journal records and applies the pages later, outside the lock.
+    """
+
+    __slots__ = ("txn_id", "start", "head_bytes", "pages", "meta", "undo",
+                 "total", "done", "error")
+
+    def __init__(self, txn_id, start, head_bytes, pages, meta, undo, total):
+        self.txn_id = txn_id
+        self.start = start
+        self.head_bytes = head_bytes
+        self.pages = pages          # [(page_no, payload bytearray)], sorted
+        self.meta = meta
+        self.undo = undo
+        self.total = total
+        self.done = False           # guarded_by: _commit_cond
+        self.error = None           # guarded_by: _commit_cond
+
+
 def recover_journal(device, journal, next_txn_id: int = 1) -> RecoveryReport:
     """Replay committed journal transactions into ``device``; discard torn ones.
 
@@ -231,7 +257,7 @@ class WriteAheadLog:
     """
 
     def __init__(self, device, journal, recover: bool = True,
-                 next_txn_id: int = 1):
+                 next_txn_id: int = 1, flush_latency: float = 0.0):
         if journal.page_size != device.page_size:
             raise WalError(
                 f"journal page size {journal.page_size} does not match "
@@ -241,12 +267,19 @@ class WriteAheadLog:
         self.journal = journal
         self.page_size = device.page_size
         self.capacity = device.capacity
+        #: simulated fsync cost, paid once per flushed *group* — the knob
+        #: the mixed-workload bench turns to model real commit-path I/O
+        #: latency (in-memory devices otherwise make flushes free)
+        self.flush_latency = float(flush_latency)
         self.stats = IOStats()  # logical accounting; guarded_by: _stats_lock
         self._depth = 0  # guarded_by: txn
         # Commit serialization: the outermost transaction scope owns this
         # re-entrant lock for its whole extent, so concurrent writers
         # serialize journal commits instead of interleaving dirty pages —
         # nesting within one thread still joins the outer transaction.
+        # Since group commit, the lock covers buffering and *sealing*
+        # only: the journal flush happens outside it, so the next writer
+        # can start while this one's flush is still in flight.
         self._txn_lock = lockdep.instrument(
             threading.RLock(), "wal.txn", reentrant=True
         )
@@ -254,9 +287,23 @@ class WriteAheadLog:
         self._dirty: dict[int, bytearray] = {}  # guarded_by: txn
         self._undo: list = []  # guarded_by: txn
         self._meta_provider = None  # guarded_by: txn
+        self._on_sealed = None  # guarded_by: txn
+        self._owner: int | None = None  # owning thread ident; guarded_by: txn
         self._next_txn_id = max(1, int(next_txn_id))  # guarded_by: txn
         self._journal_head = 0  # append point; guarded_by: txn
-        self.last_committed_meta: dict | None = None  # guarded_by: txn
+        # Group-commit machinery.  The condition is a deliberately
+        # uninstrumented leaf: it is only ever held briefly around queue
+        # and flag flips, never while acquiring another tracked lock.
+        self._commit_cond = threading.Condition()
+        self._commit_queue: deque[_CommitBatch] = deque()  # guarded_by: _commit_cond
+        self._flusher_active = False  # guarded_by: _commit_cond
+        # Sealed-but-not-yet-applied page images.  Readers overlay these
+        # so committed state is visible before the (possibly grouped,
+        # possibly slow) apply lands; the flusher removes entries as it
+        # applies.  Maps page_no -> (txn_id, payload).
+        self._pending_lock = threading.Lock()  # leaf; guards _pending
+        self._pending: dict[int, tuple[int, bytearray]] = {}
+        self.last_committed_meta: dict | None = None  # updated by the flusher
         self.recovery: RecoveryReport | None = None
         if recover:
             self.recovery = recover_journal(
@@ -311,12 +358,17 @@ class WriteAheadLog:
         """Transactions here really roll back; :meth:`on_rollback` works."""
         return True
 
+    @property
+    def supports_group_commit(self) -> bool:
+        """``transaction`` accepts ``on_sealed`` for early lock release."""
+        return True
+
     # ------------------------------------------------------------------ #
     # transactions
     # ------------------------------------------------------------------ #
 
     @contextmanager
-    def transaction(self, meta_provider=None):
+    def transaction(self, meta_provider=None, on_sealed=None):
         """Scope a transaction; nested scopes join the outermost one.
 
         ``meta_provider`` — a zero-argument callable evaluated at commit
@@ -326,21 +378,40 @@ class WriteAheadLog:
         saw them, so the store stays at the old state.
 
         Under concurrent writers the scope is thread-exclusive: a second
-        thread opening a transaction blocks until the first commits or
-        rolls back, so buffered pages, undo actions, and journal appends
-        of different transactions never interleave.
+        thread opening a transaction blocks until the first *seals*.
+        Since group commit, commit happens in two steps: **seal** (under
+        the transaction lock: evaluate metadata, reserve journal space,
+        assign the txn id, capture the dirty pages as a
+        :class:`_CommitBatch`) and **flush** (outside the lock: journal
+        writes + apply, performed by a single leader for every batch
+        queued meanwhile).  ``on_sealed`` — called once after a
+        successful outermost seal, before the flush — lets the caller
+        release its own outer locks early, which is what makes grouping
+        possible; if it raises, the seal is retracted and the
+        transaction rolls back.  This scope does not return until this
+        transaction's flush completed, so durability-before-acknowledge
+        is unchanged.
         """
+        state: dict = {"batch": None}
         with self._txn_lock:
-            with self._transaction_scope(meta_provider) as wal:
-                yield wal
+            with self._transaction_scope(meta_provider, on_sealed, state):
+                yield self
+        # Reached only when the scope exited cleanly (sealed): wait for —
+        # or lead — the group flush, with the transaction lock released.
+        batch = state["batch"]
+        if batch is not None:
+            self._await_flush(batch)
 
     @contextmanager
-    def _transaction_scope(self, meta_provider=None):
+    def _transaction_scope(self, meta_provider=None, on_sealed=None,
+                           state: dict | None = None):
         """The single-threaded transaction body (txn lock already held)."""
         if self._depth == 0:
             self._dirty = {}
             self._undo = []
             self._meta_provider = meta_provider
+            self._on_sealed = on_sealed
+            self._owner = threading.get_ident()
         elif meta_provider is not None and self._meta_provider is None:
             self._meta_provider = meta_provider
         self._depth += 1
@@ -352,20 +423,39 @@ class WriteAheadLog:
         finally:
             self._depth -= 1
             if self._depth == 0:
+                callback = self._on_sealed
+                self._on_sealed = None
+                self._owner = None
                 if not completed:
                     self._rollback()
                 else:
                     try:
-                        self._commit()
+                        batch = self._seal()
                     # Cleanup-and-reraise: even SimulatedCrash must unwind
                     # the in-memory state.
                     except BaseException:  # qblint: disable=no-broad-except
-                        # Commit never reached the data device (journal
-                        # full, crash mid-journal/apply): the caller must
-                        # see the old in-memory state too.
+                        # The seal never reserved journal space (journal
+                        # full, meta serialization failure): the caller
+                        # must see the old in-memory state too.
                         self._rollback()
                         raise
-                    self._undo = []
+                    if callback is not None:
+                        try:
+                            callback()
+                        # Cleanup-and-reraise: a failing publish callback
+                        # must not leave a sealed batch behind.
+                        except BaseException:  # qblint: disable=no-broad-except
+                            if batch is not None:
+                                self._retract_sealed(batch)
+                            raise
+                    if batch is not None:
+                        # Enqueue under the txn lock so queue order equals
+                        # txn-id order — the flusher applies strictly in
+                        # commit order even across groups.
+                        with self._commit_cond:
+                            self._commit_queue.append(batch)
+                        if state is not None:
+                            state["batch"] = batch
 
     def on_rollback(self, undo) -> None:
         """Register a callable run if the enclosing transaction rolls back.
@@ -397,14 +487,24 @@ class WriteAheadLog:
             action()
         metrics.counter("wal.rollbacks").inc()
 
-    def _commit(self) -> None:
-        """Journal the buffered pages + metadata, then apply to the device."""
+    @guarded_by("txn")
+    def _seal(self) -> _CommitBatch | None:
+        """Turn the buffered transaction into a :class:`_CommitBatch`.
+
+        Evaluates the metadata provider, renders the journal header,
+        checks journal capacity (raising *before* any state moves, so the
+        caller's rollback still unwinds everything), then atomically
+        reserves journal space, assigns the txn id, registers the pages
+        in the pending overlay, and detaches the dirty/undo state into
+        the batch.  Returns ``None`` for an empty transaction.
+        """
         dirty = self._dirty
         provider = self._meta_provider
-        self._dirty = {}
-        self._meta_provider = None
         if not dirty and provider is None:
-            return  # nothing happened in this transaction
+            # Nothing happened: no batch, nothing to flush.
+            self._undo = []
+            self._meta_provider = None
+            return None
         meta = provider() if provider is not None else None
         meta_bytes = json.dumps(meta).encode("ascii") if meta is not None else b""
         txn_id = self._next_txn_id
@@ -422,31 +522,173 @@ class WriteAheadLog:
                 f"checkpoint (save the database) to reset the journal — "
                 f"nothing was written"
             )
-        with trace.span("wal.commit", io=self.journal.stats,
-                        txn=txn_id, pages=len(pages)):
-            running = zlib.crc32(header + meta_bytes)
-            head = self._journal_head
-            self.journal.write(head, header + meta_bytes)
-            head += len(header) + len(meta_bytes)
+        batch = _CommitBatch(
+            txn_id, self._journal_head, header + meta_bytes, pages, meta,
+            self._undo, total,
+        )
+        with self._pending_lock:
             for page_no, payload in pages:
-                record = _PAGE.pack(page_no, zlib.crc32(bytes(payload))) + bytes(payload)
-                running = zlib.crc32(record, running)
-                self.journal.write(head, record)
-                head += len(record)
-            self.journal.write(head, _COMMIT.pack(_COMMIT_MAGIC, txn_id, running))
-            head += _COMMIT.size
-        # The commit record is durable: the transaction is committed even
-        # if the apply below is cut short (recovery replays the journal).
-        with trace.span("wal.apply", io=self.device.stats, txn=txn_id):
-            for page_no, payload in pages:
-                self.device.write(page_no * self.page_size, bytes(payload))
-        metrics.counter("wal.commits").inc()
-        metrics.counter("wal.pages_journaled").inc(len(pages))
-        metrics.counter("wal.bytes_journaled").inc(head - self._journal_head)
-        self._journal_head = head
-        metrics.gauge("wal.journal_bytes").set(head)
-        self.last_committed_meta = meta if meta is not None else self.last_committed_meta
+                self._pending[page_no] = (txn_id, payload)
         self._next_txn_id = txn_id + 1
+        self._journal_head += total
+        self._dirty = {}
+        self._undo = []
+        self._meta_provider = None
+        return batch
+
+    @guarded_by("txn")
+    def _retract_sealed(self, batch: _CommitBatch) -> None:
+        """Unwind a seal whose ``on_sealed`` callback failed.
+
+        Still under the transaction lock, so nothing else sealed after
+        this batch: the journal-space reservation and txn id roll
+        straight back, the pending pages come out of the overlay, and the
+        undo actions unwind the in-memory state.
+        """
+        self._next_txn_id = batch.txn_id
+        self._journal_head = batch.start
+        self._clear_pending(batch)
+        undo, batch.undo = batch.undo, []
+        for action in reversed(undo):
+            action()
+        metrics.counter("wal.rollbacks").inc()
+
+    # ------------------------------------------------------------------ #
+    # group flush (leader/follower commit barrier)
+    # ------------------------------------------------------------------ #
+
+    def _await_flush(self, batch: _CommitBatch) -> None:
+        """Wait until ``batch`` is flushed — becoming the leader if nobody is.
+
+        Called with no locks held.  The first committer to arrive while
+        no flush is running becomes the leader and flushes every batch
+        queued so far (and any that arrive while it works); followers
+        just wait on the commit barrier.  On a flush failure every batch
+        of the failed group unwinds in its own committer's thread.
+        """
+        cond = self._commit_cond
+        with cond:
+            while not batch.done and self._flusher_active:
+                cond.wait()
+            leader = not batch.done
+            if leader:
+                self._flusher_active = True
+        if leader:
+            self._lead_flushes()
+        if batch.error is not None:
+            self._undo_batch(batch)
+            raise batch.error
+
+    def _lead_flushes(self) -> None:
+        """Flush queued batches, group at a time, until the queue is empty."""
+        cond = self._commit_cond
+        while True:
+            with cond:
+                group = list(self._commit_queue)
+                self._commit_queue.clear()
+                if not group:
+                    self._flusher_active = False
+                    cond.notify_all()
+                    return
+            error = None
+            try:
+                self._flush_group(group)
+            # The group shares one journal pass: any failure (simulated
+            # crash, device error) fails every batch in it, and each
+            # committer unwinds its own in-memory state.
+            except BaseException as exc:  # qblint: disable=no-broad-except
+                error = exc
+            with cond:
+                for b in group:
+                    b.done = True
+                    b.error = error
+                if error is not None:
+                    self._flusher_active = False
+                cond.notify_all()
+            if error is not None:
+                return
+
+    def _flush_group(self, group: list[_CommitBatch]) -> None:
+        """Journal + apply every batch of one group; one flush for all.
+
+        Batches are processed in txn-id order (the queue preserves seal
+        order).  Per batch the journal writes and the apply writes are
+        byte-and-call identical to the pre-group-commit code path, so
+        fault-injection schedules keyed on write counts replay
+        unchanged; the once-per-group ``flush_latency`` sleep models the
+        fsync that real group commit amortizes.
+        """
+        for batch in group:
+            with trace.span("wal.commit", io=self.journal.stats,
+                            txn=batch.txn_id, pages=len(batch.pages)):
+                running = zlib.crc32(batch.head_bytes)
+                head = batch.start
+                self.journal.write(head, batch.head_bytes)
+                head += len(batch.head_bytes)
+                for page_no, payload in batch.pages:
+                    record = _PAGE.pack(
+                        page_no, zlib.crc32(bytes(payload))
+                    ) + bytes(payload)
+                    running = zlib.crc32(record, running)
+                    self.journal.write(head, record)
+                    head += len(record)
+                self.journal.write(
+                    head, _COMMIT.pack(_COMMIT_MAGIC, batch.txn_id, running)
+                )
+            # The commit record is durable: the transaction is committed
+            # even if the apply below is cut short (recovery replays it).
+            with trace.span("wal.apply", io=self.device.stats, txn=batch.txn_id):
+                for page_no, payload in batch.pages:
+                    self.device.write(page_no * self.page_size, bytes(payload))
+            self._clear_pending(batch)
+            metrics.counter("wal.commits").inc()
+            metrics.counter("wal.pages_journaled").inc(len(batch.pages))
+            metrics.counter("wal.bytes_journaled").inc(batch.total)
+            metrics.gauge("wal.journal_bytes").set(batch.start + batch.total)
+            if batch.meta is not None:
+                self.last_committed_meta = batch.meta
+        metrics.counter("wal.flushes").inc()
+        if len(group) > 1:
+            metrics.counter("wal.group_commits").inc()
+            metrics.counter("wal.grouped_txns").inc(len(group))
+        if self.flush_latency:
+            time.sleep(self.flush_latency)
+
+    def _clear_pending(self, batch: _CommitBatch) -> None:
+        """Drop ``batch``'s pages from the pending overlay (if still its own).
+
+        A later transaction that rewrote the same page owns the entry
+        now; the txn-id check leaves it in place.
+        """
+        with self._pending_lock:
+            for page_no, _ in batch.pages:
+                entry = self._pending.get(page_no)
+                if entry is not None and entry[0] == batch.txn_id:
+                    del self._pending[page_no]
+
+    def _undo_batch(self, batch: _CommitBatch) -> None:
+        """Unwind one failed batch's in-memory state (committer thread)."""
+        self._clear_pending(batch)
+        # The committer no longer holds the txn lock here; take it so the
+        # undo actions (which mutate txn-guarded LFM state) cannot race a
+        # concurrent transaction.
+        with self._txn_lock:
+            undo, batch.undo = batch.undo, []
+            for action in reversed(undo):
+                action()
+        metrics.counter("wal.rollbacks").inc()
+
+    def _drain_flushes(self) -> None:
+        """Block until no flush is running and no batch is queued.
+
+        Every queued batch has a committer inside :meth:`_await_flush`
+        that will lead its own flush if needed, so this always
+        terminates.  Callers that need the journal/device quiescent
+        (checkpoint, dump, close) drain first.
+        """
+        with self._commit_cond:
+            while self._commit_queue or self._flusher_active:
+                self._commit_cond.wait()
 
     def reset_journal(self) -> None:
         """Invalidate the journal (after the catalog checkpointed elsewhere).
@@ -465,6 +707,11 @@ class WriteAheadLog:
         with self._txn_lock:
             if self.in_transaction:
                 raise WalError("cannot reset the journal inside a transaction")
+            # Quiesce in-flight group flushes before moving the append
+            # point: holding the txn lock means no *new* batch can seal
+            # while we wait, and every already-sealed batch has a
+            # committer driving it to completion.
+            self._drain_flushes()
             last_id = self._next_txn_id - 1
             body = _CKPT_MAGIC + struct.pack("<Q", last_id)
             self.journal.write(0, body + _CRC.pack(zlib.crc32(body)))
@@ -483,11 +730,19 @@ class WriteAheadLog:
             )
 
     def _dirty_page(self, number: int) -> bytearray:
-        """The transaction-local image of one page, faulting it in on demand."""
+        """The transaction-local image of one page, faulting it in on demand.
+
+        The fill reads through the pending overlay: a page committed by
+        an earlier transaction whose grouped apply has not landed yet
+        must seed this transaction's read-modify-write with the
+        *committed* image, not the stale device bytes.
+        """
         page = self._dirty.get(number)
         if page is None:
             start = number * self.page_size
             page = bytearray(self.device.read(start, self.page_size))
+            if self._pending:
+                self._overlay_pending(page, start)
             self._dirty[number] = page
         return page
 
@@ -541,13 +796,48 @@ class WriteAheadLog:
             blob[lo - start:hi - start] = page[lo - page_start:hi - page_start]
         return blob
 
+    def _overlay_pending(self, blob: bytearray, start: int) -> bytearray:
+        """Patch a byte range with committed-but-not-yet-applied pages."""
+        stop = start + len(blob)
+        first = start // self.page_size
+        last = (stop - 1) // self.page_size if stop > start else first
+        with self._pending_lock:
+            if not self._pending:
+                return blob
+            for number in range(first, last + 1):
+                entry = self._pending.get(number)
+                if entry is None:
+                    continue
+                page = entry[1]
+                page_start = number * self.page_size
+                lo = max(start, page_start)
+                hi = min(stop, page_start + self.page_size)
+                blob[lo - start:hi - start] = page[lo - page_start:hi - page_start]
+        return blob
+
+    def _sees_own_writes(self) -> bool:
+        """Is the calling thread the owner of the open transaction?
+
+        Only the owning thread overlays the uncommitted dirty buffer
+        onto its reads: MVCC snapshot readers running concurrently must
+        see committed state only, never another thread's in-flight
+        transaction.
+        """
+        return bool(self._dirty) and self._owner == threading.get_ident()
+
     def read(self, offset: int, length: int) -> bytes:
-        """Read through the log: an open transaction sees its own writes."""
+        """Read through the log: committed state, plus — for the thread
+        that owns the open transaction — its own uncommitted writes."""
         data = self.device.read(offset, length)
         self._account_read(np.asarray([offset]), np.asarray([offset + length]))
-        if not self._dirty or not length:
+        if not length:
             return data
-        return bytes(self._overlay(bytearray(data), offset))
+        blob = None
+        if self._pending:
+            blob = self._overlay_pending(bytearray(data), offset)
+        if self._sees_own_writes():
+            blob = self._overlay(blob if blob is not None else bytearray(data), offset)
+        return bytes(blob) if blob is not None else data
 
     def _account_read(self, starts: np.ndarray, stops: np.ndarray) -> None:
         pages = _page_intervals(starts, stops)
@@ -556,19 +846,25 @@ class WriteAheadLog:
             self.stats.add_read(pages.count, pages.run_count, nbytes)
 
     def read_ranges(self, starts, stops) -> bytes:
-        """Scattered read with dirty-page overlay (page-deduplicated)."""
+        """Scattered read with overlays (page-deduplicated)."""
         starts = np.asarray(starts, dtype=np.int64)
         stops = np.asarray(stops, dtype=np.int64)
         data = self.device.read_ranges(starts, stops)  # validates + accounts
         self._account_read(starts, stops)
-        if not self._dirty:
+        pending = bool(self._pending)
+        own = self._sees_own_writes()
+        if not pending and not own:
             return data
         out = bytearray(data)
         cursor = 0
         for start, stop in zip(starts.tolist(), stops.tolist()):
             if stop <= start:
                 continue
-            seg = self._overlay(bytearray(out[cursor:cursor + (stop - start)]), start)
+            seg = bytearray(out[cursor:cursor + (stop - start)])
+            if pending:
+                self._overlay_pending(seg, start)
+            if own:
+                self._overlay(seg, start)
             out[cursor:cursor + (stop - start)] = seg
             cursor += stop - start
         return bytes(out)
@@ -581,12 +877,14 @@ class WriteAheadLog:
         """Write the committed data image to a file."""
         if self.in_transaction:
             raise WalError("cannot dump the device inside an open transaction")
+        self._drain_flushes()
         return self.device.dump(path)
 
     def close(self) -> None:
         """Close the journal and the underlying data device."""
         if self.in_transaction:
             raise WalError("cannot close the WAL inside an open transaction")
+        self._drain_flushes()
         self.journal.close()
         self.device.close()
 

@@ -133,6 +133,47 @@ class TestWorkerPool:
         with pytest.raises(ServerBusyError):
             pool.submit(lambda: 1)
 
+    def test_shutdown_wakes_blocked_submitter(self):
+        # Regression: a block-policy submitter parked on a full queue
+        # used to sleep forever when the pool shut down underneath it
+        # (the stdlib queue's put knew nothing about pool shutdown).
+        # The deterministic schedule: occupy the worker, fill the queue,
+        # park a submitter, then shut down — the submitter must wake and
+        # fail instead of hanging.
+        pool = WorkerPool(workers=1, queue_depth=1, policy="block")
+        release = threading.Event()
+        started = threading.Event()
+
+        def blocker():
+            started.set()
+            release.wait(timeout=10)
+
+        pool.submit(blocker)
+        assert started.wait(timeout=10)  # worker busy
+        queued = pool.submit(lambda: "queued")  # fills the only slot
+        outcome = []
+
+        def parked_submitter():
+            try:
+                pool.submit(lambda: "never admitted")
+            except ServerBusyError as exc:
+                outcome.append(exc)
+
+        t = threading.Thread(target=parked_submitter)
+        t.start()
+        deadline = time.time() + 10
+        while pool.blocked_submitters == 0 and time.time() < deadline:
+            time.sleep(0.005)
+        assert pool.blocked_submitters == 1  # parked exactly where the bug bit
+        pool.shutdown(wait=False)
+        t.join(timeout=10)
+        assert not t.is_alive(), "submitter slept through shutdown"
+        assert len(outcome) == 1
+        release.set()
+        pool.shutdown(wait=True)
+        # The already-admitted statement still ran to completion.
+        assert queued.result(timeout=10) == "queued"
+
 
 # --------------------------------------------------------------------- #
 # result cache
@@ -207,6 +248,69 @@ class TestResultCache:
     def test_capacity_validated(self):
         with pytest.raises(ValidationError):
             ResultCache(capacity=0)
+
+    def test_late_snapshot_fill_cannot_resurrect_stale_rows(self):
+        # Regression: a lock-free MVCC reader computes rows against
+        # version N, a writer commits N+1 and invalidates, and only THEN
+        # the reader's put arrives.  Without the per-table low-water mark
+        # the stale rows re-entered the cache and were served forever.
+        from repro.server import CachedResult
+
+        cache = ResultCache(capacity=8)
+        key = ("select v from t", ())
+        stale = CachedResult(("v",), ((1,),), frozenset({"t"}), seq=1)
+        cache.invalidate(["t"], seq=2)  # the write beat the reader's put
+        cache.put(key, stale)
+        assert cache.get(key) is None
+        assert cache.stale_puts == 1
+        fresh = CachedResult(("v",), ((2,),), frozenset({"t"}), seq=2)
+        cache.put(key, fresh)
+        assert cache.get(key) is fresh
+        # A second late arrival for the same key loses to the fresher one.
+        cache.put(key, CachedResult(("v",), ((0,),), frozenset({"t"}), seq=1))
+        assert cache.get(key) is fresh
+        assert cache.stale_puts == 2
+
+    @pytest.mark.parametrize("interleaving_seed", [7, 1994])
+    def test_seeded_put_invalidate_interleaving(self, interleaving_seed):
+        # A writer advancing the invalidation mark races readers that
+        # capture a sequence, yield (widening the stale window), then
+        # put.  Whatever interleaving the seed produces, the surviving
+        # entry must never predate the final invalidation mark.
+        from repro.server import CachedResult
+
+        cache = ResultCache(capacity=8)
+        key = ("select v from t", ())
+        rng = random.Random(interleaving_seed)
+        final_seq = 200
+        yields = {i: rng.random() < 0.5 for i in range(final_seq + 1)}
+        current = [0]
+
+        def writer():
+            for seq in range(1, final_seq + 1):
+                current[0] = seq
+                cache.invalidate(["t"], seq=seq)
+                if yields[seq]:
+                    time.sleep(0)
+
+        def reader():
+            for _ in range(final_seq):
+                seq = current[0]
+                time.sleep(0)  # the put is now late by construction
+                cache.put(
+                    key, CachedResult(("v",), ((seq,),), frozenset({"t"}),
+                                      seq=seq)
+                )
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        entry = cache.get(key)
+        assert entry is None or entry.seq >= final_seq
 
 
 # --------------------------------------------------------------------- #

@@ -374,11 +374,15 @@ class TestPercentiles:
         assert hist.percentile(1.0) == pytest.approx(0.008)
         assert hist.percentile(0.5) < hist.percentile(0.95)
 
-    def test_overflow_bucket_reports_max(self):
+    def test_overflow_bucket_interpolates_by_rank(self):
+        # All observations above the last finite bound: quantiles stay
+        # rank-aware inside the overflow bucket (the old code collapsed
+        # every quantile there — even p50 — to the single largest value).
         hist = metrics.histogram("t.big")
         hist.observe(50.0)
         hist.observe(90.0)
-        assert hist.percentile(0.99) == 90.0
+        assert 50.0 <= hist.percentile(0.50) < hist.percentile(0.99) <= 90.0
+        assert hist.percentile(1.0) == pytest.approx(90.0)
 
     def test_empty_histogram_and_bad_q(self):
         hist = metrics.histogram("t.empty")
@@ -447,6 +451,33 @@ class TestPromtext:
         )
         with pytest.raises(ValidationError):
             promtext.parse(text)
+
+    def test_render_consistent_under_concurrent_observes(self):
+        # Regression: the renderer used to read the live bucket list and
+        # the count in separate steps, so a concurrent observe produced
+        # exposition text whose +Inf bucket disagreed with _count — which
+        # promtext.parse rejects.  Rendering now snapshots once.
+        hist = metrics.histogram("torn.seconds")
+        stop = threading.Event()
+
+        def observer():
+            i = 0
+            while not stop.is_set():
+                hist.observe((i % 9) * 0.004)  # straddles two buckets
+                i += 1
+
+        threads = [threading.Thread(target=observer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(100):
+                promtext.parse(promtext.render())  # raises on a torn render
+                exported = hist.export()
+                assert sum(exported["buckets"].values()) == exported["count"]
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
 
 
 def _get(url: str):

@@ -227,9 +227,13 @@ class TestBenchRunner:
         doc = json.loads(written[-1].read_text())
         validate_bench_json(doc)
         assert doc["workload"] == "concurrency"
-        assert set(doc["rows"]) == {"1", "2"}
+        assert set(doc["rows"]) == {"1", "2", "mixed-rwlock", "mixed-mvcc"}
         baseline = doc["rows"]["1"]["measured"]
         assert baseline[0] == 1 and baseline[4] == 1.0  # speedup_vs_1
+        # the mixed A/B rows: the RWLock row is its own baseline and the
+        # MVCC row's speedup column is the ratio against it
+        assert doc["rows"]["mixed-rwlock"]["measured"][4] == 1.0
+        assert doc["rows"]["mixed-mvcc"]["measured"][4] > 0
         # the serving layer's own instrumentation is in the snapshot
         assert doc["metrics"]["counters"]["server.statements"] > 0
         assert doc["metrics"]["counters"]["server.result_cache.hits"] > 0
