@@ -438,7 +438,7 @@ class Database:
         with self._rwlock.read():
             return _analyze(parse(sql), self.catalog, self.functions)
 
-    def transaction(self):
+    def transaction(self, on_publish=None):
         """Scope several statements into one storage transaction.
 
         Delegates to the device stack: under a write-ahead log every page
@@ -454,11 +454,21 @@ class Database:
         journal flush happens *outside* the lock, so other writers seal
         behind this one and share a single flush.  Statements issued
         inside the scope re-enter the lock without blocking.
+
+        ``on_publish`` — a callable receiving the published snapshot's
+        sequence number — fires immediately after each version this
+        transaction publishes becomes visible: at commit seal (before the
+        journal flush this committer then waits on), and again from the
+        rollback re-publish when a group flush fails.  The serving layer
+        hangs its result-cache invalidation here, so cached pre-write
+        rows never coexist with fresh snapshot reads for the length of a
+        flush, and a version rolled back by a flush failure is fenced
+        even though the failure exception skips the caller's happy path.
         """
-        return self._locked_transaction()
+        return self._locked_transaction(on_publish)
 
     @contextmanager
-    def _locked_transaction(self):
+    def _locked_transaction(self, on_publish=None):
         self._rwlock.acquire_write()
         self._txn_nesting += 1
         done = {"finished": False}
@@ -472,11 +482,18 @@ class Database:
                 return
             done["finished"] = True
             self._txn_nesting -= 1
+            published = None
             if publish and self.mvcc and self._txn_nesting == 0:
                 self._publish_version()
+                published = self._versions.latest_seq
             elif not publish and self.mvcc:
                 self._versions.discard_pending()
             self._rwlock.release_write()
+            if published is not None and on_publish is not None:
+                # After the lock release (a callback failure must not
+                # leak the write lock) but still at publish time — well
+                # before the journal flush the committer waits on.
+                on_publish(published)
 
         try:
             if self.lfm is None:
@@ -498,10 +515,14 @@ class Database:
             if not done["finished"]:
                 finish(publish=False)
             else:
-                # Sealed, published, and unlocked — but the group flush
-                # failed and the WAL rolled the live state back.  Publish
-                # again so the aborted version stops being served.
+                # Sealed, published, and unlocked — but the flush failed
+                # afterwards.  Publish again from the live state (the WAL
+                # rolled it back, or — when the commit record was already
+                # durable — kept it) so readers stop pinning a version
+                # that no longer matches it, and fence the cache again.
                 self.publish_snapshot()
+                if on_publish is not None:
+                    on_publish(self._versions.latest_seq)
             raise
 
     def register_function(self, name: str, fn,

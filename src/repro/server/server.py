@@ -280,15 +280,23 @@ class QueryServer:
             # a group-commit WAL — releases it at commit *seal*, so the
             # journal flush below happens outside the lock and concurrent
             # writers' flushes coalesce.  Stale cache fills are fenced by
-            # the sequence-numbered invalidation, not by lock exclusion.
-            with self.db.transaction():
+            # the sequence-numbered invalidation, which the transaction
+            # fires at *publish* time: once at commit seal (so cached
+            # pre-write rows never outlive the version they belong to for
+            # the length of a flush) and again from the rollback
+            # re-publish if the group flush fails (so results cached
+            # against the aborted version are fenced even though the
+            # exception skips this method's tail).
+            def invalidate(seq: int) -> None:
+                if self.cache is not None:
+                    self.cache.invalidate(info.tables, seq=seq)
+
+            with self.db.transaction(on_publish=invalidate):
                 # Re-entrant by construction: transaction() already holds
                 # the exclusive side on this thread, so the write lock
                 # execute() takes nests instead of inverting the order.
                 result = self.db.execute(sql, params,  # qblint: disable=QB401
                                          functions=session.functions)
-            if self.cache is not None:
-                self.cache.invalidate(info.tables, seq=self.db.version_seq)
             return result
         with self.db.rwlock.write():
             with self.db.transaction():

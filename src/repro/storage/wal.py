@@ -20,6 +20,7 @@ stays recoverable until its metadata is checkpointed elsewhere):
 .. code-block:: text
 
     checkpoint   "QCKP" | last_txn_id u64 | ckpt_crc u32
+    skip         "QSKP" | skip_len u64 | skip_crc u32   (jump skip_len bytes)
     TXN header   "QWAL" | version u16 | reserved u16 | txn_id u64 |
                  n_pages u32 | meta_len u32 | header_crc u32 | meta bytes
     page record  page_no u64 | payload_crc u32 | page_size payload bytes
@@ -31,6 +32,18 @@ matching the replayed pages.  Recovery scans from offset 0, accepting
 transactions only while every checksum verifies and txn ids strictly
 increase; the first torn or corrupt record stops the scan and discards
 the tail.
+
+The skip record is how the log stays scannable after a *failed* group
+flush on a live system that keeps running: the failure leaves a torn
+region in the journal while later transactions have already sealed
+(reserved space) beyond it, so the flush leader stamps a CRC'd skip
+record over the hole and the scan jumps straight to the first record
+after it.  The transactions inside the hole were reported rolled back
+to their committers, so skipping them *is* the correct recovery.  If
+the stamp itself fails (the journal is the broken device), the hole is
+remembered and every subsequent flush refuses to journal past it —
+re-attempting the repair first — so no commit is ever acknowledged that
+a recovery scan could not reach.
 
 The checkpoint record is what ``reset_journal()`` writes at offset 0: it
 carries the newest txn id ever committed, so the epoch survives a
@@ -87,6 +100,8 @@ _CRC = struct.Struct("<I")
 _PAGE = struct.Struct("<QI")          # page_no, payload_crc
 _COMMIT = struct.Struct("<4sQI")      # magic, txn_id, commit_crc
 _CKPT = struct.Struct("<4sQI")        # magic, last_txn_id, ckpt_crc
+_SKIP_MAGIC = b"QSKP"
+_SKIP = struct.Struct("<4sQI")        # magic, skip_len, skip_crc
 
 
 @dataclass
@@ -139,6 +154,19 @@ def _scan_journal(journal, last_id: int = 0) -> tuple[list, int, int, int]:
                 return txns, 0, pos, last_id
             last_id = ckpt_id
             pos += _CKPT.size
+            continue
+        if probe[:4] == _SKIP_MAGIC:
+            _, skip_len, skip_crc = _SKIP.unpack(probe)
+            if skip_crc != zlib.crc32(probe[:_SKIP.size - _CRC.size]):
+                return txns, 0, pos, last_id
+            if skip_len < _SKIP.size or pos + skip_len > capacity:
+                return txns, 0, pos, last_id
+            # A repaired hole: a group flush failed here and the leader
+            # stamped the torn region over.  The transactions inside
+            # were reported rolled back, so jump to the first record
+            # beyond the hole (not counted as discarded — nothing
+            # acknowledged is being dropped).
+            pos += skip_len
             continue
         head_len = _HEADER.size + _CRC.size
         if pos + head_len > capacity:
@@ -201,7 +229,7 @@ class _CommitBatch:
     """
 
     __slots__ = ("txn_id", "start", "head_bytes", "pages", "meta", "undo",
-                 "total", "done", "error")
+                 "total", "done", "error", "committed", "flushed")
 
     def __init__(self, txn_id, start, head_bytes, pages, meta, undo, total):
         self.txn_id = txn_id
@@ -213,6 +241,12 @@ class _CommitBatch:
         self.total = total
         self.done = False           # guarded_by: _commit_cond
         self.error = None           # guarded_by: _commit_cond
+        #: commit record durably journaled — the batch can no longer roll
+        #: back, even if a later step of the same flush fails (set by the
+        #: flush leader only, read after ``done`` is observed)
+        self.committed = False
+        #: journal + apply + overlay-clear all completed
+        self.flushed = False
 
 
 def recover_journal(device, journal, next_txn_id: int = 1) -> RecoveryReport:
@@ -303,6 +337,11 @@ class WriteAheadLog:
         # applies.  Maps page_no -> (txn_id, payload).
         self._pending_lock = threading.Lock()  # leaf; guards _pending
         self._pending: dict[int, tuple[int, bytearray]] = {}
+        #: byte range of a journal hole left by a failed group flush that
+        #: could not be skip-stamped yet (the journal itself was failing).
+        #: Touched only by the flush leader and by ``reset_journal`` after
+        #: a drain, which are mutually exclusive by construction.
+        self._repair_pending: tuple[int, int] | None = None
         self.last_committed_meta: dict | None = None  # updated by the flusher
         self.recovery: RecoveryReport | None = None
         if recover:
@@ -391,6 +430,13 @@ class WriteAheadLog:
         transaction rolls back.  This scope does not return until this
         transaction's flush completed, so durability-before-acknowledge
         is unchanged.
+
+        A flush failure rolls the transaction back only while its commit
+        record has not reached the journal.  Once the commit record is
+        durable the transaction is committed — recovery would replay it —
+        so a data-device failure during the apply re-raises here *without*
+        unwinding state: in-memory and durable state stay in agreement
+        (the committed pages keep serving from the pending overlay).
         """
         state: dict = {"batch": None}
         with self._txn_lock:
@@ -563,8 +609,12 @@ class WriteAheadLog:
         Called with no locks held.  The first committer to arrive while
         no flush is running becomes the leader and flushes every batch
         queued so far (and any that arrive while it works); followers
-        just wait on the commit barrier.  On a flush failure every batch
-        of the failed group unwinds in its own committer's thread.
+        just wait on the commit barrier.  On a flush failure only the
+        batches whose commit record never reached the journal unwind
+        (in their own committers' threads); a batch whose commit record
+        is already durable stays committed — its committer re-raises
+        the device error but the in-memory state keeps the transaction,
+        matching what recovery would replay.
         """
         cond = self._commit_cond
         with cond:
@@ -576,7 +626,8 @@ class WriteAheadLog:
         if leader:
             self._lead_flushes()
         if batch.error is not None:
-            self._undo_batch(batch)
+            if not batch.committed:
+                self._undo_batch(batch)
             raise batch.error
 
     def _lead_flushes(self) -> None:
@@ -592,21 +643,90 @@ class WriteAheadLog:
                     return
             error = None
             try:
+                # An earlier failure may have left an unstamped hole in
+                # the journal; repair it before journaling anything
+                # beyond it, or recovery's scan would stop at the hole
+                # and silently discard this group's commits.
+                self._repair_journal_hole()
                 self._flush_group(group)
-            # The group shares one journal pass: any failure (simulated
-            # crash, device error) fails every batch in it, and each
-            # committer unwinds its own in-memory state.
+            # A failure fails the erroring batch and everything after it
+            # in the group.  Batches the flush already completed were
+            # marked done (success) as each one finished — their journal
+            # records are durable and their committers may already have
+            # returned.
             except BaseException as exc:  # qblint: disable=no-broad-except
                 error = exc
+                self._seal_journal_hole(group)
             with cond:
                 for b in group:
-                    b.done = True
-                    b.error = error
+                    if not b.done:
+                        b.error = None if b.flushed else error
+                        b.done = True
                 if error is not None:
                     self._flusher_active = False
                 cond.notify_all()
             if error is not None:
                 return
+
+    def _complete_batch(self, batch: _CommitBatch) -> None:
+        """Release one fully flushed batch's committer (leader thread)."""
+        batch.flushed = True
+        with self._commit_cond:
+            batch.done = True
+            self._commit_cond.notify_all()
+
+    def _seal_journal_hole(self, group: list[_CommitBatch]) -> None:
+        """Record — and try to stamp — the torn region of a failed group.
+
+        The hole spans from the first batch whose commit record never
+        reached the journal to the end of the group's reserved space
+        (later batches may already have sealed past it, so the append
+        point cannot simply rewind).  Merging with a previously recorded
+        hole keeps the region contiguous: journal space is reserved
+        strictly in seal order.
+        """
+        failed = [b for b in group if not b.committed]
+        if not failed:
+            return
+        start = failed[0].start
+        end = group[-1].start + group[-1].total
+        if self._repair_pending is not None:
+            start = min(start, self._repair_pending[0])
+            end = max(end, self._repair_pending[1])
+        self._repair_pending = (start, end)
+        self._try_stamp_hole()
+
+    def _repair_journal_hole(self) -> None:
+        """Stamp any pending hole, or refuse to flush past it.
+
+        Raising here (before the group journals anything) keeps the
+        invariant that no commit is acknowledged unless a recovery scan
+        can reach its records.
+        """
+        if self._repair_pending is None:
+            return
+        self._try_stamp_hole()
+        if self._repair_pending is not None:
+            start, end = self._repair_pending
+            raise WalError(
+                f"journal hole [{start}, {end}) left by a failed group "
+                f"flush cannot be repaired; commits beyond it would be "
+                f"unrecoverable"
+            )
+
+    def _try_stamp_hole(self) -> None:
+        """Best-effort skip-record write over the recorded hole."""
+        start, end = self._repair_pending
+        body = _SKIP_MAGIC + struct.pack("<Q", end - start)
+        try:
+            self.journal.write(start, body + _CRC.pack(zlib.crc32(body)))
+        # The journal may be the very device that just failed (or be
+        # offline after a simulated crash): keep the hole recorded and
+        # let the next leader retry before journaling anything.
+        except BaseException:  # qblint: disable=no-broad-except
+            return
+        self._repair_pending = None
+        metrics.counter("wal.holes_repaired").inc()
 
     def _flush_group(self, group: list[_CommitBatch]) -> None:
         """Journal + apply every batch of one group; one flush for all.
@@ -617,6 +737,15 @@ class WriteAheadLog:
         fault-injection schedules keyed on write counts replay
         unchanged; the once-per-group ``flush_latency`` sleep models the
         fsync that real group commit amortizes.
+
+        Each batch's commit record is its point of no return: once it is
+        on the journal the batch is committed (``batch.committed``) even
+        if the apply — or a later batch — fails, because recovery will
+        replay it.  An apply failure therefore leaves the batch's pages
+        in the pending overlay (readers keep seeing the committed image)
+        instead of rolling anything back.  Fully flushed batches release
+        their committers immediately, so a failure on a later batch can
+        never retroactively "fail" an earlier durable commit.
         """
         for batch in group:
             with trace.span("wal.commit", io=self.journal.stats,
@@ -637,16 +766,18 @@ class WriteAheadLog:
                 )
             # The commit record is durable: the transaction is committed
             # even if the apply below is cut short (recovery replays it).
-            with trace.span("wal.apply", io=self.device.stats, txn=batch.txn_id):
-                for page_no, payload in batch.pages:
-                    self.device.write(page_no * self.page_size, bytes(payload))
-            self._clear_pending(batch)
+            batch.committed = True
+            if batch.meta is not None:
+                self.last_committed_meta = batch.meta
             metrics.counter("wal.commits").inc()
             metrics.counter("wal.pages_journaled").inc(len(batch.pages))
             metrics.counter("wal.bytes_journaled").inc(batch.total)
             metrics.gauge("wal.journal_bytes").set(batch.start + batch.total)
-            if batch.meta is not None:
-                self.last_committed_meta = batch.meta
+            with trace.span("wal.apply", io=self.device.stats, txn=batch.txn_id):
+                for page_no, payload in batch.pages:
+                    self.device.write(page_no * self.page_size, bytes(payload))
+            self._clear_pending(batch)
+            self._complete_batch(batch)
         metrics.counter("wal.flushes").inc()
         if len(group) > 1:
             metrics.counter("wal.group_commits").inc()
@@ -716,6 +847,9 @@ class WriteAheadLog:
             body = _CKPT_MAGIC + struct.pack("<Q", last_id)
             self.journal.write(0, body + _CRC.pack(zlib.crc32(body)))
             self._journal_head = _CKPT.size
+            # Any unstamped hole lies in the invalidated epoch now: the
+            # checkpoint's txn-id floor already stops the scan before it.
+            self._repair_pending = None
             metrics.gauge("wal.journal_bytes").set(self._journal_head)
 
     # ------------------------------------------------------------------ #
@@ -735,14 +869,20 @@ class WriteAheadLog:
         The fill reads through the pending overlay: a page committed by
         an earlier transaction whose grouped apply has not landed yet
         must seed this transaction's read-modify-write with the
-        *committed* image, not the stale device bytes.
+        *committed* image, not the stale device bytes.  The overlay is
+        snapshotted *before* the device read — a concurrent flush can
+        apply the page and clear its entry mid-read, and patching from
+        the pre-read snapshot is what keeps the committed image either
+        way (no new entry can appear: sealing needs the txn lock this
+        thread holds).
         """
         page = self._dirty.get(number)
         if page is None:
             start = number * self.page_size
+            snap = self._snapshot_pending()
             page = bytearray(self.device.read(start, self.page_size))
-            if self._pending:
-                self._overlay_pending(page, start)
+            if snap is not None and number in snap:
+                page[:] = snap[number]
             self._dirty[number] = page
         return page
 
@@ -781,13 +921,14 @@ class WriteAheadLog:
                 self._dirty_page(number)[lo:hi] = data[cursor:cursor + (hi - lo)]
             cursor += hi - lo
 
-    def _overlay(self, blob: bytearray, start: int) -> bytearray:
-        """Patch a byte range read from the device with dirty-page contents."""
+    def _overlay_from(self, blob: bytearray, start: int,
+                      pages: dict) -> bytearray:
+        """Patch a byte range with page images from ``pages`` (page_no keyed)."""
         stop = start + len(blob)
         first = start // self.page_size
         last = (stop - 1) // self.page_size if stop > start else first
         for number in range(first, last + 1):
-            page = self._dirty.get(number)
+            page = pages.get(number)
             if page is None:
                 continue
             page_start = number * self.page_size
@@ -795,6 +936,26 @@ class WriteAheadLog:
             hi = min(stop, page_start + self.page_size)
             blob[lo - start:hi - start] = page[lo - page_start:hi - page_start]
         return blob
+
+    def _overlay(self, blob: bytearray, start: int) -> bytearray:
+        """Patch a byte range read from the device with dirty-page contents."""
+        return self._overlay_from(blob, start, self._dirty)
+
+    def _snapshot_pending(self) -> dict[int, bytearray] | None:
+        """Copy the pending overlay map (page_no -> committed payload).
+
+        Taken *before* a device read, so the committed image of any page
+        the flush leader applies-and-clears while the read is in flight
+        still patches the result.  Payloads are immutable after seal, so
+        holding references (not copies) is safe.
+        """
+        if not self._pending:
+            return None
+        with self._pending_lock:
+            if not self._pending:
+                return None
+            return {number: entry[1]
+                    for number, entry in self._pending.items()}
 
     def _overlay_pending(self, blob: bytearray, start: int) -> bytearray:
         """Patch a byte range with committed-but-not-yet-applied pages."""
@@ -827,14 +988,29 @@ class WriteAheadLog:
 
     def read(self, offset: int, length: int) -> bytes:
         """Read through the log: committed state, plus — for the thread
-        that owns the open transaction — its own uncommitted writes."""
+        that owns the open transaction — its own uncommitted writes.
+
+        The pending overlay is snapshotted *before* the device read and
+        re-checked after: a concurrent group flush can apply a page and
+        clear its overlay entry between the two, and a device read that
+        captured the pre-apply bytes must still be patched with the
+        committed image (MVCC snapshot readers pinned to the published
+        version would otherwise observe pre-commit state).
+        """
+        snap = self._snapshot_pending() if length else None
         data = self.device.read(offset, length)
         self._account_read(np.asarray([offset]), np.asarray([offset + length]))
         if not length:
             return data
         blob = None
+        if snap is not None:
+            blob = self._overlay_from(bytearray(data), offset, snap)
         if self._pending:
-            blob = self._overlay_pending(bytearray(data), offset)
+            # Entries sealed while the device read was in flight carry
+            # newer committed images and override the snapshot's.
+            blob = self._overlay_pending(
+                blob if blob is not None else bytearray(data), offset
+            )
         if self._sees_own_writes():
             blob = self._overlay(blob if blob is not None else bytearray(data), offset)
         return bytes(blob) if blob is not None else data
@@ -846,14 +1022,20 @@ class WriteAheadLog:
             self.stats.add_read(pages.count, pages.run_count, nbytes)
 
     def read_ranges(self, starts, stops) -> bytes:
-        """Scattered read with overlays (page-deduplicated)."""
+        """Scattered read with overlays (page-deduplicated).
+
+        Same pre-read pending snapshot as :meth:`read`: a grouped apply
+        racing this read cannot strip the committed overlay from bytes
+        captured before it landed.
+        """
         starts = np.asarray(starts, dtype=np.int64)
         stops = np.asarray(stops, dtype=np.int64)
+        snap = self._snapshot_pending()
         data = self.device.read_ranges(starts, stops)  # validates + accounts
         self._account_read(starts, stops)
         pending = bool(self._pending)
         own = self._sees_own_writes()
-        if not pending and not own:
+        if snap is None and not pending and not own:
             return data
         out = bytearray(data)
         cursor = 0
@@ -861,6 +1043,8 @@ class WriteAheadLog:
             if stop <= start:
                 continue
             seg = bytearray(out[cursor:cursor + (stop - start)])
+            if snap is not None:
+                self._overlay_from(seg, start, snap)
             if pending:
                 self._overlay_pending(seg, start)
             if own:

@@ -30,6 +30,7 @@ from repro.errors import (
     SessionClosedError,
     SimulatedCrash,
     ValidationError,
+    WalError,
 )
 from repro.obs import metrics
 from repro.server import QueryServer, ResultCache, WorkerPool
@@ -710,3 +711,96 @@ class TestServingSanity:
                 ]
                 values = [f.result(timeout=30).scalar() for f in futures]
             assert values == [k * k for k in range(10)]
+
+
+# --------------------------------------------------------------------- #
+# publish-time cache invalidation (group-commit WAL behind the server)
+# --------------------------------------------------------------------- #
+
+
+class _ArmedJournal:
+    """Journal whose next write fails once ``armed`` is set (one-shot)."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.armed = False
+
+    def write(self, offset, data):
+        if self.armed:
+            self.armed = False
+            raise WalError("injected journal failure")
+        return self._inner.write(offset, data)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class _ProbeJournal:
+    """Journal that samples ``probe()`` at every write call."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.probe = None
+        self.samples: list = []
+
+    def write(self, offset, data):
+        if self.probe is not None:
+            self.samples.append(self.probe())
+        return self._inner.write(offset, data)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def wal_backed_db(journal_wrapper):
+    """An MVCC database over a group-commit WAL with a wrapped journal."""
+    data = BlockDevice(CAPACITY)
+    journal = journal_wrapper(BlockDevice(CAPACITY))
+    wal = WriteAheadLog(data, journal, recover=False)
+    db = Database(lfm=LongFieldManager(wal))
+    db.execute("create table events (session integer, seq integer)")
+    return db, journal
+
+
+class TestPublishTimeInvalidation:
+    def test_cache_invalidated_at_publish_not_after_flush(self):
+        # The version is visible to fresh snapshot reads at commit seal;
+        # the cache drop must land then too, not a journal-flush later.
+        # Every journal write of the INSERT's flush happens after the
+        # seal, so sampling the cache size there catches any flush-wide
+        # window where stale pre-write rows were still being served.
+        db, journal = wal_backed_db(_ProbeJournal)
+        with QueryServer(db, workers=2) as server:
+            with server.connect() as s:
+                assert s.execute("select count(*) from events").scalar() == 0
+                assert len(server.cache) == 1
+                journal.probe = lambda: len(server.cache)
+                s.execute("insert into events values (1, 1)")
+                journal.probe = None
+        assert journal.samples, "the INSERT must have journaled"
+        assert all(n == 0 for n in journal.samples), (
+            f"cache still held entries during the flush: {journal.samples}"
+        )
+
+    def test_failed_flush_fences_cache_against_aborted_version(self):
+        # A flush failure raises out of db.transaction(), skipping the
+        # write path's tail — the invalidation must have fired anyway
+        # (once at seal, again from the rollback re-publish), so no
+        # result computed against the aborted version survives and the
+        # low-water mark fences late fills from readers still pinned to it.
+        db, journal = wal_backed_db(_ArmedJournal)
+        with QueryServer(db, workers=2) as server:
+            with server.connect() as s:
+                s.execute("insert into events values (1, 1)")
+                assert s.execute("select count(*) from events").scalar() == 1
+                assert len(server.cache) == 1
+                journal.armed = True
+                with pytest.raises(WalError, match="injected"):
+                    s.execute("insert into events values (1, 2)")
+                assert len(server.cache) == 0
+                assert server.cache._stale_below["events"] == db.version_seq
+                # The refreshed cache agrees with the live snapshot.
+                refreshed = s.execute("select count(*) from events").scalar()
+                assert refreshed == db.execute(
+                    "select count(*) from events"
+                ).scalar()

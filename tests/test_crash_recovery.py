@@ -642,3 +642,207 @@ class TestBitIdentity:
         )
         counts = {e: row.lfm_page_ios for e, (_, row) in run_table4(system).items()}
         assert counts == {"hilbert-naive": 5, "z-naive": 5, "octant": 5}
+
+
+class _FlakyJournal:
+    """Counts write calls; fails chosen indices (1-based) or while offline.
+
+    Unlike a :class:`FaultSchedule` crash — which takes the device down
+    for good — the failure is transient, modelling a journal write error
+    the store must survive: exactly the regime where per-batch commit
+    points and skip-record hole repair matter.
+    """
+
+    def __init__(self, inner, fail_at=()):
+        self._inner = inner
+        self.fail_at = set(fail_at)
+        self.offline = False
+        self.writes = 0
+
+    def write(self, offset, data):
+        self.writes += 1
+        if self.offline or self.writes in self.fail_at:
+            raise WalError("injected journal failure")
+        return self._inner.write(offset, data)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestGroupFlushFailure:
+    """A failed group flush must fail *only* the uncommitted batches."""
+
+    def _seal(self, wal, offset: int, payload: bytes, undone: list, tag):
+        """Seal one single-page transaction without awaiting its flush."""
+        state: dict = {}
+        with wal._txn_lock:
+            with wal._transaction_scope(state=state):
+                wal._buffer_write(offset, payload)
+                wal.on_rollback(lambda: undone.append(tag))
+        return state["batch"]
+
+    def test_durable_batch_survives_later_batch_failure(self):
+        # Group of two: txn 1 journals cleanly (writes 1-3: header, page,
+        # commit), txn 2's header (write 4) fails.  Only txn 2 may roll
+        # back; recovery must still reach commits journaled *after* the
+        # stamped hole.
+        from repro.obs import metrics
+
+        data = BlockDevice(CAPACITY)
+        journal = BlockDevice(JOURNAL_CAPACITY)
+        flaky = _FlakyJournal(journal, fail_at={4})
+        wal = WriteAheadLog(data, flaky, recover=False)
+        undone: list[int] = []
+        batch1 = self._seal(wal, 0, b"one", undone, 1)
+        batch2 = self._seal(wal, 8192, b"two", undone, 2)
+        repaired_before = metrics.counter("wal.holes_repaired").value
+
+        wal._await_flush(batch1)  # leads the group flush; must not raise
+        assert undone == []
+        with pytest.raises(WalError, match="injected"):
+            wal._await_flush(batch2)
+        assert undone == [2]
+
+        # txn 1 stayed committed in memory; txn 2 left no trace.
+        assert wal.read(0, 3) == b"one"
+        assert wal.read(8192, 3) == b"\x00" * 3
+        # The hole was stamped immediately (the journal healed): write 5.
+        assert metrics.counter("wal.holes_repaired").value == repaired_before + 1
+
+        # The store keeps accepting commits past the stamped hole.
+        wal.write(16384, b"three")
+        assert wal.read(16384, 5) == b"three"
+
+        # Crash + reboot: the scan must skip the hole and reach txn 3.
+        wal2, _, _ = build_stack(
+            data_image=data.read(0, data.capacity),
+            journal_image=journal.read(0, journal.capacity),
+        )
+        assert wal2.recovery.replayed_txn_ids == [1, 3]
+        assert wal2.read(0, 3) == b"one"
+        assert wal2.read(8192, 3) == b"\x00" * 3
+        assert wal2.read(16384, 5) == b"three"
+
+    def test_unstamped_hole_refuses_commits_until_repaired(self):
+        # While the journal stays down, no later commit may be
+        # acknowledged: its records would sit beyond a hole the recovery
+        # scan cannot cross.  Once the journal heals, the next leader
+        # stamps the (merged) hole and commits flow again.
+        data = BlockDevice(CAPACITY)
+        journal = BlockDevice(JOURNAL_CAPACITY)
+        flaky = _FlakyJournal(journal)
+        wal = WriteAheadLog(data, flaky, recover=False)
+
+        flaky.offline = True
+        with pytest.raises(WalError, match="injected"):
+            wal.write(0, b"first")          # header write fails, stamp fails
+        with pytest.raises(WalError, match="journal hole"):
+            wal.write(4096, b"second")      # refused: hole unreachable
+        assert wal.read(0, 5) == b"\x00" * 5
+        assert wal.read(4096, 6) == b"\x00" * 6
+
+        flaky.offline = False
+        wal.write(8192, b"third")           # stamps the merged hole, commits
+        assert wal.read(8192, 5) == b"third"
+
+        wal2, _, _ = build_stack(
+            data_image=data.read(0, data.capacity),
+            journal_image=journal.read(0, journal.capacity),
+        )
+        assert wal2.recovery.replayed_txn_ids == [3]
+        assert wal2.read(8192, 5) == b"third"
+
+    def test_apply_failure_after_commit_record_stays_committed(self):
+        # The data device fails during the apply — after the commit
+        # record hit the journal.  Recovery would replay the transaction,
+        # so the in-memory state must keep it: no rollback, reads serve
+        # the committed bytes from the pending overlay.
+        data = BlockDevice(CAPACITY)
+        flaky = _FlakyJournal(data, fail_at={1})  # first apply write
+        journal = BlockDevice(JOURNAL_CAPACITY)
+        wal = WriteAheadLog(flaky, journal, recover=False)
+        ran: list[str] = []
+        with pytest.raises(WalError, match="injected"):
+            with wal.transaction():
+                wal.write(0, b"durable")
+                wal.on_rollback(lambda: ran.append("undone"))
+        assert ran == []                        # committed: undo must NOT run
+        assert wal.read(0, 7) == b"durable"     # overlay serves the commit
+
+        # The store continues: a later transaction applies cleanly and
+        # the un-applied page keeps serving from the overlay.
+        wal.write(4096, b"later")
+        assert wal.read(0, 7) == b"durable"
+        assert wal.read(4096, 5) == b"later"
+
+        wal2, _, _ = build_stack(
+            data_image=data.read(0, data.capacity),
+            journal_image=journal.read(0, journal.capacity),
+        )
+        assert wal2.recovery.replayed_txn_ids == [1, 2]
+        assert wal2.read(0, 7) == b"durable"
+        assert wal2.read(4096, 5) == b"later"
+
+
+class _ApplyRacingDevice:
+    """Data device that runs a one-shot hook *after* capturing read bytes.
+
+    Models the worst interleaving for snapshot readers: the device read
+    returns pre-apply bytes while a concurrent group flush applies the
+    page and clears its pending-overlay entry before the reader gets to
+    overlay.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.on_read = None
+
+    def _fire(self):
+        hook, self.on_read = self.on_read, None
+        if hook is not None:
+            hook()
+
+    def read(self, offset, length):
+        data = self._inner.read(offset, length)
+        self._fire()
+        return data
+
+    def read_ranges(self, starts, stops):
+        data = self._inner.read_ranges(starts, stops)
+        self._fire()
+        return data
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestReadApplyRace:
+    """Reads racing a grouped apply must still see committed bytes."""
+
+    def _seal(self, wal, offset: int, payload: bytes):
+        state: dict = {}
+        with wal._txn_lock:
+            with wal._transaction_scope(state=state):
+                wal._buffer_write(offset, payload)
+        return state["batch"]
+
+    def test_read_overlays_pages_applied_mid_read(self):
+        data = BlockDevice(CAPACITY)
+        racing = _ApplyRacingDevice(data)
+        journal = BlockDevice(JOURNAL_CAPACITY)
+        wal = WriteAheadLog(racing, journal, recover=False)
+        batch = self._seal(wal, 0, b"new")
+        # The flush lands between the device read and the overlay check.
+        racing.on_read = lambda: wal._await_flush(batch)
+        assert wal.read(0, 3) == b"new"
+        assert not wal._pending
+
+    def test_read_ranges_overlays_pages_applied_mid_read(self):
+        data = BlockDevice(CAPACITY)
+        racing = _ApplyRacingDevice(data)
+        journal = BlockDevice(JOURNAL_CAPACITY)
+        wal = WriteAheadLog(racing, journal, recover=False)
+        batch = self._seal(wal, 4096, b"rr")
+        racing.on_read = lambda: wal._await_flush(batch)
+        assert wal.read_ranges([4096], [4098]) == b"rr"
+        assert not wal._pending
