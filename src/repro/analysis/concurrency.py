@@ -9,6 +9,7 @@ with stable ``QB4xx`` codes (suppressible like any other rule):
 
     db.rwlock (10) -> txn (20) -> db.version (25) -> cache.latch (30)
                    -> cache.lock (40) -> wal.stats (50)
+                   -> db.stats (55) -> db.index (56)
                    -> leaf mutexes (1000)
 
 ``db.rwlock`` is the database's statement-level RWLock; ``txn`` is the
@@ -75,6 +76,8 @@ RANKS = {
     "cache.latch": 30,
     "cache.lock": 40,
     "wal.stats": 50,
+    "db.stats": 55,
+    "db.index": 56,
 }
 
 #: every unranked (leaf) mutex sits below the whole hierarchy
@@ -89,6 +92,8 @@ LOCK_ATTRS = {
     ("PageCache", "_lock"): "cache.lock",
     ("WriteAheadLog", "_txn_lock"): "txn",
     ("WriteAheadLog", "_stats_lock"): "wal.stats",
+    ("TableStats", "_lock"): "db.stats",
+    ("SpatialIndex", "_lock"): "db.index",
     ("VersionManager", "_lock"): "db.version",
     # Condition variables (leaf rank; named so `with self._cond:` scopes
     # register as holding the guard for the state they protect)
@@ -110,7 +115,8 @@ MUTATORS = {
 }
 
 _HIERARCHY_DOC = ("db.rwlock -> txn -> db.version -> cache.latch -> "
-                  "cache.lock -> wal.stats -> leaf mutexes")
+                  "cache.lock -> wal.stats -> db.stats -> db.index -> "
+                  "leaf mutexes")
 
 _GUARD_RE = re.compile(r"guarded_by:\s*([A-Za-z_]\w*)")
 

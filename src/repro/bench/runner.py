@@ -87,7 +87,9 @@ def validate_bench_json(doc: dict) -> None:
         raise ValidationError(
             f"unsupported BENCH schema version {doc['schema_version']!r}"
         )
-    if doc["workload"] not in ("table3", "table4", "concurrency"):
+    if doc["workload"] not in (
+        "table3", "table4", "concurrency", "ablation_spatial_index",
+    ):
         raise ValidationError(f"unknown workload {doc['workload']!r}")
     for key in ("grid_side", "paper_grid_side", "seed", "n_pet", "n_mri"):
         if key not in doc["generated"]:

@@ -148,6 +148,13 @@ class QbismSystem:
             )
             (pet_ids if study.modality == "PET" else mri_ids).append(study_id)
 
+        # §7 spatial indexing: Hilbert-packed R-trees over the stored
+        # REGION columns plus optimizer statistics, so the cost-based
+        # planner prunes with index probes instead of query shape.
+        db.execute("create spatial index sxAtlasRegion on atlasStructure (region)")
+        db.execute("create spatial index sxBandRegion on intensityBand (region)")
+        db.execute("analyze")
+
         cost_model = CostModel1994()
         return cls(
             device=device,

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.db.schema import TableSchema
+from repro.db.stats import SpatialIndex
 from repro.db.table import Table
 from repro.errors import CatalogError
 
@@ -22,6 +23,7 @@ class Catalog:
         self.version = 0
         self._tables: dict[str, Table] = {}
         self._indexes: dict[str, tuple[str, str]] = {}  # index name -> (table, column)
+        self._spatial: dict[str, tuple[str, str]] = {}  # spatial index name -> (table, column)
 
     def create_index(self, name: str, table_name: str, column: str) -> None:
         """Create a named single-column hash index."""
@@ -34,17 +36,67 @@ class Catalog:
         self._indexes[key] = (table.name, column)
 
     def drop_index(self, name: str) -> None:
-        """Drop a named index (the table keeps its rows)."""
+        """Drop a named index — hash or spatial (the table keeps its rows)."""
+        key = name.lower()
+        if key in self._spatial:
+            table_name, column = self._spatial.pop(key)
+            self.version += 1
+            table = self.table(table_name)
+            table.mutations += 1  # force MVCC to republish this table
+            table.spatial.pop(column.lower(), None)
+            return
         try:
-            table_name, column = self._indexes.pop(name.lower())
+            table_name, column = self._indexes.pop(key)
         except KeyError:
             raise CatalogError(f"no such index {name!r}") from None
         self.version += 1
         self.table(table_name).drop_index(column)
 
+    def create_spatial_index(self, name: str, table_name: str, column: str) -> SpatialIndex:
+        """Register a spatial index over one LONGFIELD column.
+
+        The index structure is created empty; the executor populates it
+        (payload reads need an execution context) and stamps it fresh.
+        """
+        key = name.lower()
+        if key in self._indexes or key in self._spatial:
+            raise CatalogError(f"index {name!r} already exists")
+        table = self.table(table_name)
+        if table.spatial_index_on(column) is not None:
+            raise CatalogError(
+                f"table {table.name!r} already has a spatial index on {column!r}"
+            )
+        position = table.schema.position(column)
+        index = SpatialIndex(name, table.name, column, position)
+        self.version += 1
+        self._spatial[key] = (table.name, column)
+        table.mutations += 1  # force MVCC to republish this table
+        table.spatial[column.lower()] = index
+        return index
+
+    def index_table(self, name: str) -> str | None:
+        """The table a named index (hash or spatial) is defined on, or None."""
+        key = name.lower()
+        if key in self._indexes:
+            return self._indexes[key][0]
+        if key in self._spatial:
+            return self._spatial[key][0]
+        return None
+
     def index_names(self) -> list[str]:
-        """All index names, sorted."""
+        """All hash-index names, sorted."""
         return sorted(self._indexes)
+
+    def spatial_index_names(self) -> list[str]:
+        """All spatial-index names, sorted."""
+        return sorted(self._spatial)
+
+    def spatial_index_defs(self) -> list[tuple[str, str, str]]:
+        """``(name, table, column)`` of every spatial index, sorted by name."""
+        return [
+            (name, table, column)
+            for name, (table, column) in sorted(self._spatial.items())
+        ]
 
     def create_table(self, schema: TableSchema) -> Table:
         """Create an empty table for the schema; rejects duplicates."""
@@ -65,6 +117,10 @@ class Catalog:
         self.version += 1
         self._indexes = {
             idx: (t, c) for idx, (t, c) in self._indexes.items()
+            if t.lower() != name.lower()
+        }
+        self._spatial = {
+            idx: (t, c) for idx, (t, c) in self._spatial.items()
             if t.lower() != name.lower()
         }
 

@@ -98,6 +98,12 @@ class Database:
     catalog: Catalog = field(default_factory=Catalog)
     functions: FunctionRegistry = field(default_factory=FunctionRegistry)
     mvcc: bool = True
+    #: default planner mode for every statement: "cost" (statistics-driven
+    #: join ordering, predicate reordering, spatial probes), "greedy" (the
+    #: legacy heuristic), or "naive" (FROM-order joins, conjuncts verbatim
+    #: — the differential-testing baseline).  Overridable per statement
+    #: via ``execute(..., planner=...)``.
+    planner: str = "cost"
 
     def __post_init__(self) -> None:
         self.functions.register_all(builtin_functions(), builtin_signatures())
@@ -220,7 +226,8 @@ class Database:
 
     def execute(self, sql: str, params: list | None = None,
                 functions: FunctionRegistry | None = None,
-                version: DatabaseVersion | None = None) -> QueryResult:
+                version: DatabaseVersion | None = None,
+                planner: str | None = None) -> QueryResult:
         """Parse, analyze, and run one SQL statement.
 
         The semantic analyzer runs unconditionally between parse and
@@ -243,6 +250,9 @@ class Database:
         snapshot applies, reads take the shared side of :attr:`rwlock`;
         mutating statements always take the exclusive side and publish a
         fresh snapshot on commit.
+
+        ``planner`` overrides the database's default planner mode
+        (:attr:`planner`) for this statement.
         """
         import time
 
@@ -250,6 +260,7 @@ class Database:
 
         stmt = parse(sql)
         registry = functions if functions is not None else self.functions
+        mode = planner if planner is not None else self.planner
         is_read = self.statement_is_read(stmt)
         # The flight recorder's statement scope: when the serving layer
         # already opened one on this thread (it owns session/pool-wait
@@ -263,7 +274,7 @@ class Database:
                     with rec:
                         return self._execute_pinned(
                             stmt, list(params or ()), sql, registry, rec,
-                            pinned,
+                            pinned, mode,
                         )
                 finally:
                     if version is None:
@@ -273,13 +284,14 @@ class Database:
             check(stmt, self.catalog, registry)
             if isinstance(stmt, Explain):
                 result = self._execute_explain(stmt, list(params or ()), sql,
-                                               registry)
+                                               registry, mode=mode)
                 rec.note(rows=len(result.rows), io=result.io, kind="explain",
                          params=params if params else None)
                 return result
             metrics.counter("db.statements").inc()
             start = time.perf_counter()
-            ctx = ExecutionContext(lfm=self.lfm, analyzed=True)
+            ctx = ExecutionContext(lfm=self.lfm, analyzed=True,
+                                   planner_mode=mode)
             # Thread-local attribution: the delta is exactly this
             # statement's I/O even while other sessions run concurrently
             # (a global before/after snapshot would absorb their pages).
@@ -304,7 +316,8 @@ class Database:
 
     def _execute_pinned(self, stmt, params: list, sql: str,
                         registry: FunctionRegistry, rec,
-                        pinned: DatabaseVersion) -> QueryResult:
+                        pinned: DatabaseVersion,
+                        mode: str | None = None) -> QueryResult:
         """Run SELECT / EXPLAIN against a pinned snapshot — no read lock.
 
         The statement sees the snapshot's catalog tables and a read-only
@@ -323,13 +336,14 @@ class Database:
                     if self.lfm is not None else None)
         if isinstance(stmt, Explain):
             result = self._execute_explain(stmt, params, sql, registry,
-                                           catalog=catalog, lfm=lfm_view)
+                                           catalog=catalog, lfm=lfm_view,
+                                           mode=mode)
             rec.note(rows=len(result.rows), io=result.io, kind="explain",
                      params=params if params else None)
             return result
         metrics.counter("db.statements").inc()
         start = time.perf_counter()
-        ctx = ExecutionContext(lfm=lfm_view, analyzed=True)
+        ctx = ExecutionContext(lfm=lfm_view, analyzed=True, planner_mode=mode)
         if self.lfm is not None:
             with attribute_io(self.lfm.stats) as io_delta:
                 ctx.io_sink = io_delta
@@ -356,7 +370,8 @@ class Database:
 
     def _execute_explain(self, stmt, params: list, sql: str,
                          registry: FunctionRegistry | None = None, *,
-                         catalog=None, lfm=None) -> QueryResult:
+                         catalog=None, lfm=None,
+                         mode: str | None = None) -> QueryResult:
         """Run EXPLAIN / EXPLAIN ANALYZE; the plan comes back as rows.
 
         ``catalog`` / ``lfm`` pin the statement to a snapshot version;
@@ -366,6 +381,7 @@ class Database:
         from repro.db.sql.ast import Select
 
         registry = registry if registry is not None else self.functions
+        mode = mode if mode is not None else self.planner
         if catalog is None:
             catalog = self.catalog
             lfm = self.lfm
@@ -373,7 +389,7 @@ class Database:
         if not isinstance(inner, Select):
             raise UnsupportedStatementError("EXPLAIN supports SELECT statements only")
         if not stmt.analyze:
-            lines = plan_select(inner, catalog).describe().splitlines()
+            lines = plan_select(inner, catalog, mode=mode).describe().splitlines()
             rows = [(line,) for line in lines]
             return QueryResult(
                 result=ResultSet(["plan"], rows),
@@ -381,7 +397,8 @@ class Database:
             )
         metrics.counter("db.statements").inc()
         profile = PlanProfile()
-        ctx = ExecutionContext(lfm=lfm, analyzed=True, profile=profile)
+        ctx = ExecutionContext(lfm=lfm, analyzed=True, profile=profile,
+                               planner_mode=mode)
         # Per-operator and statement totals read the thread-local sink, so
         # two EXPLAIN ANALYZEs in flight (the read lock is shared) cannot
         # cross-attribute each other's page I/Os.
@@ -407,7 +424,8 @@ class Database:
             check(stmt, self.catalog, self.functions)
             total = 0
             for params in param_rows:
-                ctx = ExecutionContext(lfm=self.lfm, analyzed=True)
+                ctx = ExecutionContext(lfm=self.lfm, analyzed=True,
+                                       planner_mode=self.planner)
                 total += self._executor.execute(stmt, list(params), ctx).rowcount
             if not is_read and self.mvcc and self._txn_nesting == 0:
                 self._publish_version()
@@ -429,7 +447,7 @@ class Database:
             raise UnsupportedStatementError("EXPLAIN supports SELECT statements only")
         with self._rwlock.read():
             check(stmt, self.catalog, self.functions)
-            return plan_select(stmt, self.catalog).describe()
+            return plan_select(stmt, self.catalog, mode=self.planner).describe()
 
     def analyze(self, sql: str) -> list:
         """Run only the static pass; returns the list of diagnostics."""

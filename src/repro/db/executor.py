@@ -8,6 +8,7 @@ multi-study statistical queries (§6.4) want them.
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
 
@@ -16,9 +17,11 @@ from repro.db.functions import ExecutionContext, FunctionRegistry
 from repro.db.planner import Plan, plan_select
 from repro.db.schema import Column, TableSchema
 from repro.db.sql.ast import (
+    Analyze,
     BinOp,
     ColumnRef,
     CreateIndex,
+    CreateSpatialIndex,
     CreateTable,
     Delete,
     DropIndex,
@@ -41,6 +44,7 @@ from repro.db.sql.ast import (
 from repro.db.types import SqlType
 from repro.errors import CatalogError, ExecutionError, SqlTypeError
 from repro.obs import metrics, trace
+from repro.regions.region import Region
 
 __all__ = ["ResultSet", "Executor"]
 
@@ -180,12 +184,102 @@ class Executor:
         if isinstance(stmt, Update):
             return self._execute_update(stmt, params, ctx)
         if isinstance(stmt, CreateIndex):
+            table = self.catalog.table(stmt.table)
+            holders = self._fresh_holders(table)
             self.catalog.create_index(stmt.name, stmt.table, stmt.column)
+            # index DDL changes no rows: repair the stamps it broke
+            self._restamp_holders(table, holders)
             return ResultSet([], [], rowcount=0)
         if isinstance(stmt, DropIndex):
+            table_name = self.catalog.index_table(stmt.name)
+            table = (
+                self.catalog.table(table_name) if table_name is not None else None
+            )
+            holders = self._fresh_holders(table) if table is not None else None
             self.catalog.drop_index(stmt.name)
+            if table is not None:
+                self._restamp_holders(table, holders)
             return ResultSet([], [], rowcount=0)
+        if isinstance(stmt, CreateSpatialIndex):
+            return self._execute_create_spatial_index(stmt, ctx)
+        if isinstance(stmt, Analyze):
+            return self._execute_analyze(stmt, ctx)
         raise ExecutionError(f"unsupported statement {type(stmt).__name__}")
+
+    # -------------------------------------------------------------- #
+    # statistics / spatial index maintenance
+    # -------------------------------------------------------------- #
+
+    def _fresh_holders(self, table):
+        """Freshness of the table's stats and spatial indexes, pre-mutation."""
+        return (
+            table.stats.fresh(table),
+            {col: idx.fresh(table) for col, idx in table.spatial.items()},
+        )
+
+    def _restamp_holders(self, table, holders) -> None:
+        """Re-stamp holders that were fresh before a content-neutral DDL."""
+        stats_fresh, index_fresh = holders
+        if stats_fresh:
+            table.stats.restamp(table)
+        for col, idx in table.spatial.items():
+            if index_fresh.get(col):
+                idx.restamp(table)
+
+    def _maintain_inserts(self, table, holders, inserted, ctx) -> None:
+        """Fold inserted rows into every holder that was fresh beforehand."""
+        stats_fresh, index_fresh = holders
+        if stats_fresh:
+            table.stats.apply_inserts(inserted, ctx.read_longfield)
+            table.stats.restamp(table)
+        for col, idx in table.spatial.items():
+            if index_fresh.get(col):
+                idx.apply_inserts(inserted, ctx.read_longfield)
+                idx.restamp(table)
+
+    def _resync_after_mutation(self, table, holders, ctx) -> None:
+        """Resynchronize holders invalidated by a delete/update.
+
+        Rewrites may store coerced values that differ from what the
+        assignment expressions produced, so incremental accounting is not
+        reliable there; a cached recompute (payloads already parsed) is.
+        """
+        stats_fresh, index_fresh = holders
+        if stats_fresh and not table.stats.fresh(table):
+            table.stats.recompute(table, ctx.read_longfield)
+        for col, idx in table.spatial.items():
+            if index_fresh.get(col) and not idx.fresh(table):
+                idx.rebuild(table, ctx.read_longfield)
+
+    def _execute_create_spatial_index(self, stmt: CreateSpatialIndex,
+                                      ctx: ExecutionContext) -> ResultSet:
+        table = self.catalog.table(stmt.table)
+        stats_fresh = table.stats.fresh(table)
+        index_fresh = {
+            col: idx.fresh(table) for col, idx in table.spatial.items()
+        }
+        index = self.catalog.create_spatial_index(stmt.name, stmt.table, stmt.column)
+        index.rebuild(table, ctx.read_longfield)
+        # registration bumped the table's mutation stamp without changing
+        # any rows; restamp the holders that were fresh before
+        self._restamp_holders(table, (stats_fresh, index_fresh))
+        return ResultSet([], [], rowcount=0)
+
+    def _execute_analyze(self, stmt: Analyze, ctx: ExecutionContext) -> ResultSet:
+        names = [stmt.table] if stmt.table is not None else self.catalog.table_names()
+        analyzed = 0
+        for name in names:
+            table = self.catalog.table(name)
+            # Bump the stamp first: rows are unchanged, but MVCC publish
+            # re-clones only changed-stamp tables, and snapshots must see
+            # the new statistics.  recompute/rebuild stamp to the bumped
+            # value, so the holders come out fresh.
+            table.mutations += 1
+            table.stats.recompute(table, ctx.read_longfield, spatial=True)
+            for index in table.spatial.values():
+                index.rebuild(table, ctx.read_longfield)
+            analyzed += table.row_count
+        return ResultSet([], [], rowcount=analyzed)
 
     # -------------------------------------------------------------- #
     # DML / DDL
@@ -193,6 +287,8 @@ class Executor:
 
     def _execute_insert(self, stmt: Insert, params: list, ctx: ExecutionContext) -> ResultSet:
         table = self.catalog.table(stmt.table)
+        holders = self._fresh_holders(table)
+        before = table.row_count
         env = _Env()
         count = 0
         for value_row in stmt.rows:
@@ -203,6 +299,9 @@ class Executor:
                 # value/column arity was proven to match by the analyzer (QB206)
                 table.insert_named(**dict(zip(stmt.columns, values)))
             count += 1
+        # maintain stats/indexes with the *stored* (coerced) rows
+        inserted = list(itertools.islice(table.scan(), before, None))
+        self._maintain_inserts(table, holders, inserted, ctx)
         return ResultSet([], [], rowcount=count)
 
     def _execute_create(self, stmt: CreateTable) -> ResultSet:
@@ -220,7 +319,9 @@ class Executor:
             env.bind(table.name, table.schema, row)
             return bool(self._eval(stmt.where, env, params, ctx))
 
+        holders = self._fresh_holders(table)
         deleted = table.delete_where(matches)
+        self._resync_after_mutation(table, holders, ctx)
         return ResultSet([], [], rowcount=deleted)
 
     def _execute_update(self, stmt: Update, params: list, ctx: ExecutionContext) -> ResultSet:
@@ -242,7 +343,9 @@ class Executor:
                 new_row[position] = self._eval(expr, env, params, ctx)
             return new_row
 
+        holders = self._fresh_holders(table)
         updated = table.update_where(matches, apply)
+        self._resync_after_mutation(table, holders, ctx)
         return ResultSet([], [], rowcount=updated)
 
     # -------------------------------------------------------------- #
@@ -267,7 +370,8 @@ class Executor:
     def _execute_select(self, select: Select, params: list, ctx: ExecutionContext,
                         outer_env: _Env | None, profile) -> ResultSet:
         outer_bindings = _visible_bindings(outer_env)
-        plan = plan_select(select, self.catalog, outer_bindings)
+        mode = ctx.planner_mode or "cost"
+        plan = plan_select(select, self.catalog, outer_bindings, mode=mode)
         if profile is not None:
             profile.attach(plan)
             stmt_start = time.perf_counter()
@@ -356,13 +460,23 @@ class Executor:
 
         def rows_for(level: int, env: _Env):
             probe = plan.index_probes[level] if level < len(plan.index_probes) else None
-            if probe is None:
-                return tables[level].scan()
-            column, value_expr = probe
-            value = self._eval(value_expr, env, params, ctx)
-            if value is None:
-                return ()
-            return tables[level].probe(column, value)
+            if probe is not None:
+                column, value_expr = probe
+                value = self._eval(value_expr, env, params, ctx)
+                if value is None:
+                    return ()
+                return tables[level].probe(column, value)
+            spatial = (
+                plan.spatial_probes[level]
+                if level < len(plan.spatial_probes) else None
+            )
+            if spatial is not None:
+                candidates = self._spatial_candidates(
+                    tables[level], spatial, env, params, ctx
+                )
+                if candidates is not None:
+                    return candidates
+            return tables[level].scan()
 
         def recurse(level: int, env: _Env):
             if level == len(tables):
@@ -394,6 +508,32 @@ class Executor:
             env.frames.pop(ref.binding, None)
 
         yield from recurse(0, _Env(outer=outer_env))
+
+    def _spatial_candidates(self, table, spatial, env, params, ctx):
+        """Rows an R-tree probe narrows a level to, or None for a scan.
+
+        Returns None whenever the probe value is irregular (NULL handle,
+        unparseable payload) so the plain scan evaluates the exact
+        predicate against every row and the statement filters — or
+        raises — exactly as the unoptimized plan would.
+        """
+        column, probe_expr = spatial
+        index = table.spatial_index_on(column)
+        if index is None:
+            return None
+        value = self._eval(probe_expr, env, params, ctx)
+        if value is None:
+            return None
+        try:
+            region = Region.from_bytes(ctx.read_longfield(value))
+        except Exception:  # qblint: disable=no-broad-except
+            return None  # any read/decode failure: defer to the plain scan
+        if not region.voxel_count:
+            # empty probe region: intersection() is empty for every row,
+            # so the exact predicate rejects everything — skip the level
+            return ()
+        lower, upper = region.bounding_box()
+        return index.probe(lower, upper)
 
     def _output_columns(self, select: Select, plan: Plan) -> list[str]:
         columns: list[str] = []
@@ -607,7 +747,8 @@ class Executor:
         if cached is not None:
             return cached
         try:
-            plan_select(select, self.catalog)
+            # naive mode: this is only a resolution probe, skip the DP
+            plan_select(select, self.catalog, mode="naive")
             correlated = False
         except CatalogError:
             correlated = True

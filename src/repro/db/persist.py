@@ -106,6 +106,14 @@ def save_database(db: Database, path: str | Path) -> Path:
         "lfm": db.lfm.export_state(),
         "tables": tables,
     }
+    spatial = db.catalog.spatial_index_defs()
+    if spatial:
+        meta["spatial_indexes"] = [
+            {"name": name, "table": table, "column": column}
+            for name, table, column in spatial
+        ]
+    if any(db.catalog.table(n).stats.spatial_enabled for n in db.table_names()):
+        meta["analyzed"] = True
     if wal is not None:
         # Persist the txn-id floor: on reload, recovery rejects any journal
         # record older than this even if the journal's own checkpoint
@@ -198,6 +206,16 @@ def load_database(
         table = db.catalog.create_table(TableSchema(spec["name"], columns))
         for row in spec["rows"]:
             table.insert([_decode_cell(v) for v in row])
+    # Indexes and statistics are derived state: re-derive them through the
+    # SQL layer (the executor owns payload reads) instead of serializing
+    # the structures themselves.
+    for spec in meta.get("spatial_indexes", ()):
+        db.execute(
+            f"create spatial index {spec['name']} "
+            f"on {spec['table']} ({spec['column']})"
+        )
+    if meta.get("analyzed"):
+        db.execute("analyze")
     # The rows above were loaded outside the SQL layer; publish once so
     # readers start on the lock-free snapshot path instead of falling
     # back to the read lock forever.

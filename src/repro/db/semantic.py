@@ -34,9 +34,11 @@ from repro.db.diagnostics import Diagnostic, raise_diagnostics
 from repro.db.functions import ANY, FunctionRegistry
 from repro.db.schema import TableSchema
 from repro.db.sql.ast import (
+    Analyze,
     BinOp,
     ColumnRef,
     CreateIndex,
+    CreateSpatialIndex,
     CreateTable,
     Delete,
     DropIndex,
@@ -128,6 +130,10 @@ class SemanticAnalyzer:
             self._create_table(stmt)
         elif isinstance(stmt, CreateIndex):
             self._create_index(stmt)
+        elif isinstance(stmt, CreateSpatialIndex):
+            self._create_spatial_index(stmt)
+        elif isinstance(stmt, Analyze):
+            self._analyze_stmt(stmt)
         elif isinstance(stmt, DropTable):
             self._drop_table(stmt)
         elif isinstance(stmt, DropIndex):
@@ -306,6 +312,29 @@ class SemanticAnalyzer:
                 f"table {stmt.table!r} has no column {stmt.column!r}",
                 stmt.span,
             )
+
+    def _create_spatial_index(self, stmt: CreateSpatialIndex) -> None:
+        schema = self._require_table(stmt.table, stmt.span)
+        if schema is None:
+            return
+        if stmt.column not in schema:
+            self._error(
+                "QB102",
+                f"table {stmt.table!r} has no column {stmt.column!r}",
+                stmt.span,
+            )
+            return
+        if schema.column(stmt.column).sql_type is not SqlType.LONGFIELD:
+            self._error(
+                "QB209",
+                f"spatial index requires a LONGFIELD column; "
+                f"{stmt.column!r} is {schema.column(stmt.column).sql_type.value}",
+                stmt.span,
+            )
+
+    def _analyze_stmt(self, stmt: Analyze) -> None:
+        if stmt.table is not None:
+            self._require_table(stmt.table, stmt.span)
 
     def _drop_table(self, stmt: DropTable) -> None:
         self._require_table(stmt.table, stmt.span)

@@ -41,6 +41,8 @@ __all__ = [
     "Update",
     "CreateIndex",
     "DropIndex",
+    "CreateSpatialIndex",
+    "Analyze",
     "Explain",
     "Statement",
 ]
@@ -227,6 +229,28 @@ class DropIndex:
 
 
 @dataclass(frozen=True)
+class CreateSpatialIndex:
+    """A CREATE SPATIAL INDEX statement (R-tree over a LONGFIELD column)."""
+
+    name: str
+    table: str
+    column: str
+    span: Span | None = _span_field()
+
+
+@dataclass(frozen=True)
+class Analyze:
+    """An ANALYZE statement: recompute optimizer statistics.
+
+    With a table name only that table is analyzed; without one, every
+    table in the catalog.
+    """
+
+    table: str | None = None
+    span: Span | None = _span_field()
+
+
+@dataclass(frozen=True)
 class Subquery(Expr):
     """A nested SELECT used as an expression (scalar or IN-list source)."""
 
@@ -269,5 +293,5 @@ class Explain:
 
 Statement = (
     Select | Insert | CreateTable | DropTable | Delete | Update
-    | CreateIndex | DropIndex | Explain
+    | CreateIndex | DropIndex | CreateSpatialIndex | Analyze | Explain
 )

@@ -20,10 +20,12 @@ the conveniences the examples want.
 from __future__ import annotations
 
 from repro.db.sql.ast import (
+    Analyze,
     BinOp,
     Span,
     ColumnRef,
     CreateIndex,
+    CreateSpatialIndex,
     CreateTable,
     Delete,
     DropIndex,
@@ -160,6 +162,8 @@ class _Parser:
             stmt = self.parse_delete()
         elif self.at_keyword("update"):
             stmt = self.parse_update()
+        elif self.at_keyword("analyze"):
+            stmt = self.parse_analyze()
         else:
             raise self.error("expected a SQL statement")
         return stmt
@@ -287,9 +291,29 @@ class _Parser:
         self.expect_operator("=")
         return column, self.parse_expr()
 
-    def parse_create(self) -> CreateTable | CreateIndex:
+    def parse_analyze(self) -> Analyze:
+        span = self.span_here()
+        self.expect_keyword("analyze")
+        table = None
+        if (
+            self.peek().type is TokenType.IDENT
+            and self.peek().text.lower() not in _KEYWORDS
+        ):
+            table = self.advance().text
+        return Analyze(table, span=span)
+
+    def parse_create(self) -> CreateTable | CreateIndex | CreateSpatialIndex:
         span = self.span_here()
         self.expect_keyword("create")
+        if self.accept_keyword("spatial"):
+            self.expect_keyword("index")
+            name = self.expect_ident("an index name")
+            self.expect_keyword("on")
+            table = self.expect_ident("a table name")
+            self.expect_operator("(")
+            column = self.expect_ident("a column name")
+            self.expect_operator(")")
+            return CreateSpatialIndex(name, table, column, span=span)
         if self.accept_keyword("index"):
             name = self.expect_ident("an index name")
             self.expect_keyword("on")

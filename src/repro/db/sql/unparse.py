@@ -15,9 +15,11 @@ unparse as their desugared equivalents.
 from __future__ import annotations
 
 from repro.db.sql.ast import (
+    Analyze,
     BinOp,
     ColumnRef,
     CreateIndex,
+    CreateSpatialIndex,
     CreateTable,
     Delete,
     DropIndex,
@@ -164,6 +166,10 @@ def unparse(stmt: Statement) -> str:
         return f"CREATE INDEX {stmt.name} ON {stmt.table} ({stmt.column})"
     if isinstance(stmt, DropIndex):
         return f"DROP INDEX {stmt.name}"
+    if isinstance(stmt, CreateSpatialIndex):
+        return f"CREATE SPATIAL INDEX {stmt.name} ON {stmt.table} ({stmt.column})"
+    if isinstance(stmt, Analyze):
+        return f"ANALYZE {stmt.table}" if stmt.table else "ANALYZE"
     if isinstance(stmt, Explain):
         analyze = "ANALYZE " if stmt.analyze else ""
         return f"EXPLAIN {analyze}{unparse(stmt.statement)}"

@@ -19,6 +19,7 @@ import itertools
 from collections.abc import Iterator
 
 from repro.db.schema import TableSchema
+from repro.db.stats import SpatialIndex, TableStats
 from repro.errors import CatalogError
 
 __all__ = ["Table"]
@@ -58,6 +59,12 @@ class Table:
         self._rows: list[list] = []
         #: column position -> {value: [rows]}
         self._indexes: dict[int, dict] = {}
+        #: optimizer statistics; stale (stamp mismatch) until the executor
+        #: maintains them or ANALYZE recomputes them
+        self.stats = TableStats(schema)
+        self.stats.restamp(self)
+        #: lower-cased column name -> SpatialIndex over that column
+        self.spatial: dict[str, SpatialIndex] = {}
 
     @property
     def name(self) -> str:
@@ -166,6 +173,14 @@ class Table:
         """Names of the indexed columns, in schema order."""
         return [self.schema.columns[p].name for p in sorted(self._indexes)]
 
+    def spatial_index_on(self, column: str) -> SpatialIndex | None:
+        """The spatial index over ``column``, if one exists."""
+        return self.spatial.get(column.lower())
+
+    def fresh_stats(self) -> TableStats | None:
+        """The table's statistics, but only while they match its state."""
+        return self.stats if self.stats.fresh(self) else None
+
     def snapshot(self) -> "Table":
         """An immutable-by-convention copy for MVCC snapshot reads.
 
@@ -184,6 +199,10 @@ class Table:
         clone._indexes = {
             position: {key: list(rows) for key, rows in buckets.items()}
             for position, buckets in self._indexes.items()
+        }
+        clone.stats = self.stats.copy()
+        clone.spatial = {
+            column: index.snapshot() for column, index in self.spatial.items()
         }
         return clone
 

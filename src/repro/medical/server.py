@@ -308,12 +308,13 @@ class MedicalServer:
     ) -> tuple[list[str], QueryResult]:
         """Structures a probe box intersects — targeting a beam, §2.1.
 
-        With ``use_index`` (the §7 spatial-indexing extension) candidates
-        are located through SQL predicates on the stored bounding boxes, so
-        only candidate REGION long fields are read for the exact test;
-        without it, every structure's region is fetched and tested.
-        Returns the structure names plus the :class:`QueryResult` whose
-        ``io`` shows the difference.
+        With ``use_index`` (the §7 spatial-indexing extension) the
+        cost-based planner probes the R-tree over ``atlasStructure.region``
+        so only candidate REGION long fields are read for the exact test;
+        without it, the statement runs on the naive plan and every
+        structure's region is fetched and tested.  Returns the structure
+        names plus the :class:`QueryResult` whose ``io`` shows the
+        difference.
         """
         atlas_row = self.db.execute(
             "select atlasId, n from atlas where atlasName = ?", [atlas_name]
@@ -326,16 +327,14 @@ class MedicalServer:
             "s.structureId = ns.structureId",
         ]
         params: list = [atlas_id]
-        if use_index:
-            for axis, (lo, hi) in zip("XYZ", zip(lower, upper)):
-                where += [f"s.bbMax{axis} > ?", f"s.bbMin{axis} < ?"]
-                params += [int(lo), int(hi)]
         from repro.curves import GridSpec
 
         grid = GridSpec((side,) * 3)
         probe = Region.from_box(grid, lower, upper, curve="hilbert")
         # Exact refinement happens in the same SQL: the intersection of the
-        # probe payload with each surviving candidate must be non-empty.
+        # probe payload with each candidate must be non-empty.  With the
+        # index on, the R-tree narrows the scan to regions whose bounding
+        # box overlaps the probe's before any payload is read.
         where.append("voxelCount(intersection(s.region, ?)) > 0")
         sql = (
             "select ns.structureName\n"
@@ -344,7 +343,9 @@ class MedicalServer:
             "order by ns.structureName"
         )
         params.append(probe.to_bytes("naive"))
-        result = self.db.execute(sql, params)
+        result = self.db.execute(
+            sql, params, planner=None if use_index else "naive"
+        )
         return [row[0] for row in result.rows], result
 
     def find_studies(

@@ -31,11 +31,18 @@ class OperatorStats:
     wall_seconds: float = 0.0
     #: 4 KiB LFM page reads attributed to this operator
     page_ios: int = 0
+    #: the planner's estimate of ``rows_out`` (None when the plan carried
+    #: no estimates — e.g. a hand-built plan object)
+    est_rows: float | None = None
 
     def annotate(self) -> str:
         """The stats suffix appended to the operator's plan line."""
+        est = (
+            f"est rows={int(round(self.est_rows))}, "
+            if self.est_rows is not None else ""
+        )
         return (
-            f"(rows examined={self.rows_in}, matched={self.rows_out}, "
+            f"({est}rows examined={self.rows_in}, matched={self.rows_out}, "
             f"time={self.wall_seconds * 1e3:.2f} ms, page I/Os={self.page_ios})"
         )
 
@@ -54,9 +61,20 @@ class PlanProfile:
     rowcount: int = 0
 
     def attach(self, plan) -> None:
-        """Bind the plan the executor chose; allocates per-level stats."""
+        """Bind the plan the executor chose; allocates per-level stats.
+
+        Cost-based plans carry per-level row estimates (``est_rows``) and
+        a statement output estimate (``est_out``); both are copied onto
+        the operator stats so the rendering shows estimated next to
+        actual rows.
+        """
         self.plan = plan
-        self.levels = [OperatorStats() for _ in plan.table_order]
+        estimates = list(getattr(plan, "est_rows", ()) or ())
+        self.levels = [
+            OperatorStats(est_rows=estimates[i] if i < len(estimates) else None)
+            for i, _ in enumerate(plan.table_order)
+        ]
+        self.output.est_rows = getattr(plan, "est_out", None)
 
 
 def _level_label(plan, level: int) -> str:
@@ -65,7 +83,14 @@ def _level_label(plan, level: int) -> str:
     preds = plan.level_predicates[level]
     label = f"{ref.name}" + (f" {ref.alias}" if ref.alias else "")
     probe = plan.index_probes[level] if level < len(plan.index_probes) else None
-    access = f"probe {label} via index({probe[0]})" if probe else f"scan {label}"
+    spatial_probes = getattr(plan, "spatial_probes", None) or []
+    spatial = spatial_probes[level] if level < len(spatial_probes) else None
+    if probe:
+        access = f"probe {label} via index({probe[0]})"
+    elif spatial:
+        access = f"probe {label} via spatial({spatial[0]})"
+    else:
+        access = f"scan {label}"
     suffix = f" [{len(preds)} predicate(s)]" if preds else ""
     return access + suffix
 
@@ -83,9 +108,13 @@ def render_analyzed_plan(profile: PlanProfile, io=None, work=None) -> list[str]:
     for level, stats in enumerate(profile.levels):
         lines.append("  " * level + f"{_level_label(plan, level)}  {stats.annotate()}")
     out = profile.output
+    out_est = (
+        f"est rows={int(round(out.est_rows))}, "
+        if out.est_rows is not None else ""
+    )
     lines.append(
         f"output: {out.rows_out} row(s)  "
-        f"(rows in={out.rows_in}, time={out.wall_seconds * 1e3:.2f} ms, "
+        f"({out_est}rows in={out.rows_in}, time={out.wall_seconds * 1e3:.2f} ms, "
         f"page I/Os={out.page_ios})"
     )
     summary = (

@@ -18,6 +18,7 @@ from repro.regions.octants import (
     octants_to_intervals,
 )
 from repro.regions.region import Region
+from repro.regions.rtree import RegionRTree, RTreeEntry, hilbert_sort_key
 from repro.regions import rasterize
 
 __all__ = [
@@ -25,6 +26,9 @@ __all__ = [
     "concat_ranges",
     "Region",
     "RegionIndex",
+    "RegionRTree",
+    "RTreeEntry",
+    "hilbert_sort_key",
     "rasterize",
     "decompose_octants",
     "decompose_oblong_octants",

@@ -4,6 +4,7 @@ and the bench runner's JSON output."""
 from __future__ import annotations
 
 import json
+import re
 
 import pytest
 
@@ -195,6 +196,145 @@ class TestExplainAnalyze:
         analyzed = system.db.execute("EXPLAIN ANALYZE " + sql)
         total_line = analyzed.rows[-1][0]
         assert total_line.startswith(f"total: {len(plain.rows)} row(s)")
+
+
+_EST_RE = re.compile(r"est rows=(\d+(?:\.\d+)?)")
+_MATCHED_RE = re.compile(r"matched=(\d+)")
+
+
+class TestEstimates:
+    """EXPLAIN carries the optimizer's row estimates; EXPLAIN ANALYZE puts
+    them beside the actuals, and on the deterministic Table 3 workload the
+    two must agree exactly."""
+
+    def _table3_data_queries(self, system):
+        """The (sql, params) of each Table 3 data query, via the server's
+        own generator so the tested SQL is exactly the bench SQL."""
+        from repro.bench.workloads import scaled_box
+        from repro.medical.server import QuerySpec
+
+        sid = system.pet_study_ids[0]
+        lower, upper = scaled_box(system.atlas.resolution)
+        specs = {
+            "Q1": QuerySpec(study_id=sid),
+            "Q2": QuerySpec(study_id=sid, box=(lower, upper)),
+            "Q3": QuerySpec(study_id=sid, structures=("ntal",)),
+            "Q4": QuerySpec(study_id=sid, structures=("ntal1",)),
+            "Q5": QuerySpec(study_id=sid, intensity_range=(224, 255)),
+            "Q6": QuerySpec(study_id=sid, structures=("ntal1",),
+                            intensity_range=(224, 255)),
+        }
+        atlas_id = system.db.execute("select atlasId from atlas").scalar()
+        return {
+            qid: system.server._build_data_query(spec, atlas_id)[:2]
+            for qid, spec in specs.items()
+        }
+
+    def test_plain_explain_estimates_every_operator(self, system):
+        res = system.db.execute(
+            "EXPLAIN SELECT p.name, b.low FROM patient p, rawVolume r, "
+            "intensityBand b WHERE r.patientId = p.patientId "
+            "AND b.studyId = r.studyId AND r.modality = 'PET'"
+        )
+        lines = [row[0] for row in res.rows]
+        assert len(lines) == 3
+        for line in lines:
+            assert _EST_RE.search(line), f"no estimate on operator: {line}"
+
+    def test_analyze_annotates_estimates_and_actuals(self, system):
+        res = system.db.execute(
+            "EXPLAIN ANALYZE SELECT p.name FROM patient p, rawVolume r "
+            "WHERE r.patientId = p.patientId AND r.modality = 'PET'"
+        )
+        lines = [row[0] for row in res.rows]
+        for line in lines[:-2]:
+            assert _EST_RE.search(line) and _MATCHED_RE.search(line), line
+        assert _EST_RE.search(lines[-2]), f"no estimate on output: {lines[-2]}"
+
+    def test_table3_estimates_match_actuals(self, system):
+        """On the fully ANALYZEd demo the Table 3 plans are estimated
+        exactly: the statement output estimate equals the actual row count
+        for all six queries, and every operator of Q1-Q4 is exact too.
+
+        Q5/Q6 carry one known, deterministic deviation: ``b.low = x AND
+        b.high = y`` are perfectly correlated band bounds, so the
+        independence assumption under-estimates the band level (clamped
+        to 1) while three studies store that band.  That deviation is
+        pinned below so an estimator change can't drift unnoticed.
+        """
+        exact_per_operator = {"Q1", "Q2", "Q3", "Q4"}
+        for qid, (sql, params) in self._table3_data_queries(system).items():
+            res = system.db.execute("EXPLAIN ANALYZE " + sql, params)
+            lines = [row[0] for row in res.rows]
+            annotated = []
+            for line in lines[:-2]:
+                est = _EST_RE.search(line)
+                matched = _MATCHED_RE.search(line)
+                assert est and matched, f"{qid}: unannotated operator {line}"
+                annotated.append(
+                    (line, float(est.group(1)), float(matched.group(1)))
+                )
+            if qid in exact_per_operator:
+                for line, est, matched in annotated:
+                    assert est == matched, (
+                        f"{qid}: est != actual on operator: {line}"
+                    )
+            else:
+                # the correlated band level: est clamps to 1, 3 studies match
+                (band,) = [t for t in annotated if "intensityBand" in t[0]]
+                assert (band[1], band[2]) == (1.0, 3.0), (
+                    f"{qid}: band-level estimate drifted: {band[0]}"
+                )
+                for line, est, matched in annotated:
+                    if "intensityBand" not in line:
+                        assert est == matched, (
+                            f"{qid}: est != actual on operator: {line}"
+                        )
+            output = lines[-2]
+            est = _EST_RE.search(output)
+            actual = re.match(r"output: (\d+) row\(s\)", output)
+            assert est and actual, f"{qid}: malformed output line {output}"
+            assert float(est.group(1)) == float(actual.group(1)), (
+                f"{qid}: est != actual on output: {output}"
+            )
+
+    def test_spatial_probe_operator_renders_both_columns(self, system):
+        from repro.curves import GridSpec
+        from repro.regions.region import Region
+
+        grid = GridSpec((system.atlas.resolution,) * 3)
+        payload = Region.from_box(
+            grid, (2, 2, 2), (10, 10, 10), curve="hilbert"
+        ).to_bytes("naive")
+        res = system.db.execute(
+            "EXPLAIN ANALYZE SELECT s.structureId FROM atlasStructure s "
+            "WHERE voxelCount(intersection(s.region, ?)) > 0",
+            [payload],
+        )
+        line = res.rows[0][0]
+        assert "probe atlasStructure s via spatial(region)" in line
+        assert _EST_RE.search(line) and _MATCHED_RE.search(line)
+
+    def test_estimates_survive_promtext_and_recorder(self, system):
+        """Rendering the annotated plan must not disturb the promtext
+        exporter or the flight recorder's statement accounting."""
+        from repro.obs import promtext, recorder
+
+        rec = recorder.get_recorder()
+        sql = ("EXPLAIN ANALYZE SELECT p.name FROM patient p, rawVolume r "
+               "WHERE r.patientId = p.patientId")
+        with recorder.statement(sql) as scope:
+            res = system.db.execute(sql)
+            scope.note(rows=len(res.rows), io=res.io)
+        record = rec.recent(1)[0]
+        assert record.sql == sql
+        assert record.rows == len(res.rows)
+        text = promtext.render()
+        assert text.endswith("\n")
+        # the run above fed the registry and the recorder counted it
+        snap = metrics.snapshot()["counters"]
+        assert snap["executor.statements"] >= 1
+        assert snap["recorder.records"] >= 1
 
 
 class TestBenchRunner:
