@@ -1,0 +1,140 @@
+"""The shard-scaling workload: does declustering actually parallelize I/O?
+
+The paper's future-work section proposes Hilbert declustering across
+storage nodes so a spatial workload drives many disks at once.  This
+trial measures exactly that claim on the demo cluster: the same seeded,
+study-keyed read pool runs against 1-, 2-, and 4-shard clusters, each
+shard's device wrapped in a :class:`~repro.storage.latency.LatencyDevice`
+— **one simulated disk head per shard** (a few milliseconds per seek,
+serialized per device, exactly like a spindle).  Python's GIL hides CPU
+parallelism in this in-process harness, so the simulated head is the
+honest scaling signal: with one shard every read queues on one head;
+with four, the router's pruned fan-out keeps four heads busy.
+
+Every statement carries a ``studyId`` predicate, so the router routes it
+to the one shard owning that study — concurrent client sessions land on
+*different* shards, which is the declustering argument in one sentence.
+Rows land in ``BENCH_concurrency.json`` keyed ``shards-N``; the CI gate
+requires the 4-shard read throughput to be at least twice the 1-shard
+throughput (``speedup_vs_1`` is computed against the ``shards-1`` row).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+__all__ = ["SHARD_COUNTS", "build_cluster_pool", "run_shard_scaling"]
+
+#: shard counts the scaling trial sweeps (the gate compares 4 against 1)
+SHARD_COUNTS = (1, 2, 4)
+
+#: concurrent client sessions driving the router in every trial — held
+#: fixed so the only thing that changes between rows is the shard count
+CLUSTER_CLIENTS = 8
+
+#: simulated seek latency per device read (seconds); dominant against
+#: the per-statement CPU work, so the rows measure I/O parallelism
+READ_LATENCY = 0.005
+
+
+def build_cluster_pool(cluster) -> list[str]:
+    """Distinct study-keyed read statements, LFM-heavy, one shard each.
+
+    Every statement names one ``studyId``, so the router prunes it to the
+    owning shard; shuffled across client sessions, the pool keeps every
+    shard's simulated disk head busy at once.
+    """
+    pool: list[str] = []
+    structure_ids = cluster.execute(
+        "select structureId from atlasStructure"
+    ).column("structureId")
+    for study_id in cluster.study_ids:
+        pool.append(
+            f"select modality, width, height, depth from rawVolume "
+            f"where studyId = {study_id}"
+        )
+        for sid in structure_ids[:4]:
+            pool.append(
+                f"select dataMean(extractVoxels(v.data, s.region)) "
+                f"from warpedVolume v, atlasStructure s "
+                f"where v.studyId = {study_id} and s.structureId = {sid}"
+            )
+        for low, encoding in cluster.execute(
+            f"select low, encoding from intensityBand "
+            f"where studyId = {study_id} limit 4"
+        ).rows:
+            pool.append(
+                f"select voxelCount(region) from intensityBand "
+                f"where studyId = {study_id} and low = {low} "
+                f"and encoding = '{encoding}'"
+            )
+    return pool
+
+
+def _client(cluster, statements: list[str]) -> None:
+    """One client session's statement stream through the router."""
+    for sql in statements:
+        cluster.execute(sql)
+
+
+def run_shard_scaling(shard_counts=SHARD_COUNTS, grid_side: int = 32,
+                      n_pet: int = 4, n_mri: int = 4, seed: int = 1994,
+                      read_latency: float = READ_LATENCY,
+                      clients: int = CLUSTER_CLIENTS) -> dict:
+    """Run the scaling trials; rows keyed ``shards-N``.
+
+    Every trial builds a fresh cluster (same synthetic data, different
+    shard count), replays the same seeded shuffle of the read pool from
+    ``clients`` concurrent sessions, and measures wall-clock statement
+    throughput.  The result cache is off — every statement pays its
+    simulated seeks, the cost declustering exists to parallelize.
+    """
+    from repro.cluster.builder import build_demo_cluster
+
+    rows: dict[str, dict] = {}
+    base_throughput: float | None = None
+    for n_shards in sorted(shard_counts):
+        cluster = build_demo_cluster(
+            n_shards=n_shards, seed=seed, grid_side=grid_side,
+            n_pet=n_pet, n_mri=n_mri, wal=True, replicate=False,
+            read_latency=read_latency, result_cache=False,
+            workers=max(4, clients),
+        )
+        try:
+            pool = build_cluster_pool(cluster)
+            rng = random.Random(seed)
+            statements = list(pool)
+            rng.shuffle(statements)
+            shares = [statements[k::clients] for k in range(clients)]
+            threads = [
+                threading.Thread(target=_client, args=(cluster, share),
+                                 name=f"cluster-client-{k}")
+                for k, share in enumerate(shares)
+            ]
+            t0 = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - t0
+        finally:
+            cluster.close()
+        total = len(statements)
+        throughput = total / wall if wall > 0 else 0.0
+        if base_throughput is None:
+            base_throughput = throughput
+        speedup = throughput / base_throughput if base_throughput else 0.0
+        rows[f"shards-{n_shards}"] = {
+            "label": f"{n_shards} shard(s), {clients} sessions",
+            "measured": [
+                clients,
+                total,
+                round(wall, 4),
+                round(throughput, 1),
+                round(speedup, 2),
+            ],
+            "paper": [],  # the 1994 testbed was a single storage node
+        }
+    return rows

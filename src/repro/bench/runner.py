@@ -114,7 +114,8 @@ def validate_bench_json(doc: dict) -> None:
 def run_benches(grid_side: int = 32, n_pet: int = 5, n_mri: int = 3,
                 seed: int = 1994, out_dir: str | Path = ".",
                 wal: bool = False, concurrency: bool = False,
-                session_counts=(1, 4, 16)) -> list[Path]:
+                session_counts=(1, 4, 16), cluster: bool = False,
+                shard_counts=(1, 2, 4)) -> list[Path]:
     """Build the system, run both workloads, write the BENCH JSONs.
 
     With ``wal`` the demo system runs through the write-ahead log — the
@@ -127,6 +128,12 @@ def run_benches(grid_side: int = 32, n_pet: int = 5, n_mri: int = 3,
     count in ``session_counts`` plus the ``mixed-rwlock`` /
     ``mixed-mvcc`` A/B rows (16 sessions, 10% writes) that gate the
     MVCC + group-commit speedup.
+
+    With ``cluster`` the shard-scaling trials (:mod:`repro.bench.cluster`)
+    run too, adding ``shards-N`` rows to the same document — same column
+    shape, throughput at each shard count over simulated per-shard disk
+    heads; the CI gate requires ``shards-4`` to reach at least twice the
+    ``shards-1`` throughput.
     """
     from repro.core.system import QbismSystem
     from repro.obs import metrics
@@ -173,7 +180,7 @@ def run_benches(grid_side: int = 32, n_pet: int = 5, n_mri: int = 3,
     documents = [("BENCH_table3.json", table3_doc),
                  ("BENCH_table4.json", table4_doc)]
 
-    if concurrency:
+    if concurrency or cluster:
         from repro.bench.concurrency import (
             CONCURRENCY_COLUMNS,
             run_concurrency,
@@ -184,12 +191,23 @@ def run_benches(grid_side: int = 32, n_pet: int = 5, n_mri: int = 3,
         # table3/table4 snapshots (already captured above) stay scoped
         # to the paper workloads and this document scopes to serving.
         metrics.reset()
-        conc_rows = run_concurrency(
-            system, session_counts=session_counts, seed=seed,
-        )
-        # The mixed A/B builds its own private stacks (one per mode), so
-        # it cannot perturb the shared demo system the rows above used.
-        conc_rows.update(run_mixed_concurrency(seed=seed))
+        conc_rows: dict = {}
+        if concurrency:
+            conc_rows = run_concurrency(
+                system, session_counts=session_counts, seed=seed,
+            )
+            # The mixed A/B builds its own private stacks (one per mode),
+            # so it cannot perturb the shared demo system the rows above
+            # used.
+            conc_rows.update(run_mixed_concurrency(seed=seed))
+        if cluster:
+            from repro.bench.cluster import run_shard_scaling
+
+            # Fresh clusters per shard count; same document, rows keyed
+            # shards-N with speedup_vs_1 computed against shards-1.
+            conc_rows.update(run_shard_scaling(
+                shard_counts=shard_counts, grid_side=grid_side, seed=seed,
+            ))
         documents.append((
             "BENCH_concurrency.json",
             _document("concurrency", generated, CONCURRENCY_COLUMNS, conc_rows),
@@ -268,6 +286,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sessions", default="1,4,16",
                         help="comma-separated session counts for "
                              "--concurrency (default: 1,4,16)")
+    parser.add_argument("--cluster", action="store_true",
+                        help="also run the shard-scaling trials and add "
+                             "shards-N rows to BENCH_concurrency.json")
+    parser.add_argument("--shard-counts", default="1,2,4",
+                        help="comma-separated shard counts for --cluster "
+                             "(default: 1,2,4)")
     args = parser.parse_args(argv)
     try:
         session_counts = tuple(
@@ -278,10 +302,20 @@ def main(argv: list[str] | None = None) -> int:
                      f"got {args.sessions!r}")
     if not session_counts or any(n < 1 for n in session_counts):
         parser.error("--sessions needs at least one positive count")
+    try:
+        shard_counts = tuple(
+            int(part) for part in args.shard_counts.split(",") if part.strip()
+        )
+    except ValueError:
+        parser.error(f"--shard-counts must be comma-separated ints, "
+                     f"got {args.shard_counts!r}")
+    if not shard_counts or any(n < 1 for n in shard_counts):
+        parser.error("--shard-counts needs at least one positive count")
     written = run_benches(
         grid_side=args.grid, n_pet=args.pet, n_mri=args.mri,
         seed=args.seed, out_dir=args.out, wal=args.wal,
         concurrency=args.concurrency, session_counts=session_counts,
+        cluster=args.cluster, shard_counts=shard_counts,
     )
     for path in written:
         print(f"wrote {path}")

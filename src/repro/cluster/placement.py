@@ -1,0 +1,141 @@
+"""Hilbert declustering: which shard owns which study.
+
+The paper stores REGION data Hilbert-ordered so spatially close voxels
+are close on disk; its future-work section extends the same idea across
+storage nodes — *decluster* along the curve so neighbouring data lands
+on **different** devices and a spatial query drives them in parallel.
+"Spatial Indexing of Large Multidimensional Databases" applies the same
+recipe at survey scale.
+
+The unit of placement here is the **study** (the unit of the paper's
+queries): a study's warped volume, raw volume, and intensity bands all
+carry its ``studyId``, so placing the study places every partitioned row
+it owns.  The placement key is the Hilbert index of the study's
+bounding-box centroid in atlas space; studies are sorted by key and
+dealt round-robin, so curve-adjacent studies land on different shards —
+declustering, not clustering.
+
+Reference tables (atlas, structures, patients) are small and queried by
+every shard-local join, so they are *replicated* on every shard rather
+than partitioned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.curves import GridSpec, curve_for_grid
+from repro.errors import ClusterError
+
+__all__ = [
+    "PARTITIONED_TABLES",
+    "REPLICATED_TABLES",
+    "PlacementMap",
+    "place_studies",
+    "study_hilbert_key",
+]
+
+#: tables partitioned by studyId — each row lives on exactly one shard
+PARTITIONED_TABLES = frozenset({"rawvolume", "warpedvolume", "intensityband"})
+
+#: reference tables replicated on every shard (loaded identically, so
+#: ids match across the cluster and any shard can serve them)
+REPLICATED_TABLES = frozenset(
+    {"atlas", "atlasstructure", "neuralstructure", "neuralsystem",
+     "systemstructure", "patient"}
+)
+
+
+def study_hilbert_key(study, grid_side: int) -> int:
+    """The declustering key: Hilbert index of the study's bbox centroid.
+
+    The centroid of the study's occupied bounding box (in patient space)
+    is mapped through the study's ground-truth ``patient_to_atlas`` warp,
+    clamped onto the atlas grid, and indexed along the atlas Hilbert
+    curve.  Purely geometric, so the key is computable at load time
+    before any database exists.
+    """
+    occupied = np.argwhere(study.data > 0)
+    if occupied.size == 0:
+        center_patient = (np.asarray(study.data.shape, dtype=np.float64) - 1) / 2
+    else:
+        lower = occupied.min(axis=0).astype(np.float64)
+        upper = occupied.max(axis=0).astype(np.float64)
+        center_patient = (lower + upper) / 2
+    center_atlas = study.patient_to_atlas.apply(
+        center_patient.reshape(1, 3)
+    )[0]
+    coords = np.clip(
+        np.rint(center_atlas).astype(np.int64), 0, grid_side - 1
+    )
+    curve = curve_for_grid(GridSpec((grid_side,) * 3), "hilbert")
+    return int(curve.index(coords.reshape(1, 3))[0])
+
+
+def place_studies(studies, grid_side: int, n_shards: int) -> list[int]:
+    """Assign each study (by position) to a shard; returns shard indices.
+
+    Studies are sorted by ``(hilbert key, load position)`` — the load
+    position breaks key ties deterministically — then dealt round-robin
+    along the curve.  With one shard every study lands on shard 0 and
+    the cluster degenerates to exactly a single node.
+    """
+    if n_shards < 1:
+        raise ClusterError(f"a cluster needs at least one shard, got {n_shards}")
+    keys = [study_hilbert_key(study, grid_side) for study in studies]
+    order = sorted(range(len(studies)), key=lambda i: (keys[i], i))
+    assignment = [0] * len(studies)
+    for position, study_index in enumerate(order):
+        assignment[study_index] = position % n_shards
+    return assignment
+
+
+@dataclass
+class PlacementMap:
+    """The cluster's routing table: study -> shard, plus table classes.
+
+    Built by the cluster builder as studies load; the router consults it
+    to prune fan-out (a ``studyId =`` conjunct resolves to one shard)
+    and to route partitioned writes.
+    """
+
+    n_shards: int
+    #: global studyId -> owning shard index
+    shard_of_study: dict[int, int] = field(default_factory=dict)
+
+    def assign(self, study_id: int, shard: int) -> None:
+        """Record that ``study_id`` lives on ``shard``."""
+        if not 0 <= shard < self.n_shards:
+            raise ClusterError(
+                f"shard {shard} out of range for {self.n_shards}-shard cluster"
+            )
+        self.shard_of_study[int(study_id)] = int(shard)
+
+    def shard_for(self, study_id: int) -> int:
+        """The shard owning one study (raises if the study is unknown)."""
+        try:
+            return self.shard_of_study[int(study_id)]
+        except KeyError:
+            raise ClusterError(f"study {study_id} is not placed on any shard") from None
+
+    def shards_for(self, study_ids) -> list[int]:
+        """Owning shards (sorted, de-duplicated) of several studies."""
+        return sorted({self.shard_for(sid) for sid in study_ids})
+
+    @staticmethod
+    def is_partitioned(table: str) -> bool:
+        """Is ``table`` partitioned by studyId?"""
+        return table.lower() in PARTITIONED_TABLES
+
+    @staticmethod
+    def is_replicated(table: str) -> bool:
+        """Is ``table`` replicated on every shard?"""
+        return table.lower() in REPLICATED_TABLES
+
+    def __repr__(self) -> str:
+        return (
+            f"PlacementMap({self.n_shards} shards, "
+            f"{len(self.shard_of_study)} studies)"
+        )

@@ -40,6 +40,8 @@ __all__ = [
     "ServerError",
     "ServerBusyError",
     "SessionClosedError",
+    "ClusterError",
+    "ShardUnavailableError",
 ]
 
 
@@ -216,3 +218,12 @@ class MedicalError(ReproError):
 
 class RegistrationError(MedicalError, RuntimeError):
     """Affine registration between patient and atlas space failed."""
+
+
+class ClusterError(ServerError):
+    """Base class for sharded-cluster failures (routing, merging, shipping)."""
+
+
+class ShardUnavailableError(ClusterError):
+    """A shard did not answer within the router's timeout (and no replica
+    could serve the read either)."""

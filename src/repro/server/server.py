@@ -160,10 +160,16 @@ class QueryServer:
         Every statement gets its own trace id here, on the client side of
         the pool hop, so the spans it produces on the worker — and the
         flight-recorder record — belong to exactly one trace no matter
-        which pooled thread runs it.
+        which pooled thread runs it.  When the submitting thread already
+        has a trace position (a shard router fanning one statement out),
+        the statement *joins* that trace instead: the shard-side spans
+        hang under the router's span and one query yields one span tree
+        across the whole cluster.
         """
-        ctx = trace.TraceContext(trace_id=trace.new_trace_id(),
-                                 session=session.name)
+        ctx = trace.current_context(session=session.name)
+        if ctx is None:
+            ctx = trace.TraceContext(trace_id=trace.new_trace_id(),
+                                     session=session.name)
         return self.pool.submit(self._run_statement, ctx, session, sql,
                                 params)
 

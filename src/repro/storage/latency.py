@@ -1,0 +1,118 @@
+"""A block-device wrapper simulating one disk head per device.
+
+In-process shards share the GIL, so CPU work cannot demonstrate the
+paper's declustering argument.  What *can* is I/O latency: a real 1994
+disk served one request at a time, and Hilbert declustering wins by
+putting N disks to work in parallel.  :class:`LatencyDevice` models
+exactly that — every read call pays a fixed seek/transfer latency under
+a per-device mutex (one head), so a query fanned out over N shards
+overlaps N sleeps while a single-node query serializes them.
+
+Writes pass through unslowed: the scaling benchmark measures read
+throughput, and slowing the bulk load would only make benches slower
+without changing any measured ratio.
+
+The wrapper is duck-compatible with :class:`~repro.storage.device.
+BlockDevice` (and composes under :class:`~repro.storage.wal.
+WriteAheadLog`): geometry, ``stats``, transactions, and dump/close all
+pass through to the wrapped device.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs import metrics
+
+__all__ = ["LatencyDevice"]
+
+
+class LatencyDevice:
+    """Wraps a device; each read call sleeps ``read_latency`` seconds.
+
+    The sleep happens while holding the device's private head mutex, so
+    concurrent readers of one device queue behind each other — the
+    physical constraint declustering across devices removes.
+    """
+
+    def __init__(self, inner, read_latency: float = 0.002):
+        self.inner = inner
+        self.read_latency = float(read_latency)
+        # One disk head: a leaf mutex held only around the simulated seek.
+        self._head_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # pass-through geometry and accounting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def capacity(self) -> int:
+        """Wrapped device capacity in bytes."""
+        return self.inner.capacity
+
+    @property
+    def page_size(self) -> int:
+        """Wrapped device page size."""
+        return self.inner.page_size
+
+    @property
+    def stats(self):
+        """The wrapped device's I/O accounting (latency adds no I/O)."""
+        return self.inner.stats
+
+    @property
+    def in_transaction(self) -> bool:
+        """Pass-through of the wrapped device's transaction state."""
+        return getattr(self.inner, "in_transaction", False)
+
+    def transaction(self, meta_provider=None):
+        """Delegate transaction scoping to the wrapped device."""
+        return self.inner.transaction(meta_provider)
+
+    # ------------------------------------------------------------------ #
+    # I/O
+    # ------------------------------------------------------------------ #
+
+    def _seek(self) -> None:
+        """Pay one head movement: serialize on the mutex, then sleep."""
+        if self.read_latency <= 0:
+            return
+        with self._head_lock:
+            time.sleep(self.read_latency)
+        metrics.counter("device.simulated_seeks").inc()
+
+    def read(self, offset: int, length: int) -> bytes:
+        """One read call = one head movement plus the wrapped read."""
+        self._seek()
+        return self.inner.read(offset, length)
+
+    def read_ranges(self, starts, stops) -> bytes:
+        """One gather call = one head movement plus the wrapped gather."""
+        self._seek()
+        return self.inner.read_ranges(starts, stops)
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Writes pass through unslowed (see module docstring)."""
+        self.inner.write(offset, data)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def dump(self, path):
+        """Dump the wrapped device's contents."""
+        return self.inner.dump(path)
+
+    def close(self) -> None:
+        """Close the wrapped device."""
+        self.inner.close()
+
+    def __enter__(self) -> "LatencyDevice":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"LatencyDevice({self.read_latency * 1000:.1f}ms, {self.inner!r})"

@@ -342,6 +342,13 @@ class WriteAheadLog:
         #: Touched only by the flush leader and by ``reset_journal`` after
         #: a drain, which are mutually exclusive by construction.
         self._repair_pending: tuple[int, int] | None = None
+        #: replication ship hooks, called by the flush leader once per
+        #: committed batch, in txn-id order, after the commit record is
+        #: durable.  Appended before concurrent traffic starts (replica
+        #: attach); the leader reads a snapshot, so a racing append at
+        #: worst misses the in-flight group — which the replica's resync
+        #: path replays anyway.
+        self._ship_hooks: list = []
         self.last_committed_meta: dict | None = None  # updated by the flusher
         self.recovery: RecoveryReport | None = None
         if recover:
@@ -778,12 +785,37 @@ class WriteAheadLog:
                     self.device.write(page_no * self.page_size, bytes(payload))
             self._clear_pending(batch)
             self._complete_batch(batch)
+            self._ship_batch(batch)
         metrics.counter("wal.flushes").inc()
         if len(group) > 1:
             metrics.counter("wal.group_commits").inc()
             metrics.counter("wal.grouped_txns").inc(len(group))
         if self.flush_latency:
             time.sleep(self.flush_latency)
+
+    def add_ship_hook(self, hook) -> None:
+        """Register a replication hook: ``hook(batch)`` per committed batch.
+
+        The flush leader calls every hook once per batch, in txn-id
+        order, *after* the batch's commit record is durable and its
+        committer has been released — so shipping observes exactly the
+        committed prefix of the transaction stream and can never delay
+        or fail a commit.  Hook exceptions are swallowed (counted as
+        ``wal.ship_errors``): a broken replica link must not take down
+        the primary's write path; the replica resyncs when it reattaches.
+        """
+        self._ship_hooks.append(hook)
+
+    def _ship_batch(self, batch: _CommitBatch) -> None:
+        """Offer one committed batch to every registered ship hook."""
+        for hook in list(self._ship_hooks):
+            try:
+                hook(batch)
+            # Replication is strictly best-effort on the commit path; any
+            # failure is the *replica's* problem (resync) — see
+            # add_ship_hook's contract.
+            except BaseException:  # qblint: disable=no-broad-except
+                metrics.counter("wal.ship_errors").inc()
 
     def _clear_pending(self, batch: _CommitBatch) -> None:
         """Drop ``batch``'s pages from the pending overlay (if still its own).
