@@ -81,6 +81,8 @@ RANKS = {
     "wal.stats": 50,
     "db.stats": 55,
     "db.index": 56,
+    "obs.digest": 60,
+    "obs.slo": 62,
 }
 
 #: every unranked (leaf) mutex sits below the whole hierarchy
@@ -101,6 +103,8 @@ LOCK_ATTRS = {
     ("TableStats", "_lock"): "db.stats",
     ("SpatialIndex", "_lock"): "db.index",
     ("VersionManager", "_lock"): "db.version",
+    ("DigestTable", "_lock"): "obs.digest",
+    ("SloEngine", "_lock"): "obs.slo",
     # Condition variables (leaf rank; named so `with self._cond:` scopes
     # register as holding the guard for the state they protect)
     ("WriteAheadLog", "_commit_cond"): "WriteAheadLog._commit_cond",
@@ -123,7 +127,7 @@ MUTATORS = {
 _HIERARCHY_DOC = ("cluster.router -> cluster.link -> cluster.replica -> "
                   "db.rwlock -> txn -> db.version -> cache.latch -> "
                   "cache.lock -> wal.stats -> db.stats -> db.index -> "
-                  "leaf mutexes")
+                  "obs.digest -> obs.slo -> leaf mutexes")
 
 _GUARD_RE = re.compile(r"guarded_by:\s*([A-Za-z_]\w*)")
 

@@ -44,6 +44,7 @@ from repro.bench.workloads import (
 from repro.errors import ValidationError
 
 __all__ = ["main", "run_benches", "measure_recorder_overhead",
+           "measure_observability_overhead",
            "validate_bench_json", "SCHEMA_VERSION"]
 
 SCHEMA_VERSION = 1
@@ -257,6 +258,77 @@ def measure_recorder_overhead(system, repeats: int = 5) -> dict:
             best[state] = min(one_pass() for _ in range(max(1, repeats)))
     finally:
         recorder.enable()
+    overhead = (best["on"] / best["off"] - 1.0) if best["off"] > 0 else 0.0
+    return {"off": best["off"], "on": best["on"], "overhead": overhead}
+
+
+def measure_observability_overhead(system, repeats: int = 3,
+                                   sessions: int = 16) -> dict:
+    """Wall-time cost of digests + per-node scoping + federation scrape.
+
+    Runs a ``sessions``-session read-mostly pool pass through a fresh
+    :class:`~repro.server.QueryServer` twice: baseline (digests off, no
+    per-node registry) and instrumented (digests on, node-labeled server
+    teeing into its node registry, plus one federated scrape + parse at
+    the end of the pass — the steady-state scrape cost amortized into
+    the window).  Min-of-N each side; returns ``{"off", "on",
+    "overhead"}`` like :func:`measure_recorder_overhead`.  The CI bench
+    job asserts the always-on budget (<= 5%).
+    """
+    import threading
+    import time
+
+    from repro.bench.concurrency import build_query_pool
+    from repro.obs import digest, federation, promtext
+    from repro.server import QueryServer
+
+    pool = build_query_pool(system.db)
+    for sql in pool:  # warm the page cache outside both timings
+        system.db.execute(sql)
+
+    def one_pass(tag: str, instrumented: bool) -> float:
+        labels = {"shard": "0", "role": "primary"} if instrumented else None
+        server = QueryServer(system.db, workers=min(16, sessions),
+                             node_labels=labels)
+
+        def client(k: int) -> None:
+            with server.connect(name=f"obs-bench-{tag}-{k}") as session:
+                for sql in pool:
+                    session.execute(sql)
+
+        threads = [
+            threading.Thread(target=client, args=(k,),
+                             name=f"obs-bench-{tag}-{k}")
+            for k in range(sessions)
+        ]
+        try:
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if instrumented:
+                target = federation.in_process_target(
+                    "shard-0", server.node_registry, shard="0", role="primary",
+                )
+                promtext.parse(federation.federate([target]))
+            return time.perf_counter() - start
+        finally:
+            server.close()
+
+    best: dict[str, float] = {}
+    try:
+        for state in ("off", "on"):
+            if state == "on":
+                digest.enable()
+            else:
+                digest.disable()
+            best[state] = min(
+                one_pass(f"{state}-{i}", instrumented=state == "on")
+                for i in range(max(1, repeats))
+            )
+    finally:
+        digest.enable()
     overhead = (best["on"] / best["off"] - 1.0) if best["off"] > 0 else 0.0
     return {"off": best["off"], "on": best["on"], "overhead": overhead}
 

@@ -6,8 +6,11 @@ workload through the :class:`~repro.cluster.router.ShardRouter`, starts
 an admin endpoint on the router *and* on every shard, scrapes and
 validates each ``/metrics`` page with :func:`repro.obs.promtext.parse`,
 prints a summary, and exits 0 — exactly what the CI cluster smoke job
-runs.  ``--serve`` keeps the endpoints up for interactive poking; see
-OPERATIONS.md for the runbook.
+runs.  The router scrape also exercises the PR 10 observability plane:
+the federated ``/metrics`` page (counter sums re-checked against the
+per-node registries), ``/cluster/healthz``, ``/digests``, and
+``/alerts``.  ``--serve`` keeps the endpoints up for interactive
+poking; see OPERATIONS.md for the runbook.
 """
 
 from __future__ import annotations
@@ -53,6 +56,65 @@ def _workload(cluster) -> int:
     return statements
 
 
+def _check_observability_plane(cluster, router_admin, replicas: bool) -> None:
+    """Scrape and validate the router's federated fleet views.
+
+    Raises :class:`SystemExit` on any mismatch so the CI smoke job fails
+    loudly: the federated counter totals must equal the re-summed
+    per-node scrapes, ``/cluster/healthz`` must report every shard up
+    (replica attached when shipping), ``/digests`` must account the
+    routed statements, and ``/alerts`` must serve the SLO engine state.
+    """
+    fed_families = promtext.parse(_scrape(router_admin.url + "/metrics"))
+    per_node = [
+        promtext.parse(target.scrape())
+        for target in cluster.router.scrape_targets()
+    ]
+
+    def _counter_total(families, family: str) -> float:
+        if family not in families:
+            return 0.0
+        return sum(value for name, _, value in families[family]["samples"]
+                   if name == family)
+
+    for family in ("db_statements", "executor_statements"):
+        fed_total = _counter_total(fed_families, family)
+        node_total = sum(_counter_total(f, family) for f in per_node)
+        if fed_total != node_total:
+            raise SystemExit(
+                f"federation mismatch: {family} federated={fed_total} "
+                f"!= per-node sum {node_total}"
+            )
+        print(f"federated {family}={fed_total:g} == per-node sum", flush=True)
+
+    rollup = _scrape(router_admin.url + "/cluster/healthz")
+    if rollup["status"] != "ok" or len(rollup["shards"]) != len(cluster.shards):
+        raise SystemExit(f"cluster healthz rollup not healthy: {rollup}")
+    for shard in rollup["shards"]:
+        if not shard["up"]:
+            raise SystemExit(f"shard {shard['shard']} reported down")
+        if replicas and not (shard["replica"] or {}).get("attached"):
+            raise SystemExit(f"shard {shard['shard']} replica not attached")
+    print(f"cluster healthz: {rollup['status']}, "
+          f"{len(rollup['shards'])} shards up", flush=True)
+
+    digests = _scrape(router_admin.url + "/digests?n=10")
+    if not digests or any("digest" not in row or row["calls"] < 1
+                          for row in digests):
+        raise SystemExit(f"digest table empty or malformed: {digests!r}")
+    busiest = digests[0]
+    print(f"digests: {len(digests)} classes, busiest "
+          f"{busiest['statement'][:48]!r} x{busiest['calls']}", flush=True)
+
+    alerts = _scrape(router_admin.url + "/alerts")
+    for key in ("active", "history", "objectives", "ticks"):
+        if key not in alerts:
+            raise SystemExit(f"/alerts lacks {key!r}: {alerts!r}")
+    print(f"alerts: {len(alerts['active'])} active, "
+          f"{len(alerts['objectives'])} objectives, "
+          f"ticks={alerts['ticks']}", flush=True)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -83,6 +145,7 @@ def main(argv: list[str] | None = None) -> int:
         replicate=bool(args.replicas),
     )
     try:
+        cluster.router.enable_slo()  # /alerts evaluates the federated fleet
         router_admin = cluster.router.start_admin(port=args.port)
         print(f"router admin: {router_admin.url}", flush=True)
         shard_admins = []
@@ -107,6 +170,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{label}: healthz={health['status']}, "
                   f"{len(families)} metric families, "
                   f"{len(sessions)} sessions")
+
+        _check_observability_plane(cluster, router_admin, bool(args.replicas))
 
         counters = metrics.snapshot()["counters"]
         print(f"cluster.queries={counters.get('cluster.queries', 0)} "

@@ -193,7 +193,10 @@ def build_demo_cluster(
             device=stack["device"],
             lfm=stack["lfm"],
             db=db,
-            server=QueryServer(db, workers=workers, result_cache=result_cache),
+            server=QueryServer(
+                db, workers=workers, result_cache=result_cache,
+                node_labels={"shard": str(shard_id), "role": "primary"},
+            ),
             medical=MedicalServer(db),
             study_ids=stack["study_ids"],
             link=stack["link"],

@@ -139,7 +139,11 @@ class ReplicaLink:
             replica = self._replica
             if replica is not None:
                 try:
-                    replica.apply(ShipEnvelope.from_bytes(blob))
+                    # Scope the apply to the replica's node registry: the
+                    # ship hook runs on the primary's commit thread, but
+                    # the work (and its metrics) belong to the replica.
+                    with metrics.scoped(replica.registry):
+                        replica.apply(ShipEnvelope.from_bytes(blob))
                 # A dead replica must never fail the primary's commit
                 # path: detach it and let a later attach() resync.
                 except BaseException:  # qblint: disable=no-broad-except
@@ -297,6 +301,9 @@ class Replica:
             capacity, page_size=page_size
         )
         self.name = name
+        #: per-node registry for metrics federation: apply/serve work on
+        #: this replica tees here via the scoped-registry mechanism
+        self.registry = metrics.MetricsRegistry()
         self._lock = lockdep.instrument(threading.Lock(), "cluster.replica")
         self._lfm_state: dict = dict(_EMPTY_LFM_STATE)  # guarded_by: _lock
         self._tables: dict[str, dict] = {}  # guarded_by: _lock
@@ -373,8 +380,14 @@ class Replica:
             return self._db
 
     def execute(self, sql: str, params: list | None = None):
-        """Serve one read against the replica's current view."""
-        return self.database.execute(sql, params)
+        """Serve one read against the replica's current view.
+
+        Runs inside the replica's metrics scope, so a failover read
+        issued from the router thread attributes its work to this node
+        in the federated page, not to the router.
+        """
+        with metrics.scoped(self.registry):
+            return self.database.execute(sql, params)
 
     def _rebuild_locked(self) -> Database:
         """Derive a fresh Database from device + shipped catalog state."""

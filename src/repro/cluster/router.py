@@ -83,6 +83,12 @@ class ShardRouter:
         #: per-leg gather timeout in seconds (None = wait forever)
         self.timeout = timeout
         self.rpc = rpc if rpc is not None else RpcChannel()
+        #: the router's own node registry for metrics federation; routing
+        #: work (plan/gather/merge on the caller thread) tees here
+        self.registry = metrics.MetricsRegistry()
+        #: the cluster's SLO engine, once :meth:`enable_slo` installs one
+        #: (the admin endpoint's /alerts prefers it over the process one)
+        self.slo = None
         # Router state lock: outermost in the declared hierarchy, and
         # NEVER held across a shard call (legs run lock-free).
         self._lock = lockdep.instrument(threading.Lock(), "cluster.router")
@@ -103,15 +109,22 @@ class ShardRouter:
         params = list(params) if params else []
         stmt = parse(sql)
         is_read = Database.statement_is_read(stmt)
-        with trace.span("cluster.execute", kind="read" if is_read else "write"):
-            targets = self._plan(stmt, params)
+        # Routing work runs on the caller thread inside the router's
+        # metrics scope; shard legs run on shard worker threads inside
+        # their own node scopes, so federation attributes each side.
+        with metrics.scoped(self.registry), \
+                trace.span("cluster.execute",
+                           kind="read" if is_read else "write"):
+            with trace.span("cluster.plan"):
+                targets = self._plan(stmt, params)
             if len(targets) == len(self.shards) and len(self.shards) > 1:
                 metrics.counter("cluster.broadcasts").inc()
             metrics.counter("cluster.pruned_shards").inc(
                 len(self.shards) - len(targets)
             )
             partials = self._scatter(targets, sql, params, is_read)
-            return self._merge(stmt, partials)
+            with trace.span("cluster.merge", legs=len(partials)):
+                return self._merge(stmt, partials)
 
     def execute_spec(self, spec) -> "object":
         """Run one medical :class:`QuerySpec` on the shard owning its study.
@@ -227,22 +240,29 @@ class ShardRouter:
         write with :class:`ShardUnavailableError`.
         """
         legs: list[tuple] = []
-        for shard in targets:
-            try:
-                legs.append((shard, shard.submit(sql, params)))
-            except Exception:  # qblint: disable=no-broad-except — shard down
-                metrics.counter("cluster.shard_errors").inc()
-                legs.append((shard, None))
+        with trace.span("cluster.scatter", legs=len(targets)):
+            for shard in targets:
+                try:
+                    legs.append((shard, shard.submit(sql, params)))
+                except Exception:  # qblint: disable=no-broad-except — shard down
+                    metrics.counter("cluster.shard_errors").inc()
+                    legs.append((shard, None))
         partials: list[QueryResult] = []
         for shard, future in legs:
-            if future is None:
-                partials.append(self._failover(shard, sql, params, is_read))
-                continue
-            try:
-                partials.append(future.result(timeout=self.timeout))
-            except TimeoutError:
-                metrics.counter("cluster.shard_errors").inc()
-                partials.append(self._failover(shard, sql, params, is_read))
+            # ``leg=`` (not ``shard=``): gather is router-side waiting, so
+            # its span must stay on the router's export track while the
+            # shard's own ``cluster.leg`` span carries the shard tag.
+            with trace.span("cluster.gather", leg=str(shard.shard_id)):
+                if future is None:
+                    partials.append(
+                        self._failover(shard, sql, params, is_read))
+                    continue
+                try:
+                    partials.append(future.result(timeout=self.timeout))
+                except TimeoutError:
+                    metrics.counter("cluster.shard_errors").inc()
+                    partials.append(
+                        self._failover(shard, sql, params, is_read))
         return partials
 
     def _failover(self, shard, sql: str, params: list,
@@ -256,7 +276,8 @@ class ShardRouter:
                 + ("" if replica is not None else " and has no replica")
             )
         metrics.counter("cluster.failovers").inc()
-        with trace.span("cluster.replica_read", shard=shard.shard_id):
+        with trace.span("cluster.replica_read", shard=str(shard.shard_id),
+                        role="replica"):
             return replica.execute(sql, params)
 
     # ------------------------------------------------------------------ #
@@ -309,6 +330,105 @@ class ShardRouter:
             for entry in shard.server.session_snapshot():
                 snapshot.append({**entry, "shard": shard.shard_id})
         return snapshot
+
+    def scrape_targets(self) -> list:
+        """Every federated node: the router, each primary, each replica.
+
+        In-process targets today; each is just labels plus a scrape
+        callable, so HTTP-backed targets slot in when shards move out of
+        process.
+        """
+        from repro.obs import federation
+
+        targets = [federation.in_process_target(
+            "router", self.registry, role="router")]
+        for shard in self.shards:
+            registry = getattr(shard.server, "node_registry", None)
+            if registry is not None:
+                targets.append(federation.in_process_target(
+                    f"shard-{shard.shard_id}", registry,
+                    shard=str(shard.shard_id), role="primary"))
+            replica = shard.replica
+            if replica is not None:
+                targets.append(federation.in_process_target(
+                    f"shard-{shard.shard_id}-replica", replica.registry,
+                    shard=str(shard.shard_id), role="replica"))
+        return targets
+
+    def federated_metrics(self) -> str:
+        """The fleet as one Prometheus page (served at the router /metrics)."""
+        from repro.obs import federation
+
+        return federation.federate(self.scrape_targets())
+
+    def cluster_health(self) -> dict:
+        """The machine-readable fleet rollup served at /cluster/healthz.
+
+        Per-shard up/down and session counts, replica attachment and lag
+        in transactions, plus the cluster-level failure counters — the
+        PR 9 failure matrix as one JSON document.
+        """
+        shards = []
+        degraded = False
+        for shard in self.shards:
+            up = not shard.server._closed
+            degraded = degraded or not up
+            entry = {
+                "shard": shard.shard_id,
+                "up": up,
+                "studies": len(shard.study_ids),
+                "sessions": len(shard.server.session_snapshot()),
+            }
+            link = shard.link
+            if link is not None:
+                replica = link.replica
+                attached = replica is not None
+                degraded = degraded or not attached
+                entry["replica"] = {
+                    "attached": attached,
+                    "lag_txns": (
+                        max(0, (link.wal.next_txn_id - 1)
+                            - replica.last_applied_txn)
+                        if attached else None
+                    ),
+                    "applied_txn": (replica.last_applied_txn
+                                    if attached else None),
+                }
+            else:
+                entry["replica"] = None
+            shards.append(entry)
+        with self._lock:
+            queries = self.queries
+        counters = metrics.snapshot()["counters"]
+        return {
+            "status": "degraded" if degraded else "ok",
+            "shards": shards,
+            "queries": queries,
+            "failovers": counters.get("cluster.failovers", 0),
+            "shard_errors": counters.get("cluster.shard_errors", 0),
+            "broadcasts": counters.get("cluster.broadcasts", 0),
+        }
+
+    def enable_slo(self, objectives=None, clock=None):
+        """Install an SLO engine evaluating over the federated registry.
+
+        The engine's snapshot source is :func:`repro.obs.federation.
+        federated_snapshot` over this router's scrape targets; the admin
+        endpoint's ``/alerts`` ticks and serves it.  ``objectives``
+        defaults to the stock fleet set; ``clock`` is injectable for
+        fake-clock tests.  Returns the engine.
+        """
+        from repro.obs import federation, slo
+
+        engine = slo.SloEngine(
+            objectives if objectives is not None
+            else slo.default_objectives(),
+            source=lambda: federation.federated_snapshot(
+                self.scrape_targets()),
+            clock=clock,
+        )
+        self.slo = engine
+        return engine
 
     def start_admin(self, host: str = "127.0.0.1", port: int = 0):
         """Start the router's own admin endpoint (cluster-wide views)."""

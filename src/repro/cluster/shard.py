@@ -58,6 +58,21 @@ class Shard:
         """Run one statement on this shard synchronously."""
         return self._session.execute(sql, params)
 
+    @property
+    def node_registry(self):
+        """The shard primary's per-node metrics registry (may be None).
+
+        Populated by the scoped-registry tee while the shard's server
+        executes legs; the router's federation scrapes it as the
+        ``shard=<id>,role="primary"`` target.
+        """
+        return self.server.node_registry
+
+    @property
+    def node_labels(self) -> dict:
+        """The shard primary's federation identity labels."""
+        return dict(self.server.node_labels)
+
     def region_bbox(self, table: str, column: str = "region"):
         """Union bounding box of a stored REGION column, from ANALYZE stats.
 

@@ -17,23 +17,36 @@ accounting:
   ring of completed-statement summaries with slow/error/recovery
   incident dumps;
 * :mod:`repro.obs.qlog` — the opt-in JSON-lines structured query log fed
-  by the recorder.
+  by the recorder;
+* :mod:`repro.obs.federation` — per-node registry scrapes merged into one
+  cluster-wide Prometheus page (counters summed, gauges labeled per node,
+  histograms bucket-merged);
+* :mod:`repro.obs.export` — completed span trees as Chrome
+  ``trace_event`` JSON (one track per shard leg) and compact JSONL;
+* :mod:`repro.obs.digest` — pg_stat_statements-style statement digests
+  (normalized-statement fingerprints with per-class accounting);
+* :mod:`repro.obs.slo` — declarative objectives with multi-window
+  burn-rate alerting over any snapshot source.
 
 This package sits below every instrumented layer (storage imports it), so
 it must stay import-light: nothing here pulls in ``repro.storage`` or
-``repro.db`` at module level.
+``repro.db`` at module level — which is why :mod:`repro.obs.digest` (it
+needs the SQL parser) is imported lazily, at first use, by the recorder.
 """
 
 from __future__ import annotations
 
-from repro.obs import metrics, promtext, qlog, recorder, trace
+from repro.obs import export, federation, metrics, promtext, qlog, recorder, slo, trace
 from repro.obs.explain import OperatorStats, PlanProfile, render_analyzed_plan
 
 __all__ = [
+    "export",
+    "federation",
     "metrics",
     "promtext",
     "qlog",
     "recorder",
+    "slo",
     "trace",
     "OperatorStats",
     "PlanProfile",

@@ -1,0 +1,274 @@
+"""Statement digests: pg_stat_statements-style per-query-class accounting.
+
+The flight recorder remembers *individual* statements; operating a fleet
+needs the orthogonal view — "which query **shape** is burning the page-I/O
+budget?".  Every completed :class:`~repro.obs.recorder.QueryRecord` is
+folded into a bounded :class:`DigestTable` keyed by a **fingerprint** of
+the statement with its constants normalized away: the SQL is parsed, every
+literal is replaced by a ``?`` placeholder, and the canonical unparse of
+that skeleton is hashed.  ``SELECT v FROM t WHERE s = 'pet1'`` and
+``... = 'pet2'`` therefore share one digest row carrying calls, errors,
+rows, page I/O, cache-hit rate, a latency histogram, and per-shard call
+counts (cluster legs tag their records with the serving shard).
+
+The table is process-wide and bounded (top-K by calls, cold rows evicted),
+exposed at the admin endpoint's ``/digests`` and embedded in flight-
+recorder incident reports.  Statements that fail to parse — including
+raw strings a failing statement never got past the lexer with — fall back
+to a whitespace-collapsed fingerprint so errors are attributed too.
+
+This module is imported lazily by the recorder: it pulls the SQL parser,
+which :mod:`repro.obs` must not load at package-import time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import re
+import threading
+import time
+from collections import OrderedDict
+
+from repro.concurrency import lockdep
+from repro.errors import ReproError
+from repro.obs import metrics
+
+__all__ = [
+    "DigestEntry",
+    "DigestTable",
+    "normalize",
+    "fingerprint",
+    "get_table",
+    "observe",
+    "enable",
+    "disable",
+    "is_enabled",
+    "reset",
+]
+
+_WS_RE = re.compile(r"\s+")
+
+
+def normalize(sql: str) -> str:
+    """The statement's shape: canonical unparse with literals -> ``?``.
+
+    Parses ``sql``, replaces every literal constant (and any already-bound
+    parameter) with an anonymous ``?`` placeholder, and unparses the
+    skeleton — so statements differing only in constants normalize to the
+    same text.  Unparseable input degrades to uppercase-keyword-free
+    whitespace collapsing (still stable, just less collapsing).
+    """
+    from repro.db.sql import ast as ast_mod
+    from repro.db.sql.parser import parse
+    from repro.db.sql.unparse import unparse
+
+    def strip(node):
+        if isinstance(node, (ast_mod.Literal, ast_mod.Param)):
+            return ast_mod.Param(0)
+        if dataclasses.is_dataclass(node) and not isinstance(node, type):
+            changes = {}
+            for f in dataclasses.fields(node):
+                if f.name == "span":
+                    continue
+                value = getattr(node, f.name)
+                stripped = strip(value)
+                if stripped is not value:
+                    changes[f.name] = stripped
+            return dataclasses.replace(node, **changes) if changes else node
+        if isinstance(node, tuple):
+            stripped = tuple(strip(item) for item in node)
+            return stripped if stripped != node else node
+        if isinstance(node, list):
+            return [strip(item) for item in node]
+        return node
+
+    try:
+        return unparse(strip(parse(sql)))
+    except ReproError:
+        return _WS_RE.sub(" ", sql).strip()
+
+
+def fingerprint(normalized: str) -> str:
+    """A short stable digest id for a normalized statement."""
+    return hashlib.sha256(normalized.encode("utf-8")).hexdigest()[:16]
+
+
+class DigestEntry:
+    """Aggregate statistics for one normalized statement shape."""
+
+    __slots__ = ("digest", "statement", "calls", "errors", "rows",
+                 "pages_read", "pages_written", "cache_hits", "latency",
+                 "shards", "last_seen_unix")
+
+    def __init__(self, digest: str, statement: str):
+        self.digest = digest
+        self.statement = statement
+        self.calls = 0
+        self.errors = 0
+        self.rows = 0
+        self.pages_read = 0      # qblint: disable=no-direct-iostats-mutation
+        self.pages_written = 0   # qblint: disable=no-direct-iostats-mutation
+        self.cache_hits = 0
+        self.latency = metrics.Histogram(f"digest.{digest}")
+        self.shards: dict[str, int] = {}
+        self.last_seen_unix = 0.0
+
+    def to_dict(self) -> dict:
+        """The row as a JSON-ready dict (stable key set)."""
+        latency = self.latency.export()
+        return {
+            "digest": self.digest,
+            "statement": self.statement,
+            "calls": self.calls,
+            "errors": self.errors,
+            "rows": self.rows,
+            "pages_read": self.pages_read,
+            "pages_written": self.pages_written,
+            "cache_hit_rate": (self.cache_hits / self.calls
+                               if self.calls else 0.0),
+            "mean_ms": round(latency["mean"] * 1e3, 3),
+            "p95_ms": round(latency["p95"] * 1e3, 3),
+            "p99_ms": round(latency["p99"] * 1e3, 3),
+            "total_seconds": round(latency["sum"], 6),
+            "shards": dict(sorted(self.shards.items())),
+            "last_seen_unix": self.last_seen_unix,
+        }
+
+
+class DigestTable:
+    """Bounded map of normalized-statement shapes to aggregate rows.
+
+    When full, observing a *new* shape evicts the coldest row (fewest
+    calls, oldest on ties) — the hot statement classes an operator cares
+    about stay put.  A small LRU memo caches raw SQL -> (digest,
+    normalized) so the steady-state cost per statement is one dict hit
+    plus counter bumps.
+    """
+
+    def __init__(self, capacity: int = 128, memo_capacity: int = 512):
+        self.capacity = capacity
+        self.enabled = True
+        self._entries: dict[str, DigestEntry] = {}
+        self._memo: OrderedDict[str, tuple[str, str]] = OrderedDict()
+        self._memo_capacity = memo_capacity
+        # guarded_by: self._lock
+        self._lock = lockdep.instrument(threading.Lock(), "obs.digest")
+
+    def _key(self, sql: str) -> tuple[str, str]:
+        """(digest, normalized) for raw SQL, via the LRU memo."""
+        with self._lock:
+            hit = self._memo.get(sql)
+            if hit is not None:
+                self._memo.move_to_end(sql)
+                return hit
+        normalized = normalize(sql)
+        key = (fingerprint(normalized), normalized)
+        with self._lock:
+            self._memo[sql] = key
+            self._memo.move_to_end(sql)
+            while len(self._memo) > self._memo_capacity:
+                self._memo.popitem(last=False)
+        return key
+
+    def observe(self, record) -> str | None:
+        """Fold one completed statement record into its digest row.
+
+        ``record`` is a :class:`~repro.obs.recorder.QueryRecord` (or any
+        duck-typed equivalent).  Returns the digest id, or ``None`` while
+        the table is disabled.
+        """
+        if not self.enabled:
+            return None
+        digest, normalized = self._key(record.sql)
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                if len(self._entries) >= self.capacity:
+                    self._evict_locked()
+                entry = self._entries[digest] = DigestEntry(digest, normalized)
+            entry.calls += 1
+            if not record.ok:
+                entry.errors += 1
+            entry.rows += record.rows
+            # Copies of deltas the recorder already accounted — same
+            # contract as QueryRecord: digests never touch IOStats.
+            entry.pages_read += record.pages_read       # qblint: disable=no-direct-iostats-mutation
+            entry.pages_written += record.pages_written # qblint: disable=no-direct-iostats-mutation
+            if record.cache_hit:
+                entry.cache_hits += 1
+            shard = getattr(record, "shard", None)
+            if shard is not None:
+                entry.shards[shard] = entry.shards.get(shard, 0) + 1
+            entry.last_seen_unix = time.time()
+        # The latency histogram is a standalone metric object (it never
+        # tees into scoped registries); observed outside the table lock.
+        entry.latency.observe(record.wall_seconds)
+        metrics.counter("digest.observations").inc()
+        return digest
+
+    def _evict_locked(self) -> None:
+        """Drop the coldest row to make room (lock held by caller)."""
+        coldest = min(
+            self._entries.values(),
+            key=lambda e: (e.calls, e.last_seen_unix),
+        )
+        del self._entries[coldest.digest]
+        metrics.counter("digest.evictions").inc()
+
+    def top(self, n: int = 50) -> list[dict]:
+        """The ``n`` busiest rows (by calls, then total time), as dicts."""
+        with self._lock:
+            entries = list(self._entries.values())
+        entries.sort(key=lambda e: (-e.calls, -e.latency.total, e.digest))
+        return [e.to_dict() for e in entries[:max(0, n)]]
+
+    def get(self, digest: str) -> dict | None:
+        """One row by digest id, or None."""
+        with self._lock:
+            entry = self._entries.get(digest)
+        return entry.to_dict() if entry is not None else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def reset(self) -> None:
+        """Forget every row and memo entry (capacity/enabled untouched)."""
+        with self._lock:
+            self._entries.clear()
+            self._memo.clear()
+
+
+_TABLE = DigestTable()
+
+
+def get_table() -> DigestTable:
+    """The process-wide digest table."""
+    return _TABLE
+
+
+def observe(record) -> str | None:
+    """Fold a completed statement record into the process-wide table."""
+    return _TABLE.observe(record)
+
+
+def enable() -> DigestTable:
+    """Turn digest accounting on (the default); returns the table."""
+    _TABLE.enabled = True
+    return _TABLE
+
+
+def disable() -> None:
+    """Turn digest accounting off (existing rows are kept)."""
+    _TABLE.enabled = False
+
+
+def is_enabled() -> bool:
+    """Is digest accounting currently enabled?"""
+    return _TABLE.enabled
+
+
+def reset() -> None:
+    """Clear the process-wide digest table."""
+    _TABLE.reset()

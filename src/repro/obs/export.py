@@ -1,0 +1,133 @@
+"""Trace export: completed span trees as Chrome ``trace_event`` JSON/JSONL.
+
+A routed query's span tree spans threads and (logically) nodes — the
+router's plan/scatter/gather/merge phases plus one ``cluster.leg`` per
+shard.  :func:`chrome_trace` serializes any list of completed
+:class:`~repro.obs.trace.SpanRecord`\\ s into the Chrome Trace Event
+Format (load it at ``chrome://tracing`` or https://ui.perfetto.dev):
+
+* one **track** (``tid``) per shard leg, derived from the ``shard``/
+  ``role`` span tags; spans without a shard ancestor land on the
+  ``router`` track — so a scatter-gather waterfall reads left-to-right
+  with queue/execute phases visible per shard;
+* every span becomes a complete (``"ph": "X"``) event whose ``ts``/
+  ``dur`` microseconds come from the records' ``start_perf`` clock,
+  rebased to the capture's earliest span.
+
+:func:`spans_jsonl` is the compact line-oriented alternative (one JSON
+object per span) for shipping to log pipelines.  Both formats are pure
+functions over span records: export never touches the live tracer state,
+so it can run on a retained trace long after the query finished.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import trace
+
+__all__ = ["chrome_trace", "spans_jsonl", "trace_spans"]
+
+
+def trace_spans(trace_id: str, spans=None) -> list:
+    """Every recorded span of one trace, in start order.
+
+    Searches ``spans`` (default: the process-wide tracer's records) for
+    ``trace_id``; returns ``[]`` when the trace is unknown or tracing was
+    off.
+    """
+    spans = trace.records() if spans is None else spans
+    return [s for s in spans if s.trace_id == trace_id]
+
+
+def _track_of(record, parents: dict, cache: dict) -> str:
+    """The export track for a span: its nearest shard-tagged ancestor."""
+    cached = cache.get(record.span_id)
+    if cached is not None:
+        return cached
+    shard = record.meta.get("shard")
+    if shard is not None:
+        role = record.meta.get("role", "primary")
+        track = (f"shard-{shard}" if role == "primary"
+                 else f"shard-{shard}-{role}")
+    else:
+        parent = parents.get(record.parent_id)
+        track = _track_of(parent, parents, cache) if parent is not None else "router"
+    cache[record.span_id] = track
+    return track
+
+
+def _assign_tracks(spans) -> dict[int, str]:
+    """span_id -> track name for every span in the list."""
+    parents = {s.span_id: s for s in spans}
+    cache: dict[int, str] = {}
+    for record in spans:
+        _track_of(record, parents, cache)
+    return cache
+
+
+def chrome_trace(spans) -> dict:
+    """The spans as a Chrome Trace Event Format document (JSON-ready dict).
+
+    ``spans`` is any list of completed :class:`SpanRecord`\\ s (e.g. one
+    trace's records from :func:`trace_spans`, or a whole capture).  The
+    returned dict serializes with :func:`json.dumps` as-is.
+    """
+    spans = list(spans)
+    tracks = _assign_tracks(spans)
+    names = sorted(set(tracks.values()),
+                   key=lambda t: (t != "router", t))  # router first
+    tids = {name: i for i, name in enumerate(names)}
+    events: list[dict] = []
+    for name in names:
+        events.append({
+            "ph": "M", "pid": 1, "tid": tids[name],
+            "name": "thread_name", "args": {"name": name},
+        })
+    base = min((s.start_perf for s in spans), default=0.0)
+    for record in spans:
+        args = {str(k): v for k, v in record.meta.items()}
+        args["trace_id"] = record.trace_id
+        if record.io is not None:
+            args["pages_read"] = record.io.pages_read
+            args["pages_written"] = record.io.pages_written
+        events.append({
+            "ph": "X",
+            "pid": 1,
+            "tid": tids[tracks[record.span_id]],
+            "name": record.name,
+            "cat": record.name.split(".", 1)[0],
+            "ts": round((record.start_perf - base) * 1e6, 3),
+            "dur": round(record.wall_seconds * 1e6, 3),
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def spans_jsonl(spans) -> str:
+    """The spans as compact JSON lines (one object per span, start order).
+
+    Each line carries identity (``trace_id``/``span_id``/``parent_id``),
+    timing in microseconds on the shared ``start_perf`` timeline, and the
+    span's metadata — the shippable flat form of a trace tree.
+    """
+    spans = list(spans)
+    base = min((s.start_perf for s in spans), default=0.0)
+    lines = []
+    for record in spans:
+        event = {
+            "trace_id": record.trace_id,
+            "span_id": record.span_id,
+            "parent_id": record.parent_id,
+            "name": record.name,
+            "depth": record.depth,
+            "start_us": round((record.start_perf - base) * 1e6, 3),
+            "dur_us": round(record.wall_seconds * 1e6, 3),
+            "sim_seconds": record.sim_seconds,
+            "meta": {str(k): v for k, v in record.meta.items()},
+        }
+        if record.io is not None:
+            event["pages_read"] = record.io.pages_read
+            event["pages_written"] = record.io.pages_written
+        lines.append(json.dumps(event, separators=(",", ":"), default=str))
+    return "\n".join(lines) + ("\n" if lines else "")

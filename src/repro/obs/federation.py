@@ -1,0 +1,226 @@
+"""Metrics federation: one Prometheus page for a whole cluster.
+
+Each cluster node (router, every shard primary, every attached replica)
+owns a per-node :class:`~repro.obs.metrics.MetricsRegistry` fed by the
+scoped-registry tee (:func:`repro.obs.metrics.scoped`).  Federation
+scrapes every node's registry — in-process today, but each target is just
+``labels + a callable returning exposition text``, so an HTTP scrape over
+:mod:`repro.net` sockets slots in without changing the merge — and folds
+the pages into **one** exposition the router serves at ``/metrics``:
+
+* **counters** are summed across nodes into a single sample;
+* **gauges** stay per-node, labeled with the node's identity
+  (``shard="0",role="primary"``) — a replica-lag gauge averaged across
+  nodes would be meaningless;
+* **histograms** are bucket-merged: per-``le`` cumulative counts, sums and
+  counts added, so fleet-wide quantile estimates come from the merged
+  distribution.
+
+Every target additionally yields a ``federation_up`` gauge (1/0), so a
+node whose scrape fails is visible in the page instead of silently
+missing.  The merge round-trips through the validating parser in
+:mod:`repro.obs.promtext` — federation consumes exactly what a real
+scraper would.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.obs import metrics, promtext
+
+__all__ = [
+    "ScrapeTarget",
+    "in_process_target",
+    "federate",
+    "federated_snapshot",
+]
+
+
+@dataclass(frozen=True)
+class ScrapeTarget:
+    """One federated node: identity labels plus a scrape callable.
+
+    ``scrape`` returns Prometheus exposition text for the node (for
+    in-process nodes, :func:`repro.obs.promtext.render` over the node's
+    registry); ``labels`` identify the node on every per-node sample
+    (``role`` always, ``shard`` for shard-resident nodes).
+    """
+
+    name: str
+    labels: dict[str, str] = field(default_factory=dict)
+    scrape: Callable[[], str] = lambda: ""
+
+
+def in_process_target(name: str, registry: "metrics.MetricsRegistry",
+                      **labels: str) -> ScrapeTarget:
+    """A target that scrapes an in-process registry directly."""
+    return ScrapeTarget(name=name, labels=dict(labels),
+                        scrape=lambda: promtext.render(registry))
+
+
+def _escape(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _label_str(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{_escape(value)}"'
+                     for key, value in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _scrape_all(targets) -> list[tuple["ScrapeTarget", dict | None]]:
+    """Parse every target's page; a failed scrape/parse yields ``None``."""
+    out = []
+    for target in targets:
+        try:
+            families = promtext.parse(target.scrape())
+        # A down node must not take the federated page with it; any
+        # scrape/parse failure becomes federation_up 0 for that target.
+        except Exception:  # qblint: disable=no-broad-except
+            metrics.counter("federation.scrape_errors").inc()
+            families = None
+        out.append((target, families))
+    return out
+
+
+def _bucket_sort_key(le: str) -> float:
+    return math.inf if le == "+Inf" else float(le)
+
+
+def federate(targets) -> str:
+    """Merge every target's exposition into one federated page.
+
+    Returns Prometheus text that re-parses with
+    :func:`repro.obs.promtext.parse`: counters summed, gauges labeled
+    per-node, histograms bucket-merged, plus one ``federation_up`` sample
+    per target.
+    """
+    scraped = _scrape_all(targets)
+    # family -> {"type": kind, "per_target": [(target, samples)]}
+    merged: dict[str, dict] = {}
+    for target, families in scraped:
+        if families is None:
+            continue
+        for family, data in families.items():
+            slot = merged.setdefault(family, {"type": data["type"],
+                                              "per_target": []})
+            if slot["type"] != data["type"]:
+                # Disagreeing nodes: keep the first kind, skip the rest
+                # (cannot merge a counter with a gauge).
+                metrics.counter("federation.type_conflicts").inc()
+                continue
+            slot["per_target"].append((target, data["samples"]))
+
+    lines: list[str] = []
+    for family in sorted(merged):
+        slot = merged[family]
+        kind = slot["type"]
+        lines.append(f"# TYPE {family} {kind}")
+        if kind == "counter":
+            total = sum(value for _, samples in slot["per_target"]
+                        for name, _, value in samples if name == family)
+            value = int(total) if float(total).is_integer() else total
+            lines.append(f"{family} {value}")
+        elif kind == "histogram":
+            _merge_histogram(family, slot["per_target"], lines)
+        else:  # gauge (and anything untyped): per-node labeled samples
+            for target, samples in slot["per_target"]:
+                for name, _, value in samples:
+                    if name == family:
+                        labels = target.labels or {"instance": target.name}
+                        lines.append(
+                            f"{family}{_label_str(labels)} "
+                            f"{promtext._format_value(value)}"
+                        )
+    lines.append("# TYPE federation_up gauge")
+    for target, families in scraped:
+        labels = target.labels or {"instance": target.name}
+        lines.append(
+            f"federation_up{_label_str(labels)} "
+            f"{1 if families is not None else 0}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _merge_histogram(family: str, per_target, lines: list[str]) -> None:
+    """Append the bucket-merged triplet for one histogram family."""
+    buckets: dict[str, float] = {}
+    total_sum = 0.0
+    total_count = 0.0
+    for _, samples in per_target:
+        for name, labels, value in samples:
+            if name == family + "_bucket":
+                le = labels.get("le", "+Inf")
+                buckets[le] = buckets.get(le, 0.0) + value
+            elif name == family + "_sum":
+                total_sum += value
+            elif name == family + "_count":
+                total_count += value
+    for le in sorted(buckets, key=_bucket_sort_key):
+        if le == "+Inf":
+            continue
+        value = buckets[le]
+        value = int(value) if value.is_integer() else value
+        lines.append(f'{family}_bucket{{le="{le}"}} {value}')
+    count = int(total_count) if total_count.is_integer() else total_count
+    lines.append(f'{family}_bucket{{le="+Inf"}} {count}')
+    lines.append(f"{family}_sum {promtext._format_value(total_sum)}")
+    lines.append(f"{family}_count {count}")
+
+
+def federated_snapshot(targets) -> dict:
+    """The fleet as one snapshot-shaped dict (for the SLO engine).
+
+    Shaped like :func:`repro.obs.metrics.snapshot` — ``counters`` summed,
+    ``gauges`` folded with ``max`` (objectives bound worst-case ceilings),
+    ``histograms`` bucket-merged with snapshot-style per-bucket counts —
+    but keyed by *sanitized* metric names, since it is reassembled from
+    exposition text.  The SLO engine sanitizes its objective metric names
+    the same way, so both spellings address the same series.
+    """
+    out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+    for target, families in _scrape_all(targets):
+        if families is None:
+            continue
+        for family, data in families.items():
+            kind = data["type"]
+            if kind == "counter":
+                for name, _, value in data["samples"]:
+                    if name == family:
+                        out["counters"][family] = (
+                            out["counters"].get(family, 0) + value
+                        )
+            elif kind == "gauge":
+                for name, _, value in data["samples"]:
+                    if name == family:
+                        current = out["gauges"].get(family)
+                        out["gauges"][family] = (
+                            value if current is None else max(current, value)
+                        )
+            elif kind == "histogram":
+                slot = out["histograms"].setdefault(
+                    family, {"count": 0, "sum": 0.0, "buckets": {}}
+                )
+                cumulative: list[tuple[float, float]] = []
+                for name, labels, value in data["samples"]:
+                    if name == family + "_sum":
+                        slot["sum"] += value
+                    elif name == family + "_count":
+                        slot["count"] += value
+                    elif name == family + "_bucket":
+                        le = labels.get("le", "+Inf")
+                        cumulative.append((_bucket_sort_key(le), value))
+                cumulative.sort()
+                previous = 0.0
+                for bound, cum in cumulative:
+                    key = "inf" if math.isinf(bound) else str(bound)
+                    slot["buckets"][key] = (
+                        slot["buckets"].get(key, 0) + (cum - previous)
+                    )
+                    previous = cum
+    return out

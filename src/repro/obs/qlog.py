@@ -77,7 +77,9 @@ class QueryLog:
         if fh is None:
             return False
         slow = record.wall_seconds >= self.slow_threshold
-        if self.slow_only and not slow:
+        # Errors are always interesting: even a slow-only log records a
+        # statement that raised, however fast it failed.
+        if self.slow_only and not slow and getattr(record, "ok", True):
             return False
         event = {"event": "query", "slow": slow}
         event.update(record.to_dict())

@@ -87,6 +87,7 @@ class QueryRecord:
     sim_seconds_1994: float = 0.0
     started_unix: float = 0.0        #: wall-clock start (epoch seconds)
     params: tuple = ()               #: reprs of bound parameters, truncated
+    shard: str | None = None         #: serving shard id (cluster legs only)
 
     def to_dict(self) -> dict:
         """The record as a JSON-ready dict (stable key set)."""
@@ -94,6 +95,7 @@ class QueryRecord:
             "sql": self.sql,
             "trace_id": self.trace_id,
             "session": self.session,
+            "shard": self.shard,
             "kind": self.kind,
             "ok": self.ok,
             "error": self.error,
@@ -150,7 +152,7 @@ class _StatementScope:
              pool_wait_seconds: float | None = None,
              kind: str | None = None, sql: str | None = None,
              session: str | None = None, trace_id: str | None = None,
-             params=None) -> None:
+             params=None, shard: str | None = None) -> None:
         """Annotate the owning record (outermost scope wins on conflicts).
 
         ``io`` is an :class:`~repro.storage.device.IOStats` delta; only
@@ -180,6 +182,8 @@ class _StatementScope:
             record.trace_id = trace_id
         if params is not None:
             record.params = tuple(repr(p)[:80] for p in params)
+        if shard is not None:
+            record.shard = shard
 
     def __enter__(self) -> "_StatementScope":
         outer = getattr(_ACTIVE, "scope", None)
@@ -255,6 +259,14 @@ class FlightRecorder:
             self._ring.append(record)
             self.recorded += 1
         metrics.counter("recorder.records").inc()
+        if not record.ok:
+            metrics.counter("recorder.errors").inc()
+        # Statement-digest accounting rides the same chokepoint (lazy
+        # import: digest pulls the SQL parser, which obs must not load at
+        # import time).
+        from repro.obs import digest as digest_mod
+
+        digest_mod.observe(record)
         qlog.get_query_log().emit(record)
         if not record.ok:
             self.incident("query.error", trigger=record.to_dict())
@@ -280,12 +292,15 @@ class FlightRecorder:
         bundles the ring contents and a metrics snapshot, so it can be
         read (or shipped) without access to the live process.
         """
+        from repro.obs import digest as digest_mod
+
         report = {
             "incident": next(self._seq),
             "reason": reason,
             "created_unix": time.time(),
             "trigger": trigger or {},
             "recent_queries": [r.to_dict() for r in self.recent(self.capacity)],
+            "digests": digest_mod.get_table().top(10),
             "metrics": metrics.snapshot(),
         }
         with self._lock:

@@ -1,0 +1,345 @@
+"""SLO engine: declarative objectives with multi-window burn-rate alerts.
+
+An :class:`Objective` states a service-level target over one metric of
+the (possibly federated) registry; the :class:`SloEngine` samples a
+snapshot source on every :meth:`~SloEngine.tick` and evaluates the
+Google-SRE **multi-window, multi-burn-rate** policy: an alert fires only
+when the error budget is burning faster than ``factor``× over *both* a
+long window and its short confirmation window — fast burns page quickly,
+slow burns wait for sustained evidence, and a recovered service
+un-fires because the short window goes quiet first.
+
+Three objective kinds:
+
+* ``error_rate`` — a failure counter over a total counter (e.g.
+  ``recorder.errors`` / ``recorder.records``) with ``budget`` the allowed
+  failure fraction;
+* ``latency`` — a histogram family with ``threshold`` seconds as the
+  "too slow" bound and ``budget`` the allowed slow fraction (a p99
+  objective is ``budget=0.01``);
+* ``gauge_ceiling`` — a gauge (e.g. ``cluster.replica.lag``) that must
+  stay at or below ``threshold``; it breaches when the ceiling is
+  exceeded for the whole confirmation window.
+
+Everything is injected for testability: ``source`` is any callable
+returning a :func:`repro.obs.metrics.snapshot`-shaped dict (the cluster
+router passes :func:`repro.obs.federation.federated_snapshot`), and
+``clock`` replaces ``time.time`` so a fake clock can replay hours of burn
+in microseconds.  Firing alerts land at the admin endpoint's ``/alerts``
+and dump a ``slo.breach`` flight-recorder incident.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.concurrency import lockdep
+from repro.errors import ValidationError
+from repro.obs import metrics, promtext
+
+__all__ = [
+    "DEFAULT_WINDOWS",
+    "Objective",
+    "SloEngine",
+    "default_objectives",
+    "get_engine",
+    "set_engine",
+]
+
+#: (long window s, short window s, burn-rate factor) pairs — the SRE
+#: workbook's page-severity defaults: 14.4x over 1h/5m, 6x over 6h/30m
+DEFAULT_WINDOWS = ((3600.0, 300.0, 14.4), (21600.0, 1800.0, 6.0))
+
+_KINDS = ("error_rate", "latency", "gauge_ceiling")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One declarative service-level objective."""
+
+    name: str
+    kind: str                         #: one of ``_KINDS``
+    metric: str                       #: counter/histogram/gauge family
+    threshold: float = 0.0            #: seconds (latency) or ceiling (gauge)
+    total_metric: str | None = None   #: denominator counter (error_rate)
+    budget: float = 0.01              #: allowed bad fraction of the window
+    windows: tuple = DEFAULT_WINDOWS
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValidationError(
+                f"objective kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if self.kind == "error_rate" and not self.total_metric:
+            raise ValidationError(
+                f"error_rate objective {self.name!r} needs total_metric"
+            )
+        if not 0.0 < self.budget <= 1.0:
+            raise ValidationError(
+                f"objective {self.name!r}: budget must be in (0, 1]"
+            )
+
+    def to_dict(self) -> dict:
+        """The objective as a JSON-ready dict."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "metric": self.metric,
+            "threshold": self.threshold,
+            "total_metric": self.total_metric,
+            "budget": self.budget,
+            "windows": [list(w) for w in self.windows],
+        }
+
+
+def default_objectives(latency_threshold: float = 0.25,
+                       lag_ceiling: float = 64.0) -> list[Objective]:
+    """The stock fleet objectives: p99 latency, error rate, replica lag."""
+    return [
+        Objective("statement-p99-latency", "latency", "db.query_seconds",
+                  threshold=latency_threshold, budget=0.01),
+        Objective("statement-errors", "error_rate", "recorder.errors",
+                  total_metric="recorder.records", budget=0.01),
+        Objective("replica-lag", "gauge_ceiling", "cluster.replica.lag",
+                  threshold=lag_ceiling),
+    ]
+
+
+def _sanitize_snapshot(snap: dict) -> dict:
+    """Key every series by its sanitized (exposition) name.
+
+    The federated source is reassembled from exposition text and already
+    carries sanitized names; a plain :func:`metrics.snapshot` source
+    carries registry names.  Sanitizing both sides lets objectives use
+    either spelling.
+    """
+    out: dict[str, dict] = {}
+    for kind in ("counters", "gauges", "histograms"):
+        out[kind] = {promtext.sanitize_name(name): value
+                     for name, value in snap.get(kind, {}).items()}
+    return out
+
+
+def _cumulative(hist: dict) -> list[tuple[float, float]]:
+    """Snapshot-style histogram buckets as sorted cumulative (bound, count)."""
+    pairs = sorted(
+        ((math.inf if bound == "inf" else float(bound)), count)
+        for bound, count in hist.get("buckets", {}).items()
+    )
+    cumulative = []
+    running = 0.0
+    for bound, count in pairs:
+        running += count
+        cumulative.append((bound, running))
+    return cumulative
+
+
+@dataclass
+class _Sample:
+    """One tick's reading of an objective's inputs."""
+
+    t: float
+    bad: float = 0.0      #: errors so far / cumulative slow count
+    total: float = 0.0    #: total count so far
+    value: float = 0.0    #: gauge reading
+
+
+@dataclass
+class _Series:
+    """Ring of samples for one objective."""
+
+    samples: deque = field(default_factory=lambda: deque(maxlen=4096))
+
+
+class SloEngine:
+    """Evaluates objectives over a snapshot source; fires burn-rate alerts."""
+
+    def __init__(self, objectives=(), *, source=None, clock=None,
+                 history: int = 64):
+        self.source = source if source is not None else metrics.snapshot
+        self.clock = clock if clock is not None else time.time
+        self.ticks = 0
+        # guarded_by: self._lock
+        self._lock = lockdep.instrument(threading.Lock(), "obs.slo")
+        self._objectives: list[Objective] = []
+        self._series: dict[str, _Series] = {}
+        self._active: dict[str, dict] = {}
+        self._history: deque[dict] = deque(maxlen=history)
+        for objective in objectives:
+            self.add(objective)
+
+    def add(self, objective: Objective) -> Objective:
+        """Register one objective (its sample ring starts empty)."""
+        with self._lock:
+            if any(o.name == objective.name for o in self._objectives):
+                raise ValidationError(
+                    f"duplicate objective name {objective.name!r}"
+                )
+            self._objectives.append(objective)
+            self._series[objective.name] = _Series()
+        return objective
+
+    def objectives(self) -> list[Objective]:
+        """The registered objectives, in registration order."""
+        with self._lock:
+            return list(self._objectives)
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+
+    def _sample(self, objective: Objective, snap: dict, t: float) -> _Sample:
+        sample = _Sample(t=t)
+        metric = promtext.sanitize_name(objective.metric)
+        if objective.kind == "error_rate":
+            total = promtext.sanitize_name(objective.total_metric)
+            sample.bad = float(snap["counters"].get(metric, 0))
+            sample.total = float(snap["counters"].get(total, 0))
+        elif objective.kind == "latency":
+            hist = snap["histograms"].get(metric, {})
+            sample.total = float(hist.get("count", 0))
+            good = 0.0
+            for bound, cumulative in _cumulative(hist):
+                if bound <= objective.threshold:
+                    good = cumulative
+                else:
+                    break
+            sample.bad = sample.total - good
+        else:  # gauge_ceiling
+            sample.value = float(snap["gauges"].get(metric, 0.0))
+        return sample
+
+    @staticmethod
+    def _at(samples, cutoff: float) -> "_Sample | None":
+        """The newest sample at or before ``cutoff`` (else the oldest)."""
+        best = None
+        for sample in samples:
+            if sample.t <= cutoff:
+                best = sample
+            else:
+                break
+        if best is None and samples:
+            return samples[0]
+        return best
+
+    def _burn(self, objective: Objective, samples, now: "_Sample",
+              window: float) -> float:
+        """Budget burn rate over the trailing ``window`` seconds."""
+        then = self._at(samples, now.t - window)
+        if then is None:
+            return 0.0
+        bad = now.bad - then.bad
+        total = now.total - then.total
+        if total <= 0:
+            return 0.0
+        return (bad / total) / objective.budget
+
+    def _evaluate(self, objective: Objective, samples,
+                  now: "_Sample") -> dict | None:
+        """The breach detail dict if the objective is breaching, else None."""
+        if objective.kind == "gauge_ceiling":
+            short = min(w[1] for w in objective.windows)
+            then = self._at(samples, now.t - short)
+            sustained = (
+                now.value > objective.threshold
+                and then is not None
+                and then.value > objective.threshold
+                and now.t - samples[0].t >= short
+            )
+            if sustained:
+                return {"kind": objective.kind, "value": now.value,
+                        "threshold": objective.threshold,
+                        "window_seconds": short}
+            return None
+        for long_w, short_w, factor in objective.windows:
+            burn_long = self._burn(objective, samples, now, long_w)
+            burn_short = self._burn(objective, samples, now, short_w)
+            if burn_long >= factor and burn_short >= factor:
+                return {"kind": objective.kind,
+                        "burn_rate_long": round(burn_long, 3),
+                        "burn_rate_short": round(burn_short, 3),
+                        "factor": factor,
+                        "window_seconds": long_w,
+                        "short_window_seconds": short_w}
+        return None
+
+    def tick(self) -> list[dict]:
+        """Sample the source, evaluate every objective; returns new alerts."""
+        snap = _sanitize_snapshot(self.source())
+        t = self.clock()
+        fired: list[dict] = []
+        resolved: list[dict] = []
+        with self._lock:
+            self.ticks += 1
+            horizon = max((w[0] for o in self._objectives
+                           for w in o.windows), default=3600.0)
+            for objective in self._objectives:
+                samples = self._series[objective.name].samples
+                sample = self._sample(objective, snap, t)
+                samples.append(sample)
+                while samples and samples[0].t < t - 2 * horizon:
+                    samples.popleft()
+                detail = self._evaluate(objective, samples, sample)
+                active = self._active.get(objective.name)
+                if detail is not None and active is None:
+                    alert = {
+                        "objective": objective.name,
+                        "metric": objective.metric,
+                        "fired_unix": t,
+                        "detail": detail,
+                    }
+                    self._active[objective.name] = alert
+                    self._history.append(alert)
+                    fired.append(alert)
+                elif detail is not None:
+                    active["detail"] = detail
+                elif active is not None:
+                    del self._active[objective.name]
+                    resolved.append(dict(active, resolved_unix=t))
+            active_count = len(self._active)
+        # Side effects outside the engine lock: the recorder takes its own
+        # locks and snapshots the whole metrics registry.
+        metrics.gauge("slo.alerts_active").set(active_count)
+        for alert in fired:
+            metrics.counter("slo.alerts_fired").inc()
+            from repro.obs import recorder
+
+            recorder.incident("slo.breach", trigger=alert)
+        for alert in resolved:
+            metrics.counter("slo.alerts_resolved").inc()
+            self._history.append(alert)
+        return fired
+
+    def alerts(self) -> dict:
+        """The alert surface served at ``/alerts`` (JSON-ready)."""
+        with self._lock:
+            return {
+                "active": [dict(a) for a in self._active.values()],
+                "history": [dict(a) for a in self._history],
+                "objectives": [o.to_dict() for o in self._objectives],
+                "ticks": self.ticks,
+            }
+
+
+_ENGINE: SloEngine | None = None
+_ENGINE_LOCK = threading.Lock()
+
+
+def get_engine() -> SloEngine:
+    """The process-wide SLO engine (stock objectives, created lazily)."""
+    global _ENGINE
+    with _ENGINE_LOCK:
+        if _ENGINE is None:
+            _ENGINE = SloEngine(default_objectives())
+        return _ENGINE
+
+
+def set_engine(engine: "SloEngine | None") -> None:
+    """Replace (or clear, with None) the process-wide engine."""
+    global _ENGINE
+    with _ENGINE_LOCK:
+        _ENGINE = engine

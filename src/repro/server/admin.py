@@ -11,7 +11,24 @@ whole observability stack over plain HTTP GETs:
   included — the line a real scrape job would hit;
 * ``/sessions`` — every open session (name, id, statements issued);
 * ``/queries/recent?n=50`` — the flight recorder's newest records;
-* ``/incidents`` — the retained incident reports.
+* ``/incidents`` — the retained incident reports;
+* ``/digests?n=50`` — the statement-digest table's busiest rows
+  (pg_stat_statements-style per-query-class accounting);
+* ``/alerts`` — the SLO engine's active/recent burn-rate alerts (each
+  scrape also ticks the engine, so a scrape loop doubles as evaluation);
+* ``/trace/<trace_id>`` — a retained trace as Chrome ``trace_event``
+  JSON (``?format=jsonl`` for the line-oriented span form);
+* ``/cluster/healthz`` — served when the backing server is a shard
+  router: the machine-readable fleet rollup (per-shard up/down, replica
+  lag, failover counts).
+
+When the backing server federates (a :class:`~repro.cluster.router.
+ShardRouter` exposing ``federated_metrics()``), ``/metrics`` serves the
+merged fleet page instead of the process registry.
+
+Query parameters are validated: a non-integer or negative ``n`` is a 400
+with a JSON error body, and unknown paths are a JSON 404 listing the
+valid endpoints.
 
 Binding defaults to ``127.0.0.1`` port 0 (the OS picks a free port,
 reported as :attr:`AdminServer.port`), so tests and CI never race over a
@@ -27,9 +44,12 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
-from repro.obs import metrics, promtext, recorder
+from repro.obs import export, metrics, promtext, recorder, slo, trace
 
 __all__ = ["AdminServer"]
+
+_BASE_ROUTES = ["/healthz", "/metrics", "/sessions", "/queries/recent",
+                "/incidents", "/digests", "/alerts", "/trace/<trace_id>"]
 
 
 class _AdminHandler(BaseHTTPRequestHandler):
@@ -62,21 +82,46 @@ class _AdminHandler(BaseHTTPRequestHandler):
         if route == "/healthz":
             self._healthz()
         elif route == "/metrics":
-            self._reply(200, promtext.render(),
-                        "text/plain; version=0.0.4; charset=utf-8")
+            self._metrics()
         elif route == "/sessions":
             self._reply_json(self.admin.query_server.session_snapshot())
         elif route == "/queries/recent":
             self._recent(url)
         elif route == "/incidents":
             self._reply_json(recorder.get_recorder().incidents())
+        elif route == "/digests":
+            self._digests(url)
+        elif route == "/alerts":
+            self._alerts()
+        elif route == "/cluster/healthz":
+            self._cluster_healthz(route)
+        elif route.startswith("/trace/"):
+            self._trace(route[len("/trace/"):], url)
         else:
+            self._not_found(route)
+
+    def _not_found(self, route: str) -> None:
+        routes = list(_BASE_ROUTES)
+        if hasattr(self.admin.query_server, "cluster_health"):
+            routes.append("/cluster/healthz")
+        self._reply_json({"error": f"no route {route!r}", "routes": routes},
+                         status=404)
+
+    def _int_param(self, url, name: str, default: int) -> int | None:
+        """A validated non-negative integer query param (None -> 400 sent)."""
+        raw = parse_qs(url.query).get(name, [str(default)])[0]
+        try:
+            value = int(raw)
+        except ValueError:
             self._reply_json(
-                {"error": f"no route {route!r}",
-                 "routes": ["/healthz", "/metrics", "/sessions",
-                            "/queries/recent", "/incidents"]},
-                status=404,
-            )
+                {"error": f"{name} must be an integer", name: raw},
+                status=400)
+            return None
+        if value < 0:
+            self._reply_json(
+                {"error": f"{name} must be >= 0", name: raw}, status=400)
+            return None
+        return value
 
     def _healthz(self) -> None:
         if self.admin.query_server._closed:
@@ -84,14 +129,62 @@ class _AdminHandler(BaseHTTPRequestHandler):
         else:
             self._reply_json({"status": "ok"})
 
+    def _metrics(self) -> None:
+        federated = getattr(self.admin.query_server, "federated_metrics",
+                            None)
+        body = federated() if federated is not None else promtext.render()
+        self._reply(200, body, "text/plain; version=0.0.4; charset=utf-8")
+
     def _recent(self, url) -> None:
-        try:
-            n = int(parse_qs(url.query).get("n", ["50"])[0])
-        except ValueError:
-            self._reply_json({"error": "n must be an integer"}, status=400)
+        n = self._int_param(url, "n", 50)
+        if n is None:
             return
         records = recorder.get_recorder().recent(n)
         self._reply_json([r.to_dict() for r in records])
+
+    def _digests(self, url) -> None:
+        from repro.obs import digest  # lazy: pulls the SQL parser
+
+        n = self._int_param(url, "n", 50)
+        if n is None:
+            return
+        self._reply_json(digest.get_table().top(n))
+
+    def _alerts(self) -> None:
+        engine = getattr(self.admin.query_server, "slo", None)
+        if engine is None:
+            engine = slo.get_engine()
+        engine.tick()
+        self._reply_json(engine.alerts())
+
+    def _cluster_healthz(self, route: str) -> None:
+        health = getattr(self.admin.query_server, "cluster_health", None)
+        if health is None:
+            self._not_found(route)
+            return
+        rollup = health()
+        status = 200 if rollup.get("status") == "ok" else 503
+        self._reply_json(rollup, status=status)
+
+    def _trace(self, trace_id: str, url) -> None:
+        spans = export.trace_spans(trace_id)
+        if not spans:
+            hint = ("tracing is disabled — enable it to retain spans"
+                    if not trace.is_enabled()
+                    else "trace id unknown or already evicted")
+            self._reply_json({"error": f"no spans for trace {trace_id!r}",
+                              "hint": hint}, status=404)
+            return
+        fmt = parse_qs(url.query).get("format", ["chrome"])[0]
+        if fmt == "jsonl":
+            self._reply(200, export.spans_jsonl(spans),
+                        "application/x-ndjson; charset=utf-8")
+        elif fmt == "chrome":
+            self._reply_json(export.chrome_trace(spans))
+        else:
+            self._reply_json(
+                {"error": f"unknown format {fmt!r}",
+                 "formats": ["chrome", "jsonl"]}, status=400)
 
 
 class AdminServer:

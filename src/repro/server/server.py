@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.db.database import Database, QueryResult
@@ -95,8 +96,16 @@ class QueryServer:
 
     def __init__(self, db: Database, workers: int = 4, queue_depth: int = 64,
                  policy: str = "block", result_cache: bool = True,
-                 cache_capacity: int = 256, rpc: RpcChannel | None = None):
+                 cache_capacity: int = 256, rpc: RpcChannel | None = None,
+                 node_labels: dict | None = None):
         self.db = db
+        #: cluster-node identity (``{"shard": "0", "role": "primary"}``);
+        #: when set, this server owns a per-node metrics registry fed by
+        #: the scoped tee and wraps execution in a ``cluster.leg`` span
+        self.node_labels = ({str(k): str(v) for k, v in node_labels.items()}
+                            if node_labels else {})
+        self.node_registry = (metrics.MetricsRegistry() if node_labels
+                              else None)
         self.pool = WorkerPool(workers=workers, queue_depth=queue_depth,
                                policy=policy)
         self.cache: ResultCache | None = (
@@ -177,27 +186,59 @@ class QueryServer:
                        sql: str, params: list | None) -> QueryResult:
         """Worker-side execution of one admitted statement."""
         metrics.counter("server.statements").inc()
-        with trace.attach(ctx):
+        scope = (metrics.scoped(self.node_registry)
+                 if self.node_registry is not None else nullcontext())
+        with trace.attach(ctx), scope:
             # The serving layer owns the statement's flight-recorder
             # record: the nested scope Database.execute opens on this
             # thread annotates this one instead of emitting its own.
             rec = recorder.statement(sql, session=session.name,
                                      trace_id=ctx.trace_id)
             with rec:
-                rec.note(pool_wait_seconds=current_wait_seconds(),
+                wait = current_wait_seconds()
+                rec.note(pool_wait_seconds=wait,
                          params=params if params else None)
-                sp = trace.span("server.execute", session=session.name)
-                if sp.active:
-                    with sp:
-                        result = self._execute(session, sql, params)
-                        sp.note(rows=len(result.rows))
-                else:
-                    result = self._execute(session, sql, params)
+                if self.node_labels:
+                    rec.note(shard=self.node_labels.get("shard"))
+                result = self._traced_execute(session, sql, params, wait)
                 rec.note(rows=len(result.rows) or result.rowcount)
                 # Ship the result payload through the RPC channel so
                 # served traffic lands in the paper's message accounting
                 # (a counts model: width * rows, chunked).
                 self.rpc.send(self._payload_estimate(result))
+        return result
+
+    def _traced_execute(self, session: Session, sql: str,
+                        params: list | None, wait: float) -> QueryResult:
+        """Execute under the span structure this server's role calls for.
+
+        A plain server opens the classic ``server.execute`` span.  A
+        cluster node (``node_labels`` set) wraps it in a ``cluster.leg``
+        span tagged with the node identity, containing an explicit
+        ``leg.queue`` child for the admission wait that preceded this
+        thread picking the statement up — the leg's extent is backdated
+        over that wait, so a trace-export waterfall shows queue/execute
+        phases nested within each shard's leg.
+        """
+        if not self.node_labels or not trace.is_enabled():
+            sp = trace.span("server.execute", session=session.name)
+            if sp.active:
+                with sp:
+                    result = self._execute(session, sql, params)
+                    sp.note(rows=len(result.rows))
+                return result
+            return self._execute(session, sql, params)
+        leg = trace.span("cluster.leg", session=session.name,
+                         **self.node_labels)
+        with leg:
+            trace.synthetic("leg.queue",
+                            start_perf=leg.record.start_perf - wait,
+                            wall_seconds=wait)
+            with trace.span("server.execute", session=session.name) as sp:
+                result = self._execute(session, sql, params)
+                sp.note(rows=len(result.rows))
+        leg.record.start_perf -= wait
+        leg.record.wall_seconds += wait
         return result
 
     def _statement_info(self, sql: str) -> _StatementInfo:
